@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation of the two design choices DESIGN.md calls out for the
+ * analysis engine:
+ *
+ *  1. conservative state merging (Algorithm 1's termination device):
+ *     without it, even a trivial input-dependent loop exhausts any
+ *     cycle budget;
+ *  2. CFG-precise successors for conditional jumps: bit-wise next-PC
+ *     enumeration still converges but explores a superset of paths.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "ift/engine.hh"
+#include "workloads/workload.hh"
+
+using namespace glifs;
+
+namespace
+{
+
+void
+row(const char *label, const EngineResult &r)
+{
+    std::printf("  %-28s | %9s | %9llu | %6zu | %6zu\n", label,
+                r.completed ? "converged" : "BUDGET",
+                static_cast<unsigned long long>(r.cyclesSimulated),
+                r.pathsExplored, r.merges + r.subsumptions);
+}
+
+} // namespace
+
+int
+main()
+{
+    Soc soc;
+    std::printf("=== Engine ablations ===\n\n");
+
+    for (const char *name : {"tHold", "binSearch"}) {
+        const Workload &w = workloadByName(name);
+        ProgramImage img = w.image();
+        std::printf("%s:\n", name);
+        std::printf("  %-28s | %9s | %9s | %6s | %6s\n", "configuration",
+                    "result", "cycles", "paths", "prunes");
+        std::printf("  -----------------------------+-----------+------"
+                    "-----+--------+-------\n");
+
+        EngineConfig base;
+        IftEngine e1(soc, w.policy(), base);
+        row("full engine", e1.run(img));
+
+        EngineConfig noprec = base;
+        noprec.preciseJumpTargets = false;
+        noprec.trackTaintedNets = false;
+        noprec.maxCycles = 150000;  // superset exploration can explode
+        IftEngine e2(soc, w.policy(), noprec);
+        row("bit-enumerated jump targets", e2.run(img));
+
+        if (std::string(name) == "tHold") {
+            // Without merging the exploration cannot converge; bound
+            // it tightly (forked snapshots are expensive).
+            EngineConfig nomerge = base;
+            nomerge.disableMerging = true;
+            nomerge.maxCycles = 10000;
+            nomerge.trackTaintedNets = false;
+            IftEngine e3(soc, w.policy(), nomerge);
+            row("no state merging (10k budget)", e3.run(img));
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+
+    std::printf("Merging is what makes exploration of unbounded input "
+                "spaces terminate\n(Section 4.1); precise CFG "
+                "successors trim the conservative next-PC\nsuperset "
+                "but are not required for convergence.\n");
+    return 0;
+}

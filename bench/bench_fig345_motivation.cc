@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figures 3-5 reproduction (Section 3 motivation): a known application
+ * can be verified secure on a commodity processor (Fig. 3); a tainted
+ * offset makes it insecure (Fig. 4); a software mask restores security
+ * (Fig. 5).
+ */
+
+#include <cstdio>
+
+#include "assembler/assembler.hh"
+#include "ift/rootcause.hh"
+#include "workloads/motivation.hh"
+
+using namespace glifs;
+
+namespace
+{
+
+void
+runExample(const Soc &soc, const MicroBenchmark &mb)
+{
+    ProgramImage img = assembleSource(mb.source);
+    IftEngine engine(soc, mb.policy, EngineConfig{});
+    EngineResult r = engine.run(img);
+    std::printf("--- %s ---\n", mb.name.c_str());
+    std::printf("    %s\n", mb.description.c_str());
+    std::printf("    analysis: %s\n", r.summary().c_str());
+    std::printf("    verdict:  %s\n",
+                r.secure() ? "SECURE (no possible insecure information "
+                             "flows)"
+                           : "INSECURE");
+    if (!r.secure()) {
+        RootCauseReport rc = analyzeRootCauses(r, mb.policy, &img);
+        std::printf("%s", rc.str(&img).c_str());
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Figures 3-5: motivation examples ===\n\n");
+    Soc soc;
+    runExample(soc, figure3Clean());
+    runExample(soc, figure4Vulnerable());
+    runExample(soc, figure5Masked());
+    std::printf(
+        "Shape check (paper Section 3): Fig. 3 secure as-is on commodity\n"
+        "hardware; Fig. 4 insecure (tainted offset reaches untainted\n"
+        "memory/ports); Fig. 5 secure again after software masking.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Footnote 8 reproduction: applying *-logic (application-agnostic
+ * static gate-level IFT) to the benchmarks with control dependences on
+ * tainted inputs taints the PC and makes it unknown, turning the
+ * majority of the processor's gates unknown-and-tainted (the paper
+ * reports 70% on openMSP430), so the software fixes cannot be
+ * verified. Our application-specific analysis verifies the same
+ * (secured) binaries.
+ */
+
+#include <cstdio>
+
+#include "starlogic/starlogic.hh"
+#include "workloads/toolflow.hh"
+
+using namespace glifs;
+
+int
+main()
+{
+    Soc soc;
+    std::printf("=== Footnote 8: *-logic vs application-specific "
+                "analysis ===\n\n");
+    std::printf("%-10s | %-28s | %s\n", "Benchmark",
+                "*-logic on secured binary", "app-specific analysis");
+    std::printf("-----------+------------------------------+----------"
+                "------------\n");
+
+    double taint_sum = 0.0;
+    int aborted = 0;
+    int verified_by_ours = 0;
+    int violators = 0;
+    for (const Workload &w : allWorkloads()) {
+        if (!w.expectC1)
+            continue;
+        ++violators;
+        // Secure the benchmark with the toolflow, then ask both
+        // analyses to verify the secured binary.
+        ToolflowResult tf = secureWorkload(soc, w);
+        StarLogicResult star =
+            runStarLogic(soc, w.policy(), tf.securedImage);
+
+        char starbuf[64];
+        if (star.aborted) {
+            ++aborted;
+            taint_sum += star.taintedGateFraction;
+            std::snprintf(starbuf, sizeof(starbuf),
+                          "ABORTED, %.1f%% gates tainted",
+                          100.0 * star.taintedGateFraction);
+        } else {
+            std::snprintf(starbuf, sizeof(starbuf), "%s",
+                          star.verified ? "verified" : "violations");
+        }
+        verified_by_ours += tf.verified();
+        std::printf("%-10s | %-28s | %s\n", w.name.c_str(), starbuf,
+                    tf.verified() ? "verified secure" : "NOT verified");
+        std::fflush(stdout);
+    }
+
+    std::printf("\n*-logic aborted on %d/%d benchmarks with tainted "
+                "control dependences,\ntainting %.1f%% of gates on "
+                "average (paper: 70%% of MSP430 gates);\napplication-"
+                "specific analysis verified %d/%d of the secured "
+                "binaries.\n",
+                aborted, violators,
+                aborted ? 100.0 * taint_sum / aborted : 0.0,
+                verified_by_ours, violators);
+    return 0;
+}

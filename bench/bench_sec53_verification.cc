@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Section 5.3 reproduction: verification of the two software
+ * techniques on the Figure 8 (watchdog timer reset) and Figure 9
+ * (memory address masking) micro-benchmarks.
+ */
+
+#include <cstdio>
+
+#include "assembler/assembler.hh"
+#include "ift/engine.hh"
+#include "workloads/micro.hh"
+
+using namespace glifs;
+
+namespace
+{
+
+EngineResult
+analyze(const Soc &soc, const MicroBenchmark &mb)
+{
+    IftEngine engine(soc, mb.policy, EngineConfig{});
+    return engine.run(assembleSource(mb.source));
+}
+
+bool
+has(const EngineResult &r, ViolationKind kind)
+{
+    for (const Violation &v : r.violations) {
+        if (v.kind == kind)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+int
+main()
+{
+    Soc soc;
+    std::printf("=== Section 5.3: verification of software techniques "
+                "===\n\n");
+
+    {
+        EngineResult r = analyze(soc, fig8Unprotected());
+        std::printf("Figure 8, left (no watchdog):\n  %s\n",
+                    r.summary().c_str());
+        std::printf("  PC tainted in task:        %s\n",
+                    has(r, ViolationKind::TaintedControlFlow) ? "yes"
+                                                              : "no");
+        std::printf("  tainted PC reaches untainted code: %s  "
+                    "(expected: yes)\n\n",
+                    has(r, ViolationKind::UntaintedCodeTaintedPc)
+                        ? "YES -- once tainted, never untainted again"
+                        : "no");
+    }
+    {
+        EngineResult r = analyze(soc, fig8Protected());
+        std::printf("Figure 8, right (watchdog armed by untainted "
+                    "code):\n  %s\n",
+                    r.summary().c_str());
+        std::printf("  tainted PC reaches untainted code: %s  "
+                    "(expected: no)\n",
+                    has(r, ViolationKind::UntaintedCodeTaintedPc)
+                        ? "yes" : "NO -- POR recovers an untainted PC");
+        std::printf("  watchdog write-enable tainted:     %s  "
+                    "(expected: no)\n\n",
+                    has(r, ViolationKind::WatchdogTainted) ? "yes"
+                                                           : "NO");
+    }
+    {
+        EngineResult r = analyze(soc, fig9Unmasked());
+        std::printf("Figure 9, left (unmasked tainted offset):\n  %s\n",
+                    r.summary().c_str());
+        std::printf("  untainted memory tainted: %s  (expected: yes)\n\n",
+                    has(r, ViolationKind::StoreUntaintedPartition)
+                        ? "YES -- whole data memory reachable" : "no");
+    }
+    {
+        EngineResult r = analyze(soc, fig9Masked());
+        std::printf("Figure 9, right (masked offset):\n  %s\n",
+                    r.summary().c_str());
+        std::printf("  untainted memory tainted: %s  (expected: no)\n",
+                    has(r, ViolationKind::StoreUntaintedPartition)
+                        ? "yes"
+                        : "NO -- store bounded to the tainted "
+                          "partition");
+        std::printf("  overall: %s\n",
+                    r.secure() ? "verified secure" : "insecure");
+    }
+    return 0;
+}

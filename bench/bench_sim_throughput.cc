@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Simulator-throughput ablation (supporting bench, not a paper table):
+ * gate-evaluations per second of the levelized GLIFT simulator in
+ * concrete and symbolic operation, and the cost of symbolic state
+ * capture/restore/merge -- the primitives the analysis engine's
+ * runtime (footnote 4) is built from.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "assembler/assembler.hh"
+#include "ift/symstate.hh"
+#include "netlist/stats.hh"
+#include "soc/runner.hh"
+#include "soc/soc.hh"
+
+using namespace glifs;
+
+namespace
+{
+
+Soc &
+sharedSoc()
+{
+    static Soc soc;
+    return soc;
+}
+
+ProgramImage
+loopImage()
+{
+    return assembleSource(
+        "        mov #1000, r4\n"
+        "l:      add #3, r5\n"
+        "        dec r4\n"
+        "        jnz l\n"
+        "        halt\n");
+}
+
+void
+BM_ConcreteCycle(benchmark::State &state)
+{
+    Soc &soc = sharedSoc();
+    SocRunner runner(soc);
+    runner.load(loopImage());
+    runner.reset();
+    const size_t gates = computeStats(soc.netlist()).trackedGates();
+    for (auto _ : state)
+        runner.stepCycle();
+    state.SetItemsProcessed(state.iterations() * gates);
+    state.counters["gates"] = static_cast<double>(gates);
+}
+BENCHMARK(BM_ConcreteCycle);
+
+void
+BM_SymbolicCycle(benchmark::State &state)
+{
+    // Same cycle loop but with unknown tainted inputs on every port.
+    Soc &soc = sharedSoc();
+    Simulator sim(soc.netlist());
+    soc.loadProgram(sim.state(), loopImage());
+    const SocProbes &prb = soc.probes();
+    sim.setInput(prb.extReset, sigOne());
+    for (unsigned p = 0; p < 4; ++p) {
+        for (unsigned b = 0; b < 16; ++b)
+            sim.setInput(prb.portIn[p][b], Signal{Tern::X, true});
+    }
+    sim.step();
+    sim.setInput(prb.extReset, sigZero());
+    const size_t gates = computeStats(soc.netlist()).trackedGates();
+    for (auto _ : state)
+        sim.step();
+    state.SetItemsProcessed(state.iterations() * gates);
+}
+BENCHMARK(BM_SymbolicCycle);
+
+void
+BM_SymStateCapture(benchmark::State &state)
+{
+    Soc &soc = sharedSoc();
+    Simulator sim(soc.netlist());
+    SymLayout layout(soc.netlist());
+    SymState s(layout);
+    for (auto _ : state) {
+        s.capture(layout, sim.state());
+        benchmark::DoNotOptimize(s.numSlots());
+    }
+    state.SetItemsProcessed(state.iterations() * layout.slots());
+}
+BENCHMARK(BM_SymStateCapture);
+
+void
+BM_SymStateSubsume(benchmark::State &state)
+{
+    Soc &soc = sharedSoc();
+    Simulator sim(soc.netlist());
+    SymLayout layout(soc.netlist());
+    SymState a(layout);
+    a.capture(layout, sim.state());
+    SymState b = a;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a.subsumedBy(b));
+    state.SetItemsProcessed(state.iterations() * layout.slots());
+}
+BENCHMARK(BM_SymStateSubsume);
+
+void
+BM_SymStateMerge(benchmark::State &state)
+{
+    Soc &soc = sharedSoc();
+    Simulator sim(soc.netlist());
+    SymLayout layout(soc.netlist());
+    SymState a(layout);
+    a.capture(layout, sim.state());
+    SymState b = a;
+    b.setSlot(0, sigBool(1, true));
+    for (auto _ : state) {
+        SymState m = a;
+        m.mergeWith(b);
+        benchmark::DoNotOptimize(m.taintCount());
+    }
+    state.SetItemsProcessed(state.iterations() * layout.slots());
+}
+BENCHMARK(BM_SymStateMerge);
+
+} // namespace
+
+BENCHMARK_MAIN();

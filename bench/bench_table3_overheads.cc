@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Table 3 reproduction: performance overhead (%) of the software
+ * information-flow protections, applied WITH application-specific
+ * analysis (only where needed, with only the flagged stores masked)
+ * versus WITHOUT analysis (the always-on baseline: every task store
+ * masked and every task watchdog-bounded).
+ *
+ * All numbers are measured by input-based gate-level simulation: each
+ * variant runs to task completion (including the idle padding of the
+ * final watchdog slice), trying every watchdog interval and keeping
+ * the best, exactly as the paper's toolflow selects slice sizes.
+ */
+
+#include <cstdio>
+
+#include "workloads/toolflow.hh"
+#include "xform/overhead.hh"
+
+using namespace glifs;
+
+namespace
+{
+
+/** Best measured cycle count over the four watchdog intervals. */
+uint64_t
+bestOverIntervals(const Soc &soc,
+                  const std::function<ProgramImage(unsigned)> &build)
+{
+    uint64_t best = ~0ULL;
+    for (unsigned sel = 0; sel < 4; ++sel) {
+        MeasureConfig cfg;
+        cfg.runToPorAfterDone = true;
+        cfg.maxCycles = 400000;
+        MeasuredRun run = measureRun(soc, build(sel), cfg);
+        if (run.completed && run.cycles < best)
+            best = run.cycles;
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    Soc soc;
+    std::printf("=== Table 3: performance overhead (%%) of software-"
+                "based protection ===\n\n");
+    std::printf("%-10s | %9s | %-17s | %-17s\n", "Benchmark", "base cy",
+                "Without Analysis", "With Analysis");
+    std::printf("-----------+-----------+-------------------+--------"
+                "---------\n");
+
+    double sum_with = 0.0;
+    double sum_without = 0.0;
+    int n = 0;
+    for (const Workload &w : allWorkloads()) {
+        // Baseline: unmodified, unprotected.
+        MeasureConfig base_cfg;
+        base_cfg.maxCycles = 400000;
+        MeasuredRun base = measureRun(soc, w.image(), base_cfg);
+        if (!base.completed) {
+            std::printf("%-10s | (baseline did not complete)\n",
+                        w.name.c_str());
+            continue;
+        }
+
+        // Without analysis: always-on masking + watchdog bounding.
+        uint64_t without = bestOverIntervals(soc, [&](unsigned sel) {
+            return alwaysOnWorkload(w, sel).image;
+        });
+
+        // With analysis: the toolflow's secured program (no overhead at
+        // all when the benchmark is secure as-is).
+        ToolflowResult probe = secureWorkload(soc, w);
+        uint64_t with_cycles;
+        if (!probe.modified()) {
+            with_cycles = base.cycles;
+        } else {
+            with_cycles = bestOverIntervals(soc, [&](unsigned sel) {
+                return secureWorkload(soc, w, sel).securedImage;
+            });
+        }
+
+        double ov_with =
+            100.0 * (static_cast<double>(with_cycles) - base.cycles) /
+            base.cycles;
+        double ov_without =
+            100.0 * (static_cast<double>(without) - base.cycles) /
+            base.cycles;
+        sum_with += ov_with;
+        sum_without += ov_without;
+        ++n;
+        std::printf("%-10s | %9llu | %12.2f %%    | %12.2f %%\n",
+                    w.name.c_str(),
+                    static_cast<unsigned long long>(base.cycles),
+                    ov_without, ov_with);
+        std::fflush(stdout);
+    }
+
+    double avg_with = sum_with / n;
+    double avg_without = sum_without / n;
+    std::printf("-----------+-----------+-------------------+--------"
+                "---------\n");
+    std::printf("%-10s | %9s | %12.2f %%    | %12.2f %%\n", "average",
+                "", avg_without, avg_with);
+    if (avg_with > 0.0) {
+        std::printf("\nanalysis reduces protection overhead by %.1fx "
+                    "(paper: 3.3x)\n", avg_without / avg_with);
+    }
+    std::printf("paper shape: zero overhead for the seven clean "
+                "benchmarks with analysis;\nwithout analysis every "
+                "benchmark pays masking + watchdog bounding.\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table 4 reproduction: microarchitectural features in recent embedded
+ * processors (Section 8). The survey motivates why ultra-low-power
+ * IoT processors -- simple, deterministic, no caches or predictors --
+ * are a good fit for input-independent symbolic co-analysis. The
+ * IoT430 substrate used throughout this repository is shown alongside.
+ */
+
+#include <cstdio>
+
+#include "netlist/stats.hh"
+#include "soc/soc.hh"
+
+int
+main()
+{
+    std::printf("=== Table 4: microarchitectural features in recent "
+                "embedded processors ===\n\n");
+    struct Row
+    {
+        const char *processor;
+        const char *predictor;
+        const char *cache;
+    };
+    static const Row rows[] = {
+        {"ARM Cortex-M0", "no", "no"},
+        {"ARM Cortex-M3", "yes", "no"},
+        {"Atmel ATxmega128A4", "no", "no"},
+        {"Freescale/NXP MC13224v", "no", "no"},
+        {"Intel Quark-D1000", "yes", "yes"},
+        {"Jennic/NXP JN5169", "no", "no"},
+        {"SiLab Si2012", "no", "no"},
+        {"TI MSP430", "no", "no"},
+        {"IoT430 (this repository)", "no", "no"},
+    };
+    std::printf("%-26s | %-16s | %s\n", "Processor", "Branch Predictor",
+                "Cache");
+    std::printf("---------------------------+------------------+------\n");
+    for (const Row &r : rows)
+        std::printf("%-26s | %-16s | %s\n", r.processor, r.predictor,
+                    r.cache);
+
+    glifs::Soc soc;
+    glifs::NetlistStats stats = glifs::computeStats(soc.netlist());
+    std::printf("\nIoT430 substrate: %s\n", stats.str().c_str());
+    std::printf("(deterministic multi-cycle core: no speculation, no "
+                "caches -- the class of\nprocessor the paper targets; "
+                "see Section 8 for how co-analysis could extend\nto "
+                "caches and prediction by X-injection on tag checks.)\n");
+    return 0;
+}

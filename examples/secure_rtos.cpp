@@ -1,0 +1,71 @@
+/**
+ * @file
+ * System-level use case (paper Section 7.3): schedule a trusted and an
+ * untrusted task with MiniRTOS, show that the naive system leaks the
+ * untrusted task's control flow into the scheduler, and that the
+ * watchdog-sliced, mask-protected system runs correctly and verifies
+ * secure -- then measure the protection overhead.
+ *
+ * Run: ./secure_rtos
+ */
+
+#include <cstdio>
+
+#include "assembler/assembler.hh"
+#include "ift/engine.hh"
+#include "workloads/rtos.hh"
+
+using namespace glifs;
+
+namespace
+{
+
+void
+show(const Soc &soc, const MicroBenchmark &mb)
+{
+    ProgramImage img = assembleSource(mb.source);
+    RtosMeasurement m = measureRtos(soc, img);
+    EngineResult r =
+        IftEngine(soc, mb.policy, EngineConfig{}).run(img);
+    std::printf("--- %s ---\n  %s\n", mb.name.c_str(),
+                mb.description.c_str());
+    std::printf("  concrete run: both tasks done in %llu cycles (%s)\n",
+                static_cast<unsigned long long>(m.cycles),
+                m.completed ? "ok" : "timeout");
+    std::printf("  analysis: %s\n",
+                r.secure() ? "VERIFIED SECURE" : "INSECURE");
+    int shown = 0;
+    for (const Violation &v : r.violations) {
+        if (v.kind == ViolationKind::TaintedControlFlow)
+            continue;  // contained inside the untrusted task
+        if (shown++ < 4)
+            std::printf("    %s\n", v.str().c_str());
+    }
+    if (shown > 4)
+        std::printf("    ... and %d more\n", shown - 4);
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    Soc soc;
+    std::printf("=== MiniRTOS: information flow secure scheduling ===\n\n");
+
+    show(soc, rtosBaseline());
+    show(soc, rtosProtected(1));
+
+    RtosMeasurement base =
+        measureRtos(soc, assembleSource(rtosBaseline().source));
+    RtosMeasurement prot =
+        measureRtos(soc, assembleSource(rtosProtected(0).source));
+    if (base.completed && prot.completed) {
+        std::printf("protection overhead (64-cycle slices): %.2f %%\n",
+                    100.0 * (static_cast<double>(prot.cycles) -
+                             base.cycles) /
+                        base.cycles);
+    }
+    return 0;
+}

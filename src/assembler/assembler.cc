@@ -1,0 +1,238 @@
+#include "assembler/assembler.hh"
+
+#include "base/logging.hh"
+
+namespace glifs
+{
+
+namespace
+{
+
+/** Resolve a symbol+offset expression. */
+int64_t
+resolveExpr(const AsmExpr &e,
+            const std::map<std::string, uint16_t> &symbols, int line)
+{
+    int64_t v = e.offset;
+    if (!e.constant()) {
+        auto it = symbols.find(e.symbol);
+        if (it == symbols.end())
+            GLIFS_FATAL("line ", line, ": undefined symbol '", e.symbol,
+                        "'");
+        v += it->second;
+    }
+    return v;
+}
+
+/** Encoded size of an instruction item, independent of symbol values. */
+unsigned
+instrSize(const AsmItem &item)
+{
+    if (item.op == Op::J)
+        return 1;
+    if (item.op == Op::Call)
+        return 2;
+    if (!isTwoOp(item.op))
+        return 1;
+    unsigned n = 1;
+    if (item.src.kind == AsmOperand::Kind::Imm ||
+        item.src.kind == AsmOperand::Kind::Idx ||
+        item.src.kind == AsmOperand::Kind::Abs)
+        ++n;
+    if (item.dst.kind == AsmOperand::Kind::Idx ||
+        item.dst.kind == AsmOperand::Kind::Abs)
+        ++n;
+    return n;
+}
+
+} // namespace
+
+Instr
+lowerInstr(const AsmItem &item,
+           const std::map<std::string, uint16_t> &symbols, uint16_t addr)
+{
+    Instr ins;
+    ins.op = item.op;
+    ins.cond = item.cond;
+    const int line = item.line;
+
+    auto value = [&](const AsmExpr &e) {
+        return static_cast<uint16_t>(resolveExpr(e, symbols, line));
+    };
+
+    if (isTwoOp(item.op)) {
+        // Source operand.
+        switch (item.src.kind) {
+          case AsmOperand::Kind::Reg:
+            ins.smode = Mode::Reg;
+            ins.rs = item.src.reg;
+            break;
+          case AsmOperand::Kind::Imm:
+            ins.smode = Mode::Imm;
+            ins.srcWord = value(item.src.expr);
+            break;
+          case AsmOperand::Kind::Ind:
+            ins.smode = Mode::Ind;
+            ins.rs = item.src.reg;
+            break;
+          case AsmOperand::Kind::Idx:
+            ins.smode = Mode::Idx;
+            ins.rs = item.src.reg;
+            ins.srcWord = value(item.src.expr);
+            break;
+          case AsmOperand::Kind::Abs:
+            ins.smode = Mode::Idx;
+            ins.rs = 0;
+            ins.srcWord = value(item.src.expr);
+            break;
+          default:
+            GLIFS_FATAL("line ", line, ": missing source operand");
+        }
+        // Destination operand.
+        switch (item.dst.kind) {
+          case AsmOperand::Kind::Reg:
+            ins.dmode = Mode::Reg;
+            ins.rd = item.dst.reg;
+            break;
+          case AsmOperand::Kind::Ind:
+            ins.dmode = Mode::Ind;
+            ins.rd = item.dst.reg;
+            break;
+          case AsmOperand::Kind::Idx:
+            ins.dmode = Mode::Idx;
+            ins.rd = item.dst.reg;
+            ins.dstWord = value(item.dst.expr);
+            break;
+          case AsmOperand::Kind::Abs:
+            ins.dmode = Mode::Idx;
+            ins.rd = 0;
+            ins.dstWord = value(item.dst.expr);
+            break;
+          default:
+            GLIFS_FATAL("line ", line, ": bad destination operand");
+        }
+        return ins;
+    }
+
+    if (isOneOp(item.op)) {
+        if (item.dst.kind != AsmOperand::Kind::Reg)
+            GLIFS_FATAL("line ", line,
+                        ": one-operand ops need a register");
+        ins.rd = item.dst.reg;
+        return ins;
+    }
+
+    switch (item.op) {
+      case Op::J: {
+        int64_t target = resolveExpr(item.src.expr, symbols, line);
+        int64_t off = target - (static_cast<int64_t>(addr) + 1);
+        if (off < -256 || off > 255)
+            GLIFS_FATAL("line ", line, ": jump target out of range (",
+                        off, " words)");
+        ins.jumpOff = static_cast<int16_t>(off);
+        return ins;
+      }
+      case Op::Call:
+        ins.srcWord = value(item.src.expr);
+        return ins;
+      case Op::Push:
+      case Op::Pop:
+      case Op::Br:
+        if (item.dst.kind != AsmOperand::Kind::Reg)
+            GLIFS_FATAL("line ", line, ": ", opName(item.op),
+                        " needs a register");
+        ins.rd = item.dst.reg;
+        return ins;
+      case Op::Ret:
+      case Op::Nop:
+      case Op::Halt:
+        return ins;
+      default:
+        GLIFS_FATAL("line ", line, ": cannot lower instruction");
+    }
+}
+
+ProgramImage
+assemble(const AsmProgram &prog, size_t prog_words)
+{
+    ProgramImage img;
+    img.words.assign(prog_words, 0);
+
+    // Pass 1: addresses and symbols.
+    {
+        uint16_t addr = 0;
+        for (const AsmItem &item : prog.items) {
+            switch (item.kind) {
+              case AsmItem::Kind::Label:
+                img.symbols[item.name] = addr;
+                break;
+              case AsmItem::Kind::Equ:
+                img.symbols[item.name] = static_cast<uint16_t>(
+                    resolveExpr(item.values[0], img.symbols, item.line));
+                break;
+              case AsmItem::Kind::Org:
+                addr = static_cast<uint16_t>(
+                    resolveExpr(item.values[0], img.symbols, item.line));
+                break;
+              case AsmItem::Kind::Word:
+                addr = static_cast<uint16_t>(addr + item.values.size());
+                break;
+              case AsmItem::Kind::Instr:
+                addr = static_cast<uint16_t>(addr + instrSize(item));
+                break;
+            }
+            if (addr > prog_words)
+                GLIFS_FATAL("line ", item.line,
+                            ": program image overflow");
+        }
+    }
+
+    // Pass 2: encode.
+    {
+        uint16_t addr = 0;
+        for (size_t idx = 0; idx < prog.items.size(); ++idx) {
+            const AsmItem &item = prog.items[idx];
+            switch (item.kind) {
+              case AsmItem::Kind::Label:
+              case AsmItem::Kind::Equ:
+                break;
+              case AsmItem::Kind::Org:
+                addr = static_cast<uint16_t>(
+                    resolveExpr(item.values[0], img.symbols, item.line));
+                break;
+              case AsmItem::Kind::Word:
+                for (const AsmExpr &e : item.values) {
+                    img.words[addr] = static_cast<uint16_t>(
+                        resolveExpr(e, img.symbols, item.line));
+                    img.usedWords =
+                        std::max<size_t>(img.usedWords, addr + 1u);
+                    ++addr;
+                }
+                break;
+              case AsmItem::Kind::Instr: {
+                Instr ins = lowerInstr(item, img.symbols, addr);
+                std::vector<uint16_t> enc = encode(ins);
+                GLIFS_ASSERT(enc.size() == instrSize(item),
+                             "size mismatch at line ", item.line);
+                img.addrToItem[addr] = idx;
+                for (uint16_t w : enc) {
+                    img.words[addr] = w;
+                    img.usedWords =
+                        std::max<size_t>(img.usedWords, addr + 1u);
+                    ++addr;
+                }
+                break;
+              }
+            }
+        }
+    }
+    return img;
+}
+
+ProgramImage
+assembleSource(const std::string &source, size_t prog_words)
+{
+    return assemble(parseSource(source), prog_words);
+}
+
+} // namespace glifs

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Two-pass assembler: AsmProgram -> ProgramImage.
+ */
+
+#ifndef GLIFS_ASSEMBLER_ASSEMBLER_HH
+#define GLIFS_ASSEMBLER_ASSEMBLER_HH
+
+#include "assembler/parser.hh"
+#include "assembler/program_image.hh"
+
+namespace glifs
+{
+
+/**
+ * Assemble a parsed program into a loadable image.
+ * @param prog_words size of the target program memory.
+ * @throws FatalError on undefined symbols, out-of-range jumps,
+ *         overlapping .org regions or image overflow.
+ */
+ProgramImage assemble(const AsmProgram &prog,
+                      size_t prog_words = iot430::kProgWords);
+
+/** Convenience: parse + assemble a source string. */
+ProgramImage assembleSource(const std::string &source,
+                            size_t prog_words = iot430::kProgWords);
+
+/** Encode one item into an Instr given resolved operand values. */
+Instr lowerInstr(const AsmItem &item,
+                 const std::map<std::string, uint16_t> &symbols,
+                 uint16_t addr);
+
+} // namespace glifs
+
+#endif // GLIFS_ASSEMBLER_ASSEMBLER_HH

@@ -1,0 +1,128 @@
+#include "assembler/lexer.hh"
+
+#include <cctype>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace glifs
+{
+
+namespace
+{
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Classify an identifier as a register name if it matches r0..r15. */
+bool
+asRegister(const std::string &ident, int64_t &reg)
+{
+    if (ident.size() < 2 || ident.size() > 3)
+        return false;
+    if (ident[0] != 'r' && ident[0] != 'R')
+        return false;
+    int v = 0;
+    for (size_t i = 1; i < ident.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(ident[i])))
+            return false;
+        v = v * 10 + (ident[i] - '0');
+    }
+    if (v > 15)
+        return false;
+    reg = v;
+    return true;
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &source)
+{
+    std::vector<Token> toks;
+    int line = 1;
+    size_t i = 0;
+    const size_t n = source.size();
+
+    auto push = [&](TokKind k, std::string text, int64_t value = 0) {
+        toks.push_back(Token{k, std::move(text), value, line});
+    };
+
+    while (i < n) {
+        char c = source[i];
+        if (c == '\n') {
+            push(TokKind::Newline, "\\n");
+            ++line;
+            ++i;
+            continue;
+        }
+        if (c == ';') {
+            while (i < n && source[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '#') { push(TokKind::Hash, "#"); ++i; continue; }
+        if (c == '@') { push(TokKind::At, "@"); ++i; continue; }
+        if (c == '&') { push(TokKind::Amp, "&"); ++i; continue; }
+        if (c == '(') { push(TokKind::LParen, "("); ++i; continue; }
+        if (c == ')') { push(TokKind::RParen, ")"); ++i; continue; }
+        if (c == ',') { push(TokKind::Comma, ","); ++i; continue; }
+        if (c == ':') { push(TokKind::Colon, ":"); ++i; continue; }
+
+        if (c == '.') {
+            size_t start = i++;
+            while (i < n && identChar(source[i]))
+                ++i;
+            push(TokKind::Directive,
+                 toLower(source.substr(start, i - start)));
+            continue;
+        }
+
+        if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+            c == '+') {
+            size_t start = i++;
+            while (i < n && (identChar(source[i])))
+                ++i;
+            std::string text = source.substr(start, i - start);
+            auto v = parseInt(text);
+            if (!v)
+                GLIFS_FATAL("line ", line, ": bad number '", text, "'");
+            push(TokKind::Number, text, *v);
+            continue;
+        }
+
+        if (identStart(c)) {
+            size_t start = i++;
+            while (i < n && identChar(source[i]))
+                ++i;
+            std::string text = source.substr(start, i - start);
+            int64_t reg;
+            if (asRegister(text, reg))
+                push(TokKind::Reg, text, reg);
+            else
+                push(TokKind::Ident, text);
+            continue;
+        }
+
+        GLIFS_FATAL("line ", line, ": unexpected character '",
+                    std::string(1, c), "'");
+    }
+    push(TokKind::Newline, "\\n");
+    push(TokKind::End, "");
+    return toks;
+}
+
+} // namespace glifs

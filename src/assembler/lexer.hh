@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Tokenizer for IoT430 assembly source.
+ */
+
+#ifndef GLIFS_ASSEMBLER_LEXER_HH
+#define GLIFS_ASSEMBLER_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace glifs
+{
+
+/** Token categories. */
+enum class TokKind : uint8_t
+{
+    Ident,      ///< mnemonic, label or symbol name
+    Number,     ///< integer literal (dec/hex/bin, optional '-')
+    Reg,        ///< r0..r15
+    Directive,  ///< .org .word .equ ...
+    Hash,       ///< '#'
+    At,         ///< '@'
+    Amp,        ///< '&'
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    Newline,
+    End,
+};
+
+/** One token. */
+struct Token
+{
+    TokKind kind;
+    std::string text;
+    int64_t value = 0;  ///< Number: parsed value; Reg: register index
+    int line = 0;
+};
+
+/**
+ * Tokenize a full assembly source. ';' starts a comment running to end
+ * of line. Every line is terminated by a Newline token; the stream ends
+ * with End.
+ * @throws FatalError on an unrecognizable character.
+ */
+std::vector<Token> lex(const std::string &source);
+
+} // namespace glifs
+
+#endif // GLIFS_ASSEMBLER_LEXER_HH

@@ -1,0 +1,405 @@
+#include "assembler/parser.hh"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace glifs
+{
+
+namespace
+{
+
+struct Mnemonic
+{
+    Op op;
+    Cond cond;
+    unsigned operands;  ///< expected operand count
+};
+
+const std::unordered_map<std::string, Mnemonic> &
+mnemonics()
+{
+    static const std::unordered_map<std::string, Mnemonic> table = {
+        {"mov", {Op::Mov, Cond::Always, 2}},
+        {"add", {Op::Add, Cond::Always, 2}},
+        {"sub", {Op::Sub, Cond::Always, 2}},
+        {"cmp", {Op::Cmp, Cond::Always, 2}},
+        {"and", {Op::And, Cond::Always, 2}},
+        {"bis", {Op::Bis, Cond::Always, 2}},
+        {"xor", {Op::Xor, Cond::Always, 2}},
+        {"bic", {Op::Bic, Cond::Always, 2}},
+        {"clr", {Op::Clr, Cond::Always, 1}},
+        {"inc", {Op::Inc, Cond::Always, 1}},
+        {"dec", {Op::Dec, Cond::Always, 1}},
+        {"inv", {Op::Inv, Cond::Always, 1}},
+        {"rra", {Op::Rra, Cond::Always, 1}},
+        {"rrc", {Op::Rrc, Cond::Always, 1}},
+        {"rla", {Op::Rla, Cond::Always, 1}},
+        {"rlc", {Op::Rlc, Cond::Always, 1}},
+        {"swpb", {Op::Swpb, Cond::Always, 1}},
+        {"sxt", {Op::Sxt, Cond::Always, 1}},
+        {"tst", {Op::Tst, Cond::Always, 1}},
+        {"jmp", {Op::J, Cond::Always, 1}},
+        {"jz", {Op::J, Cond::Z, 1}},
+        {"jeq", {Op::J, Cond::Z, 1}},
+        {"jnz", {Op::J, Cond::NZ, 1}},
+        {"jne", {Op::J, Cond::NZ, 1}},
+        {"jc", {Op::J, Cond::C, 1}},
+        {"jnc", {Op::J, Cond::NC, 1}},
+        {"jn", {Op::J, Cond::N, 1}},
+        {"jge", {Op::J, Cond::GE, 1}},
+        {"jl", {Op::J, Cond::L, 1}},
+        {"push", {Op::Push, Cond::Always, 1}},
+        {"pop", {Op::Pop, Cond::Always, 1}},
+        {"call", {Op::Call, Cond::Always, 1}},
+        {"ret", {Op::Ret, Cond::Always, 0}},
+        {"br", {Op::Br, Cond::Always, 1}},
+        {"nop", {Op::Nop, Cond::Always, 0}},
+        {"halt", {Op::Halt, Cond::Always, 0}},
+    };
+    return table;
+}
+
+/** Cursor over the token stream. */
+class Cursor
+{
+  public:
+    explicit Cursor(const std::vector<Token> &toks) : toks(toks) {}
+
+    const Token &peek() const { return toks[pos]; }
+    const Token &
+    next()
+    {
+        const Token &t = toks[pos];
+        if (toks[pos].kind != TokKind::End)
+            ++pos;
+        return t;
+    }
+    bool at(TokKind k) const { return toks[pos].kind == k; }
+    bool
+    accept(TokKind k)
+    {
+        if (!at(k))
+            return false;
+        next();
+        return true;
+    }
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        GLIFS_FATAL("line ", toks[pos].line, ": expected ", what,
+                    ", got '", toks[pos].text, "'");
+    }
+
+  private:
+    const std::vector<Token> &toks;
+    size_t pos = 0;
+};
+
+/** Parse [ident][number] into a symbol+offset expression. */
+AsmExpr
+parseExpr(Cursor &cur)
+{
+    AsmExpr e;
+    if (cur.at(TokKind::Ident)) {
+        e.symbol = cur.next().text;
+        if (cur.at(TokKind::Number))
+            e.offset = cur.next().value;
+        return e;
+    }
+    if (cur.at(TokKind::Number)) {
+        e.offset = cur.next().value;
+        return e;
+    }
+    cur.fail("expression");
+}
+
+AsmOperand
+parseOperand(Cursor &cur)
+{
+    AsmOperand op;
+    if (cur.accept(TokKind::Hash)) {
+        op.kind = AsmOperand::Kind::Imm;
+        op.expr = parseExpr(cur);
+        return op;
+    }
+    if (cur.accept(TokKind::At)) {
+        if (!cur.at(TokKind::Reg))
+            cur.fail("register after '@'");
+        op.kind = AsmOperand::Kind::Ind;
+        op.reg = static_cast<unsigned>(cur.next().value);
+        return op;
+    }
+    if (cur.accept(TokKind::Amp)) {
+        op.kind = AsmOperand::Kind::Abs;
+        op.expr = parseExpr(cur);
+        return op;
+    }
+    if (cur.at(TokKind::Reg)) {
+        op.kind = AsmOperand::Kind::Reg;
+        op.reg = static_cast<unsigned>(cur.next().value);
+        return op;
+    }
+    // expr or expr(reg)
+    op.expr = parseExpr(cur);
+    if (cur.accept(TokKind::LParen)) {
+        if (!cur.at(TokKind::Reg))
+            cur.fail("register in indexed operand");
+        op.kind = AsmOperand::Kind::Idx;
+        op.reg = static_cast<unsigned>(cur.next().value);
+        if (!cur.accept(TokKind::RParen))
+            cur.fail("')'");
+        return op;
+    }
+    // Bare expression: jump/call target.
+    op.kind = AsmOperand::Kind::Imm;
+    return op;
+}
+
+} // namespace
+
+AsmProgram
+parse(const std::vector<Token> &tokens)
+{
+    AsmProgram prog;
+    Cursor cur(tokens);
+
+    while (!cur.at(TokKind::End)) {
+        if (cur.accept(TokKind::Newline))
+            continue;
+
+        // Labels: ident ':'
+        while (cur.at(TokKind::Ident) &&
+               mnemonics().find(toLower(cur.peek().text)) ==
+                   mnemonics().end()) {
+            AsmItem item;
+            item.kind = AsmItem::Kind::Label;
+            item.line = cur.peek().line;
+            item.name = cur.next().text;
+            if (!cur.accept(TokKind::Colon))
+                cur.fail("':' after label");
+            prog.items.push_back(std::move(item));
+        }
+        if (cur.accept(TokKind::Newline))
+            continue;
+
+        if (cur.at(TokKind::Directive)) {
+            AsmItem item;
+            item.line = cur.peek().line;
+            std::string d = cur.next().text;
+            if (d == ".org") {
+                item.kind = AsmItem::Kind::Org;
+                item.values.push_back(parseExpr(cur));
+            } else if (d == ".word") {
+                item.kind = AsmItem::Kind::Word;
+                item.values.push_back(parseExpr(cur));
+                while (cur.accept(TokKind::Comma))
+                    item.values.push_back(parseExpr(cur));
+            } else if (d == ".equ") {
+                item.kind = AsmItem::Kind::Equ;
+                if (!cur.at(TokKind::Ident))
+                    cur.fail("symbol name after .equ");
+                item.name = cur.next().text;
+                cur.accept(TokKind::Comma);
+                item.values.push_back(parseExpr(cur));
+            } else {
+                GLIFS_FATAL("line ", item.line, ": unknown directive ",
+                            d);
+            }
+            prog.items.push_back(std::move(item));
+            if (!cur.accept(TokKind::Newline) && !cur.at(TokKind::End))
+                cur.fail("end of line");
+            continue;
+        }
+
+        if (cur.at(TokKind::Ident)) {
+            AsmItem item;
+            item.kind = AsmItem::Kind::Instr;
+            item.line = cur.peek().line;
+            std::string m = toLower(cur.next().text);
+            auto it = mnemonics().find(m);
+            if (it == mnemonics().end())
+                GLIFS_FATAL("line ", item.line, ": unknown mnemonic '",
+                            m, "'");
+            item.op = it->second.op;
+            item.cond = it->second.cond;
+            if (it->second.operands >= 1) {
+                AsmOperand first = parseOperand(cur);
+                if (it->second.operands == 2) {
+                    if (!cur.accept(TokKind::Comma))
+                        cur.fail("','");
+                    item.src = first;
+                    item.dst = parseOperand(cur);
+                } else {
+                    // Single-operand: destination for one-op/pop/push,
+                    // source-like target for jumps/call.
+                    if (item.op == Op::J || item.op == Op::Call)
+                        item.src = first;
+                    else
+                        item.dst = first;
+                }
+            }
+            prog.items.push_back(std::move(item));
+            if (!cur.accept(TokKind::Newline) && !cur.at(TokKind::End))
+                cur.fail("end of line");
+            continue;
+        }
+
+        cur.fail("label, directive or instruction");
+    }
+    return prog;
+}
+
+AsmProgram
+parseSource(const std::string &source)
+{
+    return parse(lex(source));
+}
+
+namespace
+{
+
+std::string
+renderExpr(const AsmExpr &e)
+{
+    if (e.constant())
+        return std::to_string(e.offset);
+    std::string s = e.symbol;
+    if (e.offset > 0)
+        s += "+" + std::to_string(e.offset);
+    else if (e.offset < 0)
+        s += std::to_string(e.offset);
+    return s;
+}
+
+std::string
+renderOperand(const AsmOperand &op)
+{
+    switch (op.kind) {
+      case AsmOperand::Kind::None:
+        return "";
+      case AsmOperand::Kind::Reg:
+        return "r" + std::to_string(op.reg);
+      case AsmOperand::Kind::Imm:
+        return "#" + renderExpr(op.expr);
+      case AsmOperand::Kind::Ind:
+        return "@r" + std::to_string(op.reg);
+      case AsmOperand::Kind::Idx:
+        return renderExpr(op.expr) + "(r" + std::to_string(op.reg) + ")";
+      case AsmOperand::Kind::Abs:
+        return "&" + renderExpr(op.expr);
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+render(const AsmProgram &prog)
+{
+    std::ostringstream oss;
+    for (const AsmItem &item : prog.items) {
+        switch (item.kind) {
+          case AsmItem::Kind::Label:
+            oss << item.name << ":\n";
+            break;
+          case AsmItem::Kind::Org:
+            oss << "        .org " << renderExpr(item.values[0]) << "\n";
+            break;
+          case AsmItem::Kind::Word: {
+            oss << "        .word ";
+            for (size_t i = 0; i < item.values.size(); ++i) {
+                if (i)
+                    oss << ", ";
+                oss << renderExpr(item.values[i]);
+            }
+            oss << "\n";
+            break;
+          }
+          case AsmItem::Kind::Equ:
+            oss << "        .equ " << item.name << ", "
+                << renderExpr(item.values[0]) << "\n";
+            break;
+          case AsmItem::Kind::Instr: {
+            oss << "        " << opName(item.op, item.cond);
+            if (item.op == Op::J || item.op == Op::Call) {
+                oss << " "
+                    << (item.op == Op::Call
+                            ? renderOperand(item.src)
+                            : renderExpr(item.src.expr));
+            } else if (item.src.kind != AsmOperand::Kind::None ||
+                       item.dst.kind != AsmOperand::Kind::None) {
+                if (item.src.kind != AsmOperand::Kind::None)
+                    oss << " " << renderOperand(item.src) << ",";
+                oss << " " << renderOperand(item.dst);
+            }
+            oss << "\n";
+            break;
+          }
+        }
+    }
+    return oss.str();
+}
+
+AsmItem
+makeInstr(Op op, AsmOperand src, AsmOperand dst, Cond cond)
+{
+    AsmItem item;
+    item.kind = AsmItem::Kind::Instr;
+    item.op = op;
+    item.cond = cond;
+    item.src = src;
+    item.dst = dst;
+    return item;
+}
+
+AsmOperand
+operandReg(unsigned reg)
+{
+    AsmOperand op;
+    op.kind = AsmOperand::Kind::Reg;
+    op.reg = reg;
+    return op;
+}
+
+AsmOperand
+operandImm(int64_t value, const std::string &symbol)
+{
+    AsmOperand op;
+    op.kind = AsmOperand::Kind::Imm;
+    op.expr = AsmExpr{symbol, value};
+    return op;
+}
+
+AsmOperand
+operandInd(unsigned reg)
+{
+    AsmOperand op;
+    op.kind = AsmOperand::Kind::Ind;
+    op.reg = reg;
+    return op;
+}
+
+AsmOperand
+operandIdx(unsigned reg, int64_t offset, const std::string &symbol)
+{
+    AsmOperand op;
+    op.kind = AsmOperand::Kind::Idx;
+    op.reg = reg;
+    op.expr = AsmExpr{symbol, offset};
+    return op;
+}
+
+AsmOperand
+operandAbs(int64_t addr, const std::string &symbol)
+{
+    AsmOperand op;
+    op.kind = AsmOperand::Kind::Abs;
+    op.expr = AsmExpr{symbol, addr};
+    return op;
+}
+
+} // namespace glifs

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Parser producing a structured assembly program. Software
+ * transformations (src/xform) edit this representation and re-assemble,
+ * mirroring the paper's toolflow (Figure 11).
+ */
+
+#ifndef GLIFS_ASSEMBLER_PARSER_HH
+#define GLIFS_ASSEMBLER_PARSER_HH
+
+#include <string>
+#include <vector>
+
+#include "assembler/lexer.hh"
+#include "isa/isa.hh"
+
+namespace glifs
+{
+
+/** A (symbol + offset) value reference. */
+struct AsmExpr
+{
+    std::string symbol;  ///< empty: pure constant
+    int64_t offset = 0;
+
+    bool constant() const { return symbol.empty(); }
+};
+
+/** One parsed operand. */
+struct AsmOperand
+{
+    enum class Kind : uint8_t { None, Reg, Imm, Ind, Idx, Abs };
+    Kind kind = Kind::None;
+    unsigned reg = 0;
+    AsmExpr expr;  ///< Imm value, Idx offset or Abs address
+};
+
+/** One line-level element of an assembly program. */
+struct AsmItem
+{
+    enum class Kind : uint8_t { Instr, Label, Org, Word, Equ };
+    Kind kind;
+    int line = 0;
+
+    // Instr
+    Op op = Op::Nop;
+    Cond cond = Cond::Always;
+    AsmOperand src;
+    AsmOperand dst;
+
+    // Label / Equ
+    std::string name;
+
+    // Org / Equ value / Word values
+    std::vector<AsmExpr> values;
+};
+
+/** A parsed program: an editable list of items. */
+struct AsmProgram
+{
+    std::vector<AsmItem> items;
+};
+
+/**
+ * Parse tokenized source.
+ * @throws FatalError with a line number on any syntax error.
+ */
+AsmProgram parse(const std::vector<Token> &tokens);
+
+/** Convenience: lex + parse. */
+AsmProgram parseSource(const std::string &source);
+
+/** Render a program back to assembly text (for diffing/tests). */
+std::string render(const AsmProgram &prog);
+
+/** Build an instruction item (used by the transformation passes). */
+AsmItem makeInstr(Op op, AsmOperand src = {}, AsmOperand dst = {},
+                  Cond cond = Cond::Always);
+
+/** Operand construction helpers. */
+AsmOperand operandReg(unsigned reg);
+AsmOperand operandImm(int64_t value, const std::string &symbol = "");
+AsmOperand operandInd(unsigned reg);
+AsmOperand operandIdx(unsigned reg, int64_t offset,
+                      const std::string &symbol = "");
+AsmOperand operandAbs(int64_t addr, const std::string &symbol = "");
+
+} // namespace glifs
+
+#endif // GLIFS_ASSEMBLER_PARSER_HH

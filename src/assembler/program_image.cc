@@ -1,0 +1,24 @@
+#include "assembler/program_image.hh"
+
+#include "base/logging.hh"
+
+namespace glifs
+{
+
+uint16_t
+ProgramImage::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        GLIFS_FATAL("undefined symbol '", name, "'");
+    return it->second;
+}
+
+size_t
+ProgramImage::itemAt(uint16_t addr) const
+{
+    auto it = addrToItem.find(addr);
+    return it == addrToItem.end() ? npos : it->second;
+}
+
+} // namespace glifs

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The loadable output of the assembler: program-memory words plus the
+ * symbol table and the address <-> source-item mapping used by
+ * root-cause reporting and the transformation passes.
+ */
+
+#ifndef GLIFS_ASSEMBLER_PROGRAM_IMAGE_HH
+#define GLIFS_ASSEMBLER_PROGRAM_IMAGE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace glifs
+{
+
+/** Assembled program. */
+struct ProgramImage
+{
+    /** Full program memory contents (index = word address). */
+    std::vector<uint16_t> words;
+
+    /** Highest used address + 1. */
+    size_t usedWords = 0;
+
+    /** Label/equ symbol values. */
+    std::map<std::string, uint16_t> symbols;
+
+    /**
+     * For each instruction: word address -> index of the producing
+     * AsmItem in the source program.
+     */
+    std::map<uint16_t, size_t> addrToItem;
+
+    /** Look up a symbol; fatal() if missing. */
+    uint16_t symbol(const std::string &name) const;
+
+    /** Source item index of the instruction at @p addr (or npos). */
+    size_t itemAt(uint16_t addr) const;
+
+    static constexpr size_t npos = static_cast<size_t>(-1);
+};
+
+} // namespace glifs
+
+#endif // GLIFS_ASSEMBLER_PROGRAM_IMAGE_HH

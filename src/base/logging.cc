@@ -1,0 +1,58 @@
+#include "base/logging.hh"
+
+#include <iostream>
+
+namespace glifs
+{
+
+namespace
+{
+bool g_verbose = true;
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    g_verbose = verbose;
+}
+
+bool
+verbose()
+{
+    return g_verbose;
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::ostringstream oss;
+    oss << "panic: " << msg << " @ " << file << ":" << line;
+    throw PanicError(oss.str());
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (g_verbose)
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+informImpl(const std::string &msg)
+{
+    if (g_verbose)
+        std::cout << "info: " << msg << "\n";
+}
+
+} // namespace detail
+
+} // namespace glifs

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Status/error reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  -- internal invariant broken (a glifs bug); aborts.
+ * fatal()  -- unrecoverable user error (bad input, bad config); exits.
+ * warn()   -- something suspicious but survivable.
+ * inform() -- plain status output.
+ */
+
+#ifndef GLIFS_BASE_LOGGING_HH
+#define GLIFS_BASE_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace glifs
+{
+
+/** Exception thrown by fatal() so tests can catch user-level errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Exception thrown by panic() so tests can catch invariant violations. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg)
+        : std::logic_error(msg)
+    {}
+};
+
+namespace detail
+{
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Enable/disable warn()/inform() console output (on by default). */
+void setVerbose(bool verbose);
+bool verbose();
+
+#define GLIFS_PANIC(...)                                                     \
+    ::glifs::detail::panicImpl(__FILE__, __LINE__,                          \
+                               ::glifs::detail::concat(__VA_ARGS__))
+
+#define GLIFS_FATAL(...)                                                     \
+    ::glifs::detail::fatalImpl(::glifs::detail::concat(__VA_ARGS__))
+
+#define GLIFS_WARN(...)                                                      \
+    ::glifs::detail::warnImpl(::glifs::detail::concat(__VA_ARGS__))
+
+#define GLIFS_INFORM(...)                                                    \
+    ::glifs::detail::informImpl(::glifs::detail::concat(__VA_ARGS__))
+
+/** panic() unless the condition holds. */
+#define GLIFS_ASSERT(cond, ...)                                              \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            GLIFS_PANIC("assertion failed: " #cond " ", __VA_ARGS__);        \
+        }                                                                    \
+    } while (0)
+
+} // namespace glifs
+
+#endif // GLIFS_BASE_LOGGING_HH

@@ -1,0 +1,120 @@
+#include "base/strutil.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace glifs
+{
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = 0;
+    size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == delim) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+toLower(const std::string &s)
+{
+    std::string out(s);
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::optional<int64_t>
+parseInt(const std::string &s)
+{
+    std::string t = trim(s);
+    if (t.empty())
+        return std::nullopt;
+
+    bool neg = false;
+    size_t i = 0;
+    if (t[0] == '-' || t[0] == '+') {
+        neg = (t[0] == '-');
+        i = 1;
+    }
+    if (i >= t.size())
+        return std::nullopt;
+
+    int base = 10;
+    if (t.size() > i + 1 && t[i] == '0' &&
+        (t[i + 1] == 'x' || t[i + 1] == 'X')) {
+        base = 16;
+        i += 2;
+    } else if (t.size() > i + 1 && t[i] == '0' &&
+               (t[i + 1] == 'b' || t[i + 1] == 'B')) {
+        base = 2;
+        i += 2;
+    }
+    if (i >= t.size())
+        return std::nullopt;
+
+    int64_t val = 0;
+    for (; i < t.size(); ++i) {
+        char c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(t[i])));
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = 10 + (c - 'a');
+        else
+            return std::nullopt;
+        if (digit >= base)
+            return std::nullopt;
+        val = val * base + digit;
+    }
+    return neg ? -val : val;
+}
+
+std::string
+hex16(uint16_t v)
+{
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "0x%04x", v);
+    return buf;
+}
+
+std::string
+percent(double ratio, int precision)
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(precision);
+    oss << ratio * 100.0 << "%";
+    return oss.str();
+}
+
+} // namespace glifs

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * String helpers: trimming, splitting, case folding, number formatting.
+ */
+
+#ifndef GLIFS_BASE_STRUTIL_HH
+#define GLIFS_BASE_STRUTIL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace glifs
+{
+
+/** Strip leading/trailing whitespace. */
+std::string trim(const std::string &s);
+
+/** Split on a delimiter character; empty fields preserved. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Lower-case an ASCII string. */
+std::string toLower(const std::string &s);
+
+/** True if @p s starts with @p prefix. */
+bool startsWith(const std::string &s, const std::string &prefix);
+
+/**
+ * Parse an integer literal: decimal, 0x-hex, or 0b-binary, with optional
+ * leading '-'. Returns nullopt on malformed input.
+ */
+std::optional<int64_t> parseInt(const std::string &s);
+
+/** Format a value as 0x%04x. */
+std::string hex16(uint16_t v);
+
+/** Format a ratio as a fixed-precision percent string. */
+std::string percent(double ratio, int precision = 2);
+
+} // namespace glifs
+
+#endif // GLIFS_BASE_STRUTIL_HH

@@ -1,0 +1,558 @@
+#include "ift/engine.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+#include "ift/symstate.hh"
+#include "sim/simulator.hh"
+
+namespace glifs
+{
+
+bool
+EngineResult::secure() const
+{
+    if (!completed || starAborted)
+        return false;
+    for (const Violation &v : violations) {
+        if (v.kind != ViolationKind::TaintedControlFlow)
+            return false;
+    }
+    return true;
+}
+
+bool
+EngineResult::onlyFixable() const
+{
+    for (const Violation &v : violations) {
+        if (violationIsError(v.kind))
+            return false;
+    }
+    return completed && !starAborted;
+}
+
+std::string
+EngineResult::summary() const
+{
+    std::ostringstream oss;
+    oss << (completed ? "completed" : "INCOMPLETE");
+    if (starAborted)
+        oss << " (*-logic aborted)";
+    oss << ": " << cyclesSimulated << " cycles, " << pathsExplored
+        << " paths, " << branchPoints << " branch points, " << merges
+        << " merges, " << subsumptions << " subsumptions, "
+        << statesTracked << " tracked branches, "
+        << violations.size() << " violation(s), "
+        << percent(taintedGateFraction, 1) << " gates ever tainted, "
+        << analysisSeconds << "s";
+    return oss.str();
+}
+
+namespace
+{
+
+/** Everything one run() invocation needs. */
+struct RunCtx
+{
+    const Soc &soc;
+    const Policy &policy;
+    const EngineConfig &cfg;
+    const ProgramImage &image;
+
+    Simulator sim;
+    SymLayout layout;
+    FlowChecker checker;
+    ViolationLog log;
+    StateTable table;
+    ExecTree tree;
+    std::vector<std::pair<SymState, uint32_t>> stack;  // state, node
+    BitPlane everTainted;
+    std::vector<size_t> pcSlots;  ///< SymState slots of the PC flops
+
+    uint64_t totalCycles = 0;
+    bool starAborted = false;
+    bool budgetHit = false;
+    size_t branchPoints = 0;
+
+    RunCtx(const Soc &s, const Policy &p, const EngineConfig &c,
+           const ProgramImage &img)
+        : soc(s), policy(p), cfg(c), image(img), sim(s.netlist()),
+          layout(s.netlist()), checker(s, p),
+          everTainted(s.netlist().numNets())
+    {
+        // Slot indices of the PC flip-flops within the layout.
+        const Netlist &nl = s.netlist();
+        std::unordered_map<GateId, size_t> slot_of;
+        for (size_t i = 0; i < nl.dffs().size(); ++i)
+            slot_of[nl.dffs()[i]] = i;
+        for (GateId g : s.probes().pcFlops)
+            pcSlots.push_back(slot_of.at(g));
+    }
+
+    /** Drive reset and port inputs for one cycle. */
+    void
+    setInputs(bool reset)
+    {
+        const SocProbes &prb = soc.probes();
+        sim.setInput(prb.extReset, sigBool(reset));
+        for (unsigned p = 0; p < 4; ++p) {
+            Signal s{Tern::X, policy.taintedInPort[p]};
+            for (unsigned b = 0; b < 16; ++b)
+                sim.setInput(prb.portIn[p][b], s);
+        }
+        // Nondeterminism injection (Section 8): force the named nets
+        // unknown so every downstream outcome is explored.
+        for (const auto &[net, taint] : cfg.injectUnknown)
+            sim.setInput(net, Signal{Tern::X, taint});
+    }
+
+    /** Concrete value of a probed register bus; panics on X. */
+    uint16_t
+    busValue(const Bus &bus, const char *what) const
+    {
+        uint16_t v = 0;
+        for (size_t i = 0; i < bus.size(); ++i) {
+            Signal s = sim.netValue(bus[i]);
+            GLIFS_ASSERT(s.known(), "engine: ", what,
+                         " has unknown bit ", i);
+            if (s.asBool())
+                v |= static_cast<uint16_t>(1u << i);
+        }
+        return v;
+    }
+
+    bool
+    busHasX(const Bus &bus) const
+    {
+        for (NetId n : bus) {
+            if (!sim.netValue(n).known())
+                return true;
+        }
+        return false;
+    }
+
+    /** OR this cycle's net taints into the ever-tainted plane. */
+    void
+    accumulateTaint()
+    {
+        const auto &nets = sim.state().rawNets();
+        auto &words = everTainted.words();
+        for (size_t i = 0; i < nets.size(); ++i) {
+            if (nets[i].taint)
+                words[i / 64] |= 1ULL << (i % 64);
+        }
+    }
+
+    /** Unknown PC bits of a captured state. */
+    std::vector<unsigned>
+    statePcXBits(const SymState &s) const
+    {
+        std::vector<unsigned> xs;
+        for (size_t i = 0; i < pcSlots.size(); ++i) {
+            if (!s.slot(pcSlots[i]).known())
+                xs.push_back(static_cast<unsigned>(i));
+        }
+        return xs;
+    }
+
+    /** Any taint on the PC bits or FSM state of a captured state. */
+    bool
+    statePcTainted(const SymState &s) const
+    {
+        for (size_t slot : pcSlots) {
+            if (s.slot(slot).taint)
+                return true;
+        }
+        return false;
+    }
+
+    uint16_t
+    statePcBase(const SymState &s) const
+    {
+        uint16_t v = 0;
+        for (size_t i = 0; i < pcSlots.size(); ++i) {
+            Signal sig = s.slot(pcSlots[i]);
+            if (sig.known() && sig.asBool())
+                v |= static_cast<uint16_t>(1u << i);
+        }
+        return v;
+    }
+
+    /** Decode the instruction at a program address (nullopt: data). */
+    std::optional<Instr>
+    instrAt(uint16_t addr) const
+    {
+        if (addr >= image.words.size())
+            return std::nullopt;
+        return decode(&image.words[addr], image.words.size() - addr);
+    }
+
+    /**
+     * Possible concrete next-PC values for a state whose PC has X
+     * bits (Algorithm 1, possible_PC_next_vals).
+     */
+    std::vector<uint16_t>
+    candidatePcs(uint16_t instr_addr, const SymState &s)
+    {
+        std::vector<unsigned> xbits = statePcXBits(s);
+        uint16_t base = statePcBase(s);
+        std::optional<Instr> instr = instrAt(instr_addr);
+
+        std::vector<uint16_t> out;
+        if (cfg.preciseJumpTargets && instr && instr->op == Op::J) {
+            // Precise CFG successors of a conditional jump.
+            uint16_t fall = static_cast<uint16_t>(instr_addr + 1);
+            uint16_t target =
+                static_cast<uint16_t>(instr_addr + 1 + instr->jumpOff);
+            out = {target, fall};
+        } else {
+            if (xbits.size() > cfg.maxBranchBits) {
+                GLIFS_FATAL(
+                    "unbounded indirect control flow at ",
+                    hex16(instr_addr), ": ", xbits.size(),
+                    " unknown PC bits (consider masking the target)");
+            }
+            for (size_t c = 0; c < (1ULL << xbits.size()); ++c) {
+                uint16_t a = base;
+                for (size_t k = 0; k < xbits.size(); ++k) {
+                    if ((c >> k) & 1ULL)
+                        a |= static_cast<uint16_t>(1u << xbits[k]);
+                }
+                out.push_back(a);
+            }
+        }
+        // Keep unique, in-range candidates consistent with the known
+        // PC bits.
+        std::vector<uint16_t> filtered;
+        uint16_t xmask = 0;
+        for (unsigned b : xbits)
+            xmask |= static_cast<uint16_t>(1u << b);
+        for (uint16_t a : out) {
+            if (a >= image.words.size() && a >= iot430::kProgWords)
+                continue;
+            if ((a & ~xmask & lowMask(pcSlots.size())) !=
+                (base & static_cast<uint16_t>(~xmask)))
+                continue;
+            bool dup = false;
+            for (uint16_t f : filtered)
+                dup |= f == a;
+            if (!dup)
+                filtered.push_back(a);
+        }
+        return filtered;
+    }
+
+    /** Child of @p s with the PC forced to @p pc (taints retained). */
+    SymState
+    concretizePc(const SymState &s, uint16_t pc) const
+    {
+        SymState child = s;
+        for (size_t i = 0; i < pcSlots.size(); ++i) {
+            Signal cur = s.slot(pcSlots[i]);
+            child.setSlot(pcSlots[i],
+                          Signal{ternBool((pc >> i) & 1u), cur.taint});
+        }
+        return child;
+    }
+
+    /**
+     * *-logic abstraction: saturate all state to tainted-X, settle the
+     * combinational logic once, and report how many gate outputs end up
+     * tainted (footnote 8 reproduction).
+     */
+    std::pair<size_t, size_t>
+    starSaturate()
+    {
+        const Netlist &nl = soc.netlist();
+        for (GateId g : nl.dffs())
+            sim.state().setNet(nl.gate(g).out, Signal{Tern::X, true});
+        for (MemId m = 0; m < nl.numMemories(); ++m) {
+            if (!nl.memory(m).writable)
+                continue;
+            for (Signal &cell : sim.state().memCells(m))
+                cell = Signal{Tern::X, true};
+        }
+        const SocProbes &prb = soc.probes();
+        sim.setInput(prb.extReset, sigBool(false));
+        for (unsigned p = 0; p < 4; ++p) {
+            for (unsigned b = 0; b < 16; ++b)
+                sim.setInput(prb.portIn[p][b], Signal{Tern::X, true});
+        }
+        sim.evalComb();
+        if (cfg.trackTaintedNets)
+            accumulateTaint();
+
+        size_t tainted = 0;
+        size_t total = 0;
+        for (const Gate &g : nl.gates()) {
+            if (g.type != GateType::Comb && g.type != GateType::Dff)
+                continue;
+            ++total;
+            Signal out = sim.netValue(g.out);
+            bool next_taint = out.taint;
+            if (g.type == GateType::Dff) {
+                next_taint =
+                    dffNext(sim.netValue(g.in[0]), sim.netValue(g.in[1]),
+                            sim.netValue(g.in[2]), out, g.rstVal).taint;
+            }
+            if (next_taint)
+                ++tainted;
+        }
+        return {tainted, total};
+    }
+};
+
+} // namespace
+
+IftEngine::IftEngine(const Soc &s, const Policy &p,
+                     const EngineConfig &c)
+    : soc(s), policy(p), cfg(c)
+{
+}
+
+EngineResult
+IftEngine::run(const ProgramImage &image)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    RunCtx ctx(soc, policy, cfg, image);
+    EngineResult res;
+
+    // Load the binary; optionally taint the tainted code partitions in
+    // program memory (footnote 3).
+    soc.loadProgram(ctx.sim.state(), image);
+    if (policy.taintCodeInProgMem) {
+        for (const CodePartition &p : policy.code) {
+            if (!p.tainted)
+                continue;
+            for (uint32_t a = p.lo;
+                 a <= p.hi && a < image.words.size(); ++a) {
+                ctx.sim.state().setMemWord(soc.netlist(),
+                                           soc.probes().progMem, a,
+                                           image.words[a], true);
+            }
+        }
+    }
+
+    // Algorithm 1 line 5: propagate the (untainted) reset.
+    ctx.setInputs(true);
+    ctx.sim.step();
+    ++ctx.totalCycles;
+
+    {
+        SymState s0(ctx.layout);
+        s0.capture(ctx.layout, ctx.sim.state());
+        uint32_t root = ctx.tree.addNode(-1, 0);
+        ctx.stack.emplace_back(std::move(s0), root);
+    }
+
+    const SocProbes &prb = soc.probes();
+
+    while (!ctx.stack.empty() && !ctx.budgetHit && !ctx.starAborted) {
+        auto [state, node] = std::move(ctx.stack.back());
+        ctx.stack.pop_back();
+        ++res.pathsExplored;
+        state.restore(ctx.layout, ctx.sim.state());
+        if (cfg.debugTrace) {
+            fprintf(stderr, "pop node %u pc=%03x stack=%zu\n", node,
+                    ctx.statePcBase(state), ctx.stack.size());
+        }
+
+        // A popped state must have a concrete PC (children are pushed
+        // concretized); defensive check.
+        GLIFS_ASSERT(ctx.statePcXBits(state).empty(),
+                     "execution point with unknown PC");
+
+        bool path_done = false;
+        while (!path_done) {
+            if (ctx.totalCycles >= cfg.maxCycles) {
+                ctx.budgetHit = true;
+                ctx.tree.node(node).end = PathEnd::Budget;
+                break;
+            }
+
+            ctx.setInputs(false);
+            ctx.sim.evalComb();
+            ++ctx.totalCycles;
+            ++ctx.tree.node(node).cycles;
+            if (cfg.trackTaintedNets)
+                ctx.accumulateTaint();
+
+            const uint16_t instr_addr =
+                ctx.busValue(prb.instrAddrQ, "instruction address");
+            ctx.checker.checkCycle(ctx.sim, instr_addr, ctx.totalCycles,
+                                   ctx.log);
+
+            const uint16_t fsm =
+                ctx.busValue(prb.stateQ, "fsm state");
+
+            // *-logic baseline: give up at the first tainted or
+            // unknown control flow.
+            if (cfg.starLogicMode) {
+                bool pc_taint = false;
+                for (NetId n : prb.pcQ)
+                    pc_taint |= ctx.sim.netValue(n).taint;
+                if (pc_taint || ctx.busHasX(prb.pcD)) {
+                    auto [tainted, total] = ctx.starSaturate();
+                    res.taintedGates = tainted;
+                    res.totalGates = total;
+                    ctx.starAborted = true;
+                    ctx.tree.node(node).end = PathEnd::StarAborted;
+                    ctx.tree.node(node).endInstr = instr_addr;
+                    break;
+                }
+            }
+
+            if (fsm == static_cast<uint16_t>(CoreState::Halt)) {
+                ctx.tree.node(node).end = PathEnd::Halted;
+                ctx.tree.node(node).endInstr = instr_addr;
+                ctx.checker.checkMemoryInvariant(ctx.sim, instr_addr,
+                                                 ctx.totalCycles,
+                                                 ctx.log);
+                path_done = true;
+                break;
+            }
+
+            // Is this cycle a PC-changing commit?
+            std::optional<Instr> instr = ctx.instrAt(instr_addr);
+            bool is_commit =
+                fsm == static_cast<uint16_t>(CoreState::Call) ||
+                fsm == static_cast<uint16_t>(CoreState::Ret) ||
+                (fsm == static_cast<uint16_t>(CoreState::Exec) && instr &&
+                 (instr->op == Op::J || instr->op == Op::Br));
+
+            // Unknown watchdog expiry: fork into fired / not-fired so
+            // the POR is always simulated with a concrete reset line
+            // (preserving the Figure-7 untainting). The fired branch is
+            // pushed as a fresh execution point; the not-fired branch
+            // continues inline but is forced through the state table so
+            // the chain of forks converges.
+            Signal por = ctx.sim.netValue(prb.porNet);
+            if (!por.known()) {
+                ++ctx.branchPoints;
+                SymState pre(ctx.layout);
+                pre.capture(ctx.layout, ctx.sim.state());
+
+                // Fired branch: POR forced high; PC resets to 0.
+                ctx.sim.state().setNet(prb.porNet,
+                                       Signal{Tern::One, por.taint});
+                ctx.sim.clockEdge();
+                SymState fired(ctx.layout);
+                fired.capture(ctx.layout, ctx.sim.state());
+                GLIFS_ASSERT(ctx.statePcXBits(fired).empty(),
+                             "POR branch left the PC unknown");
+                uint32_t cn =
+                    ctx.tree.addNode(node, ctx.statePcBase(fired));
+                ctx.stack.emplace_back(std::move(fired), cn);
+
+                // Not-fired branch: replay the cycle with POR forced
+                // low and continue inline as a forced merge point.
+                // The fork chain is bounded by the next PC-changing
+                // commit, where the normal state-table subsumption
+                // applies.
+                pre.restore(ctx.layout, ctx.sim.state());
+                ctx.setInputs(false);
+                ctx.sim.evalComb();
+                ctx.sim.state().setNet(prb.porNet,
+                                       Signal{Tern::Zero, por.taint});
+            }
+
+            ctx.sim.clockEdge();
+
+            SymState cur(ctx.layout);
+            cur.capture(ctx.layout, ctx.sim.state());
+            bool pc_unknown = !ctx.statePcXBits(cur).empty();
+
+            if (!is_commit && !pc_unknown)
+                continue;
+
+            if (cfg.disableMerging && !pc_unknown)
+                continue;  // ablation: no subsumption, no merging
+            const uint32_t table_key =
+                (static_cast<uint32_t>(instr_addr) << 4) | fsm;
+            // Plain conservative merge: cross-path differences that
+            // could leak are all caught by the per-cycle C1-C5 checks
+            // (untainted code with a tainted PC, partition escapes,
+            // port escapes), mirroring the proof structure of
+            // Section 5.4, so the merge itself need not re-taint.
+            StateTable::Visit visit =
+                cfg.disableMerging
+                    ? StateTable::Visit::New
+                    : ctx.table.visit(table_key, cur);
+            if (cfg.debugTrace) {
+                fprintf(stderr,
+                        "  visit @%03x fsm=%u -> %d pcX=%d cyc=%llu\n",
+                        instr_addr, fsm, static_cast<int>(visit),
+                        !ctx.statePcXBits(cur).empty(),
+                        static_cast<unsigned long long>(
+                            ctx.totalCycles));
+            }
+            if (visit == StateTable::Visit::Subsumed) {
+                ctx.tree.node(node).end = PathEnd::Subsumed;
+                ctx.tree.node(node).endInstr = instr_addr;
+                ctx.checker.checkMemoryInvariant(ctx.sim, instr_addr,
+                                                 ctx.totalCycles,
+                                                 ctx.log);
+                path_done = true;
+                break;
+            }
+
+            // visit() merged or stored; cur is now the conservative
+            // state to continue from.
+            if (!ctx.statePcXBits(cur).empty()) {
+                ++ctx.branchPoints;
+                for (uint16_t pc : ctx.candidatePcs(instr_addr, cur)) {
+                    uint32_t cn = ctx.tree.addNode(node, pc);
+                    ctx.stack.emplace_back(ctx.concretizePc(cur, pc),
+                                           cn);
+                }
+                ctx.tree.node(node).end = PathEnd::Branched;
+                ctx.tree.node(node).endInstr = instr_addr;
+                path_done = true;
+                break;
+            }
+            if (visit == StateTable::Visit::Merged)
+                cur.restore(ctx.layout, ctx.sim.state());
+        }
+    }
+
+    res.completed = ctx.stack.empty() && !ctx.budgetHit &&
+                    !ctx.starAborted;
+    res.starAborted = ctx.starAborted;
+    res.cyclesSimulated = ctx.totalCycles;
+    res.branchPoints = ctx.branchPoints;
+    res.merges = ctx.table.merges();
+    res.subsumptions = ctx.table.subsumptions();
+    res.statesTracked = ctx.table.size();
+    res.violations = ctx.log.list();
+    res.tree = std::move(ctx.tree);
+
+    if (!cfg.starLogicMode) {
+        // Fraction of tracked gates whose output ever carried taint.
+        const Netlist &nl = soc.netlist();
+        size_t tainted = 0;
+        size_t total = 0;
+        for (const Gate &g : nl.gates()) {
+            if (g.type != GateType::Comb && g.type != GateType::Dff)
+                continue;
+            ++total;
+            if (ctx.everTainted.get(g.out))
+                ++tainted;
+        }
+        res.taintedGates = tainted;
+        res.totalGates = total;
+    }
+    res.taintedGateFraction =
+        res.totalGates == 0
+            ? 0.0
+            : static_cast<double>(res.taintedGates) / res.totalGates;
+
+    const auto t1 = std::chrono::steady_clock::now();
+    res.analysisSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    return res;
+}
+
+} // namespace glifs

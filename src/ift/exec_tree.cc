@@ -1,0 +1,73 @@
+#include "ift/exec_tree.hh"
+
+#include <functional>
+#include <sstream>
+
+#include "base/strutil.hh"
+
+namespace glifs
+{
+
+const char *
+pathEndName(PathEnd end)
+{
+    switch (end) {
+      case PathEnd::Running: return "running";
+      case PathEnd::Halted: return "halted";
+      case PathEnd::Subsumed: return "subsumed";
+      case PathEnd::Branched: return "branched";
+      case PathEnd::StarAborted: return "star-aborted";
+      case PathEnd::Budget: return "budget";
+    }
+    return "?";
+}
+
+uint32_t
+ExecTree::addNode(int32_t parent, uint16_t start_pc)
+{
+    ExecNode n;
+    n.id = static_cast<uint32_t>(nodes.size());
+    n.parent = parent;
+    n.startPc = start_pc;
+    nodes.push_back(n);
+    return n.id;
+}
+
+uint64_t
+ExecTree::totalCycles() const
+{
+    uint64_t total = 0;
+    for (const ExecNode &n : nodes)
+        total += n.cycles;
+    return total;
+}
+
+std::string
+ExecTree::str() const
+{
+    // Build child lists.
+    std::vector<std::vector<uint32_t>> children(nodes.size());
+    std::vector<uint32_t> roots;
+    for (const ExecNode &n : nodes) {
+        if (n.parent < 0)
+            roots.push_back(n.id);
+        else
+            children[n.parent].push_back(n.id);
+    }
+
+    std::ostringstream oss;
+    std::function<void(uint32_t, unsigned)> dump = [&](uint32_t id,
+                                                       unsigned depth) {
+        const ExecNode &n = nodes[id];
+        oss << std::string(depth * 2, ' ') << "node " << n.id << " pc="
+            << hex16(n.startPc) << " cycles=" << n.cycles << " end="
+            << pathEndName(n.end) << " @" << hex16(n.endInstr) << "\n";
+        for (uint32_t c : children[id])
+            dump(c, depth + 1);
+    };
+    for (uint32_t r : roots)
+        dump(r, 0);
+    return oss.str();
+}
+
+} // namespace glifs

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The (pruned) symbolic execution tree: one node per explored execution
+ * point, recording how each path started and ended (Section 4.3).
+ */
+
+#ifndef GLIFS_IFT_EXEC_TREE_HH
+#define GLIFS_IFT_EXEC_TREE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace glifs
+{
+
+/** Why exploration of a path stopped. */
+enum class PathEnd : uint8_t
+{
+    Running,     ///< still being explored
+    Halted,      ///< program reached HALT
+    Subsumed,    ///< covered by the conservative state at a branch
+    Branched,    ///< split into children on an unknown PC / reset
+    StarAborted, ///< *-logic baseline gave up (PC tainted)
+    Budget,      ///< cycle budget exhausted (analysis incomplete)
+};
+
+/** One node of the execution tree. */
+struct ExecNode
+{
+    uint32_t id = 0;
+    int32_t parent = -1;
+    uint16_t startPc = 0;        ///< concrete PC this path started from
+    uint64_t cycles = 0;         ///< cycles simulated in this node
+    uint16_t endInstr = 0;       ///< instruction where the node ended
+    PathEnd end = PathEnd::Running;
+};
+
+/** Append-only tree of explored execution points. */
+class ExecTree
+{
+  public:
+    /** Add a node; returns its id. */
+    uint32_t addNode(int32_t parent, uint16_t start_pc);
+
+    ExecNode &node(uint32_t id) { return nodes[id]; }
+    const ExecNode &node(uint32_t id) const { return nodes[id]; }
+    size_t size() const { return nodes.size(); }
+    const std::vector<ExecNode> &all() const { return nodes; }
+
+    /** Total simulated cycles across all nodes. */
+    uint64_t totalCycles() const;
+
+    /** Indented textual rendering of the tree. */
+    std::string str() const;
+
+  private:
+    std::vector<ExecNode> nodes;
+};
+
+/** Printable name of a path end reason. */
+const char *pathEndName(PathEnd end);
+
+} // namespace glifs
+
+#endif // GLIFS_IFT_EXEC_TREE_HH

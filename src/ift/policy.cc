@@ -1,0 +1,94 @@
+#include "ift/policy.hh"
+
+#include <sstream>
+
+#include "base/strutil.hh"
+
+namespace glifs
+{
+
+const CodePartition *
+Policy::codePartitionOf(uint16_t addr) const
+{
+    for (const CodePartition &p : code) {
+        if (addr >= p.lo && addr <= p.hi)
+            return &p;
+    }
+    return nullptr;
+}
+
+const MemPartition *
+Policy::memPartitionOf(uint16_t addr) const
+{
+    for (const MemPartition &p : mem) {
+        if (addr >= p.lo && addr <= p.hi)
+            return &p;
+    }
+    return nullptr;
+}
+
+bool
+Policy::codeTainted(uint16_t addr) const
+{
+    const CodePartition *p = codePartitionOf(addr);
+    return p != nullptr && p->tainted;
+}
+
+Policy &
+Policy::addCode(const std::string &name, uint16_t lo, uint16_t hi,
+                bool tainted)
+{
+    code.push_back(CodePartition{name, lo, hi, tainted});
+    return *this;
+}
+
+Policy &
+Policy::addMem(const std::string &name, uint16_t lo, uint16_t hi,
+               bool tainted)
+{
+    mem.push_back(MemPartition{name, lo, hi, tainted});
+    return *this;
+}
+
+std::string
+Policy::str() const
+{
+    std::ostringstream oss;
+    oss << "policy '" << name << "'\n";
+    for (unsigned p = 0; p < 4; ++p) {
+        oss << "  P" << p + 1 << "IN: "
+            << (taintedInPort[p] ? "tainted" : "untainted") << "  P"
+            << p + 1 << "OUT: "
+            << (trustedOutPort[p] ? "trusted" : "untrusted") << "\n";
+    }
+    for (const CodePartition &c : code) {
+        oss << "  code '" << c.name << "' [" << hex16(c.lo) << ", "
+            << hex16(c.hi) << "] "
+            << (c.tainted ? "tainted" : "untainted") << "\n";
+    }
+    for (const MemPartition &m : mem) {
+        oss << "  mem  '" << m.name << "' [" << hex16(m.lo) << ", "
+            << hex16(m.hi) << "] "
+            << (m.tainted ? "tainted" : "untainted") << "\n";
+    }
+    return oss.str();
+}
+
+Policy
+benchmarkPolicy(uint16_t task_lo, uint16_t task_hi)
+{
+    Policy p;
+    p.taintedInPort = {true, false, false, false};
+    p.trustedOutPort = {true, false, true, true};
+    if (task_lo > 0)
+        p.addCode("system", 0, static_cast<uint16_t>(task_lo - 1),
+                  false);
+    p.addCode("task", task_lo, task_hi, true);
+    p.addMem("sys_ram", iot430::kUntaintedRamLo, iot430::kUntaintedRamHi,
+             false);
+    p.addMem("task_ram", iot430::kTaintedRamLo, iot430::kTaintedRamHi,
+             true);
+    return p;
+}
+
+} // namespace glifs

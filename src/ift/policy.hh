@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Information-flow security policies (Section 4.2).
+ *
+ * A policy labels input/output ports, code partitions and data-memory
+ * partitions as tainted (untrusted or secret) or untainted (trusted or
+ * non-secret). The paper analyzes the untrusted and secret taints
+ * separately with the same machinery; one Policy instance describes one
+ * such analysis.
+ */
+
+#ifndef GLIFS_IFT_POLICY_HH
+#define GLIFS_IFT_POLICY_HH
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace glifs
+{
+
+/** A labeled range of program memory. */
+struct CodePartition
+{
+    std::string name;
+    uint16_t lo = 0;   ///< first instruction word address
+    uint16_t hi = 0;   ///< last instruction word address (inclusive)
+    bool tainted = false;
+};
+
+/** A labeled range of data-space addresses (RAM). */
+struct MemPartition
+{
+    std::string name;
+    uint16_t lo = 0;   ///< first data-space word address (inclusive)
+    uint16_t hi = 0;   ///< last data-space word address (inclusive)
+    bool tainted = false;
+};
+
+/** The complete label set for one analysis. */
+struct Policy
+{
+    std::string name = "non-interference";
+
+    /** PxIN delivers tainted data (attacker-controlled / secret). */
+    std::array<bool, 4> taintedInPort{false, false, false, false};
+
+    /**
+     * PxOUT must never carry taint (trusted / non-secret output). A
+     * port that is not trusted is a tainted output the tainted task is
+     * allowed to use.
+     */
+    std::array<bool, 4> trustedOutPort{true, true, true, true};
+
+    std::vector<CodePartition> code;
+    std::vector<MemPartition> mem;
+
+    /**
+     * Also mark the instructions of tainted code partitions as tainted
+     * in program memory (footnote 3 of the paper; off by default).
+     */
+    bool taintCodeInProgMem = false;
+
+    /** Partition containing a program address (nullptr: unlabeled). */
+    const CodePartition *codePartitionOf(uint16_t addr) const;
+
+    /** Partition containing a data address (nullptr: unlabeled). */
+    const MemPartition *memPartitionOf(uint16_t addr) const;
+
+    /** Is the code at @p addr tainted? Unlabeled code is untainted. */
+    bool codeTainted(uint16_t addr) const;
+
+    /** Add helpers. */
+    Policy &addCode(const std::string &name, uint16_t lo, uint16_t hi,
+                    bool tainted);
+    Policy &addMem(const std::string &name, uint16_t lo, uint16_t hi,
+                   bool tainted);
+
+    /** Human-readable dump. */
+    std::string str() const;
+};
+
+/**
+ * The standard two-partition benchmark policy used throughout the
+ * evaluation: a tainted computational task (ports and RAM partition it
+ * uses are tainted) plus untainted system code, mirroring Section 7.
+ *
+ * Layout: system code partition [0, task_lo), tainted task code
+ * [task_lo, task_hi]; untainted RAM [0x0800, 0x0BFF], tainted RAM
+ * [0x0C00, 0x0FFF]; P1 tainted in, P2 tainted out (untrusted), P3
+ * untainted in, P4 trusted out.
+ */
+Policy benchmarkPolicy(uint16_t task_lo, uint16_t task_hi);
+
+namespace iot430
+{
+/// Standard benchmark memory-partition boundaries.
+constexpr uint16_t kUntaintedRamLo = 0x0800;
+constexpr uint16_t kUntaintedRamHi = 0x0BFF;
+constexpr uint16_t kTaintedRamLo = 0x0C00;
+constexpr uint16_t kTaintedRamHi = 0x0FFF;
+/// Figure-9 style mask constants for the tainted partition.
+constexpr uint16_t kTaintedMaskAnd = 0x03FF;
+constexpr uint16_t kTaintedMaskOr = 0x0C00;
+} // namespace iot430
+
+} // namespace glifs
+
+#endif // GLIFS_IFT_POLICY_HH

@@ -1,0 +1,173 @@
+#include "ift/policy_file.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace glifs
+{
+
+namespace
+{
+
+/** Split a line into whitespace-separated fields, dropping comments. */
+std::vector<std::string>
+fields(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : line) {
+        if (c == '#')
+            break;
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            if (!cur.empty()) {
+                out.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+uint16_t
+number(const std::string &tok, int line)
+{
+    auto v = parseInt(tok);
+    if (!v || *v < 0 || *v > 0xFFFF)
+        GLIFS_FATAL("policy line ", line, ": bad number '", tok, "'");
+    return static_cast<uint16_t>(*v);
+}
+
+bool
+taintFlag(const std::string &tok, int line)
+{
+    std::string t = toLower(tok);
+    if (t == "tainted" || t == "untrusted" || t == "secret")
+        return true;
+    if (t == "untainted" || t == "trusted" || t == "non-secret")
+        return false;
+    GLIFS_FATAL("policy line ", line, ": expected tainted/untainted, "
+                "got '", tok, "'");
+}
+
+unsigned
+portNumber(const std::string &tok, int line)
+{
+    auto v = parseInt(tok);
+    if (!v || *v < 1 || *v > 4)
+        GLIFS_FATAL("policy line ", line, ": port must be 1..4");
+    return static_cast<unsigned>(*v);
+}
+
+} // namespace
+
+Policy
+parsePolicy(const std::string &text)
+{
+    Policy p;
+    // Start from an empty label set, not the benchmark defaults.
+    p.taintedInPort = {false, false, false, false};
+    p.trustedOutPort = {true, true, true, true};
+
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::vector<std::string> f = fields(line);
+        if (f.empty())
+            continue;
+        std::string kw = toLower(f[0]);
+
+        if (kw == "policy") {
+            std::string name;
+            for (size_t i = 1; i < f.size(); ++i)
+                name += (i > 1 ? " " : "") + f[i];
+            p.name = name;
+        } else if (kw == "port") {
+            if (f.size() != 4)
+                GLIFS_FATAL("policy line ", lineno,
+                            ": port <in|out> <n> <label>");
+            std::string dir = toLower(f[1]);
+            unsigned port = portNumber(f[2], lineno);
+            if (dir == "in") {
+                p.taintedInPort[port - 1] = taintFlag(f[3], lineno);
+            } else if (dir == "out") {
+                std::string t = toLower(f[3]);
+                if (t == "trusted" || t == "non-secret")
+                    p.trustedOutPort[port - 1] = true;
+                else if (t == "untrusted" || t == "tainted")
+                    p.trustedOutPort[port - 1] = false;
+                else
+                    GLIFS_FATAL("policy line ", lineno,
+                                ": expected trusted/untrusted");
+            } else {
+                GLIFS_FATAL("policy line ", lineno,
+                            ": expected 'in' or 'out'");
+            }
+        } else if (kw == "code") {
+            if (f.size() != 5)
+                GLIFS_FATAL("policy line ", lineno,
+                            ": code <name> <lo> <hi> <label>");
+            p.addCode(f[1], number(f[2], lineno), number(f[3], lineno),
+                      taintFlag(f[4], lineno));
+        } else if (kw == "mem") {
+            if (f.size() != 5)
+                GLIFS_FATAL("policy line ", lineno,
+                            ": mem <name> <lo> <hi> <label>");
+            p.addMem(f[1], number(f[2], lineno), number(f[3], lineno),
+                     taintFlag(f[4], lineno));
+        } else if (kw == "taint-code") {
+            p.taintCodeInProgMem = true;
+        } else {
+            GLIFS_FATAL("policy line ", lineno,
+                        ": unknown directive '", f[0], "'");
+        }
+    }
+    return p;
+}
+
+Policy
+loadPolicyFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        GLIFS_FATAL("cannot open policy file ", path);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return parsePolicy(oss.str());
+}
+
+std::string
+renderPolicy(const Policy &p)
+{
+    std::ostringstream oss;
+    oss << "policy " << p.name << "\n";
+    for (unsigned i = 0; i < 4; ++i) {
+        oss << "port in " << i + 1 << " "
+            << (p.taintedInPort[i] ? "tainted" : "untainted") << "\n";
+        oss << "port out " << i + 1 << " "
+            << (p.trustedOutPort[i] ? "trusted" : "untrusted") << "\n";
+    }
+    for (const CodePartition &c : p.code) {
+        oss << "code " << c.name << " " << hex16(c.lo) << " "
+            << hex16(c.hi) << " "
+            << (c.tainted ? "tainted" : "untainted") << "\n";
+    }
+    for (const MemPartition &m : p.mem) {
+        oss << "mem " << m.name << " " << hex16(m.lo) << " "
+            << hex16(m.hi) << " "
+            << (m.tainted ? "tainted" : "untainted") << "\n";
+    }
+    if (p.taintCodeInProgMem)
+        oss << "taint-code\n";
+    return oss.str();
+}
+
+} // namespace glifs

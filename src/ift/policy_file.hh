@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Textual policy files: the developer-facing way to hand labels to the
+ * toolflow (the "Information Flow Policy" input of Figure 6) without
+ * writing C++.
+ *
+ * Format (one directive per line; '#' comments):
+ *
+ *   policy  <name...>
+ *   port    in  <1..4>  tainted|untainted
+ *   port    out <1..4>  trusted|untrusted
+ *   code    <name> <lo> <hi> tainted|untainted
+ *   mem     <name> <lo> <hi> tainted|untainted
+ *   taint-code                     # mark tainted code in program memory
+ *
+ * Numbers may be decimal or 0x-hex.
+ */
+
+#ifndef GLIFS_IFT_POLICY_FILE_HH
+#define GLIFS_IFT_POLICY_FILE_HH
+
+#include <string>
+
+#include "ift/policy.hh"
+
+namespace glifs
+{
+
+/**
+ * Parse a policy document.
+ * @throws FatalError with a line number on malformed input.
+ */
+Policy parsePolicy(const std::string &text);
+
+/** Parse a policy from a file on disk. */
+Policy loadPolicyFile(const std::string &path);
+
+/** Render a policy back into the file format (round-trips). */
+std::string renderPolicy(const Policy &policy);
+
+} // namespace glifs
+
+#endif // GLIFS_IFT_POLICY_FILE_HH

@@ -1,0 +1,142 @@
+#include "ift/rootcause.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/strutil.hh"
+#include "isa/disasm.hh"
+
+namespace glifs
+{
+
+RootCauseReport
+analyzeRootCauses(const EngineResult &result, const Policy &policy,
+                  const ProgramImage *image)
+{
+    RootCauseReport report;
+
+    auto is_store_instr = [&](uint16_t addr) {
+        if (image == nullptr)
+            return true;  // no image: cannot filter
+        if (addr >= image->words.size())
+            return false;
+        auto ins = decode(&image->words[addr],
+                          image->words.size() - addr);
+        return ins.has_value() && ins->writesMem();
+    };
+
+    for (const Violation &v : result.violations) {
+        switch (v.kind) {
+          case ViolationKind::StoreUntaintedPartition:
+          case ViolationKind::TaintedWriteTrustedPort:
+          case ViolationKind::WatchdogTainted: {
+            // A store that can escape the tainted partition (or reach a
+            // peripheral it must not touch) is fixed by masking its
+            // address register -- but only stores in/for tainted code
+            // can be auto-masked; the rest are hard errors.
+            if (!v.maskable || !is_store_instr(v.instrAddr)) {
+                // Downstream symptom (persistent tainted cell or net
+                // observed during some later instruction), not a
+                // maskable cause.
+                report.warnings.push_back(v);
+                break;
+            }
+            if (policy.codeTainted(v.instrAddr) ||
+                v.kind == ViolationKind::StoreUntaintedPartition) {
+                if (std::find(report.storesToMask.begin(),
+                              report.storesToMask.end(),
+                              v.instrAddr) ==
+                    report.storesToMask.end())
+                    report.storesToMask.push_back(v.instrAddr);
+                report.warnings.push_back(v);
+            } else {
+                report.errors.push_back(v);
+            }
+            break;
+          }
+          case ViolationKind::TaintedControlFlow:
+            // A tainted task tainting its own PC is informational on
+            // its own: it only becomes a problem when the taint
+            // escapes to untainted code (UntaintedCodeTaintedPc).
+            report.warnings.push_back(v);
+            break;
+          case ViolationKind::UntaintedCodeTaintedPc: {
+            // Untainted code observed a tainted PC: the tainted tasks
+            // whose control flow went bad must be watchdog-bounded.
+            bool any = false;
+            for (const CodePartition &c : policy.code) {
+                if (!c.tainted)
+                    continue;
+                any = true;
+                if (std::find(report.tasksNeedingWatchdog.begin(),
+                              report.tasksNeedingWatchdog.end(),
+                              c.name) ==
+                    report.tasksNeedingWatchdog.end())
+                    report.tasksNeedingWatchdog.push_back(c.name);
+            }
+            if (any)
+                report.warnings.push_back(v);
+            else
+                report.errors.push_back(v);
+            break;
+          }
+          case ViolationKind::LoadTaintedData:
+          case ViolationKind::UntaintedReadTaintedPort:
+            // Direct illegal accesses by untainted code: the
+            // programmer must change the software or the labels
+            // (Section 6, footnote 6).
+            report.errors.push_back(v);
+            break;
+          case ViolationKind::TrustedOutputTainted:
+            // Classified after the loop: this is a downstream symptom
+            // when fixable causes were identified.
+            break;
+        }
+    }
+
+    for (const Violation &v : result.violations) {
+        if (v.kind != ViolationKind::TrustedOutputTainted)
+            continue;
+        if (report.needsModification())
+            report.warnings.push_back(v);
+        else
+            report.errors.push_back(v);
+    }
+
+    std::sort(report.storesToMask.begin(), report.storesToMask.end());
+    return report;
+}
+
+std::string
+RootCauseReport::str(const ProgramImage *image) const
+{
+    std::ostringstream oss;
+    if (!needsModification() && errors.empty()) {
+        oss << "no information flow violations: system is secure as-is\n";
+        return oss.str();
+    }
+    for (const Violation &v : errors)
+        oss << "  " << v.str() << "\n";
+    if (!tasksNeedingWatchdog.empty()) {
+        oss << "  tasks needing watchdog protection:";
+        for (const std::string &t : tasksNeedingWatchdog)
+            oss << " " << t;
+        oss << "\n";
+    }
+    if (!storesToMask.empty()) {
+        oss << "  stores needing address masking:\n";
+        for (uint16_t a : storesToMask) {
+            oss << "    " << hex16(a);
+            if (image != nullptr && a < image->words.size()) {
+                auto ins = decode(&image->words[a],
+                                  image->words.size() - a);
+                if (ins)
+                    oss << "  " << disassemble(*ins, a);
+            }
+            oss << "\n";
+        }
+    }
+    return oss.str();
+}
+
+} // namespace glifs

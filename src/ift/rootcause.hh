@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Root-cause identification (Figure 10): map gate-level violations back
+ * to the instructions and code tasks that must be fixed, driving the
+ * software transformations of Section 5.2.
+ */
+
+#ifndef GLIFS_IFT_ROOTCAUSE_HH
+#define GLIFS_IFT_ROOTCAUSE_HH
+
+#include "assembler/program_image.hh"
+#include "ift/engine.hh"
+
+namespace glifs
+{
+
+/** The actionable output of the analysis. */
+struct RootCauseReport
+{
+    /**
+     * Addresses of store instructions that can write outside the
+     * tainted partition: each needs memory-address masking.
+     */
+    std::vector<uint16_t> storesToMask;
+
+    /**
+     * Names of tainted code partitions whose control flow can become
+     * tainted: each needs the watchdog-timer protection.
+     */
+    std::vector<std::string> tasksNeedingWatchdog;
+
+    /**
+     * Violations that software transformations cannot fix (illegal
+     * direct accesses, Section 6 footnote): reported as errors.
+     */
+    std::vector<Violation> errors;
+
+    /** All other (fixable) violations, for reference. */
+    std::vector<Violation> warnings;
+
+    bool
+    needsModification() const
+    {
+        return !storesToMask.empty() || !tasksNeedingWatchdog.empty();
+    }
+
+    bool fixable() const { return errors.empty(); }
+
+    /** Compiler-style report listing (Section 6). */
+    std::string str(const ProgramImage *image = nullptr) const;
+};
+
+/**
+ * Derive the root causes from an analysis result.
+ *
+ * @param image when given, "store needs masking" causes are filtered
+ *        to instructions that actually write memory -- violations are
+ *        also recorded against whatever instruction was executing when
+ *        a persistent symptom (e.g. an already-tainted cell) was
+ *        observed, and those must not be masked.
+ */
+RootCauseReport analyzeRootCauses(const EngineResult &result,
+                                  const Policy &policy,
+                                  const ProgramImage *image = nullptr);
+
+} // namespace glifs
+
+#endif // GLIFS_IFT_ROOTCAUSE_HH

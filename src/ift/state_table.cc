@@ -1,0 +1,31 @@
+#include "ift/state_table.hh"
+
+namespace glifs
+{
+
+StateTable::Visit
+StateTable::visit(uint32_t key, SymState &state, bool taint_diffs)
+{
+    auto it = table.find(key);
+    if (it == table.end()) {
+        table.emplace(key, state);
+        return Visit::New;
+    }
+    if (state.subsumedBy(it->second)) {
+        ++subsumeCount;
+        return Visit::Subsumed;
+    }
+    it->second.mergeWith(state, taint_diffs);
+    state = it->second;
+    ++mergeCount;
+    return Visit::Merged;
+}
+
+const SymState *
+StateTable::lookup(uint32_t key) const
+{
+    auto it = table.find(key);
+    return it == table.end() ? nullptr : &it->second;
+}
+
+} // namespace glifs

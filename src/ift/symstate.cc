@@ -1,0 +1,124 @@
+#include "ift/symstate.hh"
+
+#include "base/logging.hh"
+
+namespace glifs
+{
+
+SymLayout::SymLayout(const Netlist &netlist) : nl(netlist)
+{
+    for (GateId g : nl.dffs())
+        dffs.push_back(nl.gate(g).out);
+    slotCount = dffs.size();
+    for (MemId m = 0; m < nl.numMemories(); ++m) {
+        const MemoryDecl &decl = nl.memory(m);
+        if (!decl.writable)
+            continue;  // ROM contents are constant: not state
+        memBase.emplace_back(m, slotCount);
+        slotCount += decl.words * decl.width;
+    }
+}
+
+SymState::SymState(const SymLayout &layout)
+    : known(layout.slots()), value(layout.slots()), taint(layout.slots())
+{
+}
+
+Signal
+SymState::slot(size_t i) const
+{
+    Signal s;
+    if (known.get(i))
+        s.value = value.get(i) ? Tern::One : Tern::Zero;
+    else
+        s.value = Tern::X;
+    s.taint = taint.get(i);
+    return s;
+}
+
+void
+SymState::setSlot(size_t i, const Signal &s)
+{
+    known.set(i, s.known());
+    value.set(i, s.known() && s.asBool());
+    taint.set(i, s.taint);
+}
+
+void
+SymState::capture(const SymLayout &layout, const SignalState &sigs)
+{
+    if (known.size() != layout.slots()) {
+        known.resize(layout.slots());
+        value.resize(layout.slots());
+        taint.resize(layout.slots());
+    }
+    size_t slot_idx = 0;
+    for (NetId n : layout.dffNets())
+        setSlot(slot_idx++, sigs.net(n));
+    for (const auto &[mem, base] : layout.mems()) {
+        const std::vector<Signal> &cells = sigs.memCells(mem);
+        for (size_t i = 0; i < cells.size(); ++i)
+            setSlot(base + i, cells[i]);
+    }
+}
+
+void
+SymState::restore(const SymLayout &layout, SignalState &sigs) const
+{
+    GLIFS_ASSERT(known.size() == layout.slots(), "layout mismatch");
+    size_t slot_idx = 0;
+    for (NetId n : layout.dffNets())
+        sigs.setNet(n, slot(slot_idx++));
+    for (const auto &[mem, base] : layout.mems()) {
+        std::vector<Signal> &cells = sigs.memCells(mem);
+        for (size_t i = 0; i < cells.size(); ++i)
+            cells[i] = slot(base + i);
+    }
+}
+
+bool
+SymState::subsumedBy(const SymState &cons) const
+{
+    GLIFS_ASSERT(known.size() == cons.known.size(), "size mismatch");
+    const auto &k1 = known.words();
+    const auto &v1 = value.words();
+    const auto &t1 = taint.words();
+    const auto &k2 = cons.known.words();
+    const auto &v2 = cons.value.words();
+    const auto &t2 = cons.taint.words();
+    for (size_t w = 0; w < k1.size(); ++w) {
+        // Wherever cons is known, this must be known with equal value.
+        if (k2[w] & (~k1[w] | (v1[w] ^ v2[w])))
+            return false;
+        // Taint containment.
+        if (t1[w] & ~t2[w])
+            return false;
+    }
+    return true;
+}
+
+void
+SymState::mergeWith(const SymState &other, bool taint_diffs)
+{
+    GLIFS_ASSERT(known.size() == other.known.size(), "size mismatch");
+    auto &k1 = known.words();
+    auto &v1 = value.words();
+    auto &t1 = taint.words();
+    const auto &k2 = other.known.words();
+    const auto &v2 = other.value.words();
+    const auto &t2 = other.taint.words();
+    for (size_t w = 0; w < k1.size(); ++w) {
+        // Slots with a definite difference: known on both sides with
+        // different values, or known on exactly one side.
+        const uint64_t diff =
+            (k1[w] & k2[w] & (v1[w] ^ v2[w])) | (k1[w] ^ k2[w]);
+        // Known only where both known and values agree.
+        k1[w] = k1[w] & k2[w] & ~(v1[w] ^ v2[w]);
+        v1[w] &= k1[w];
+        t1[w] |= t2[w];
+        if (taint_diffs)
+            t1[w] |= diff;
+    }
+}
+
+} // namespace glifs

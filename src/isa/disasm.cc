@@ -1,0 +1,97 @@
+#include "isa/disasm.hh"
+
+#include <sstream>
+
+#include "base/strutil.hh"
+
+namespace glifs
+{
+
+namespace
+{
+
+std::string
+reg(unsigned r)
+{
+    return "r" + std::to_string(r);
+}
+
+std::string
+srcOperand(const Instr &ins)
+{
+    switch (ins.smode) {
+      case Mode::Reg:
+        return reg(ins.rs);
+      case Mode::Imm:
+        return "#" + hex16(ins.srcWord);
+      case Mode::Ind:
+        return "@" + reg(ins.rs);
+      case Mode::Idx:
+        if (ins.rs == 0)
+            return "&" + hex16(ins.srcWord);
+        return std::to_string(ins.srcWord) + "(" + reg(ins.rs) + ")";
+    }
+    return "?";
+}
+
+std::string
+dstOperand(const Instr &ins)
+{
+    switch (ins.dmode) {
+      case Mode::Reg:
+        return reg(ins.rd);
+      case Mode::Ind:
+        return "@" + reg(ins.rd);
+      case Mode::Idx:
+        if (ins.rd == 0)
+            return "&" + hex16(ins.dstWord);
+        return std::to_string(ins.dstWord) + "(" + reg(ins.rd) + ")";
+      default:
+        return "?";
+    }
+}
+
+} // namespace
+
+std::string
+disassemble(const Instr &ins, uint16_t pc)
+{
+    std::ostringstream oss;
+    oss << opName(ins.op, ins.cond);
+    if (isTwoOp(ins.op)) {
+        oss << " " << srcOperand(ins) << ", " << dstOperand(ins);
+    } else if (isOneOp(ins.op)) {
+        oss << " " << reg(ins.rd);
+    } else if (ins.op == Op::J) {
+        oss << " " << hex16(static_cast<uint16_t>(pc + ins.words() +
+                                                  ins.jumpOff));
+    } else if (ins.op == Op::Push || ins.op == Op::Pop ||
+               ins.op == Op::Br) {
+        oss << " " << reg(ins.rd);
+    } else if (ins.op == Op::Call) {
+        oss << " #" << hex16(ins.srcWord);
+    }
+    return oss.str();
+}
+
+std::string
+disassembleImage(const std::vector<uint16_t> &words, uint16_t base)
+{
+    std::ostringstream oss;
+    size_t i = 0;
+    while (i < words.size()) {
+        uint16_t pc = static_cast<uint16_t>(base + i);
+        auto ins = decode(&words[i], words.size() - i);
+        oss << hex16(pc) << ":  ";
+        if (!ins) {
+            oss << ".word " << hex16(words[i]) << "\n";
+            ++i;
+            continue;
+        }
+        oss << disassemble(*ins, pc) << "\n";
+        i += ins->words();
+    }
+    return oss.str();
+}
+
+} // namespace glifs

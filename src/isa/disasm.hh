@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Disassembler for the IoT430 ISA.
+ */
+
+#ifndef GLIFS_ISA_DISASM_HH
+#define GLIFS_ISA_DISASM_HH
+
+#include <string>
+
+#include "isa/isa.hh"
+
+namespace glifs
+{
+
+/**
+ * Render a decoded instruction in assembler syntax.
+ * @param pc word address of the instruction, used to resolve jump
+ *        targets into absolute addresses.
+ */
+std::string disassemble(const Instr &instr, uint16_t pc = 0);
+
+/**
+ * Disassemble an entire program image into an address-annotated
+ * listing.
+ */
+std::string disassembleImage(const std::vector<uint16_t> &words,
+                             uint16_t base = 0);
+
+} // namespace glifs
+
+#endif // GLIFS_ISA_DISASM_HH

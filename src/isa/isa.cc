@@ -1,0 +1,280 @@
+#include "isa/isa.hh"
+
+#include "base/bitutil.hh"
+#include "base/logging.hh"
+
+namespace glifs
+{
+
+bool
+isTwoOp(Op op)
+{
+    return op >= Op::Mov && op <= Op::Bic;
+}
+
+bool
+isOneOp(Op op)
+{
+    return op >= Op::Clr && op <= Op::Tst;
+}
+
+unsigned
+Instr::words() const
+{
+    unsigned n = 1;
+    if (isTwoOp(op) && (smode == Mode::Imm || smode == Mode::Idx))
+        ++n;
+    if (isTwoOp(op) && dmode == Mode::Idx)
+        ++n;
+    if (op == Op::Call)
+        ++n;
+    return n;
+}
+
+bool
+Instr::readsMem() const
+{
+    if (isTwoOp(op) && (smode == Mode::Ind || smode == Mode::Idx))
+        return true;
+    return op == Op::Pop || op == Op::Ret;
+}
+
+bool
+Instr::writesMem() const
+{
+    if (isTwoOp(op) && (dmode == Mode::Ind || dmode == Mode::Idx))
+        return true;
+    return op == Op::Push || op == Op::Call;
+}
+
+bool
+Instr::isControlFlow() const
+{
+    return op == Op::J || op == Op::Call || op == Op::Ret ||
+           op == Op::Br || op == Op::Halt;
+}
+
+std::string
+opName(Op op, Cond cond)
+{
+    switch (op) {
+      case Op::Mov: return "mov";
+      case Op::Add: return "add";
+      case Op::Sub: return "sub";
+      case Op::Cmp: return "cmp";
+      case Op::And: return "and";
+      case Op::Bis: return "bis";
+      case Op::Xor: return "xor";
+      case Op::Bic: return "bic";
+      case Op::Clr: return "clr";
+      case Op::Inc: return "inc";
+      case Op::Dec: return "dec";
+      case Op::Inv: return "inv";
+      case Op::Rra: return "rra";
+      case Op::Rrc: return "rrc";
+      case Op::Rla: return "rla";
+      case Op::Rlc: return "rlc";
+      case Op::Swpb: return "swpb";
+      case Op::Sxt: return "sxt";
+      case Op::Tst: return "tst";
+      case Op::J:
+        switch (cond) {
+          case Cond::Always: return "jmp";
+          case Cond::Z: return "jz";
+          case Cond::NZ: return "jnz";
+          case Cond::C: return "jc";
+          case Cond::NC: return "jnc";
+          case Cond::N: return "jn";
+          case Cond::GE: return "jge";
+          case Cond::L: return "jl";
+        }
+        return "j?";
+      case Op::Push: return "push";
+      case Op::Pop: return "pop";
+      case Op::Call: return "call";
+      case Op::Ret: return "ret";
+      case Op::Br: return "br";
+      case Op::Nop: return "nop";
+      case Op::Halt: return "halt";
+    }
+    return "?";
+}
+
+namespace
+{
+
+unsigned
+oneOpSubop(Op op)
+{
+    return static_cast<unsigned>(op) - static_cast<unsigned>(Op::Clr);
+}
+
+} // namespace
+
+std::vector<uint16_t>
+encode(const Instr &instr)
+{
+    std::vector<uint16_t> out;
+    const Op op = instr.op;
+
+    if (isTwoOp(op)) {
+        GLIFS_ASSERT(instr.rd < iot430::kNumRegs &&
+                     instr.rs < iot430::kNumRegs, "bad register");
+        if (instr.dmode == Mode::Imm)
+            GLIFS_FATAL("immediate destination mode is illegal");
+        const bool src_mem =
+            instr.smode == Mode::Ind || instr.smode == Mode::Idx;
+        const bool dst_mem =
+            instr.dmode == Mode::Ind || instr.dmode == Mode::Idx;
+        if (dst_mem && op != Op::Mov)
+            GLIFS_FATAL("only mov may write memory: ", opName(op));
+        if (src_mem && dst_mem)
+            GLIFS_FATAL("memory-to-memory mov is illegal");
+        uint16_t w = static_cast<uint16_t>(
+            (static_cast<unsigned>(op) << 12) | (instr.rd << 8) |
+            (instr.rs << 4) |
+            (static_cast<unsigned>(instr.smode) << 2) |
+            static_cast<unsigned>(instr.dmode));
+        out.push_back(w);
+        if (instr.smode == Mode::Imm || instr.smode == Mode::Idx)
+            out.push_back(instr.srcWord);
+        if (instr.dmode == Mode::Idx)
+            out.push_back(instr.dstWord);
+        return out;
+    }
+
+    if (isOneOp(op)) {
+        GLIFS_ASSERT(instr.rd < iot430::kNumRegs, "bad register");
+        out.push_back(static_cast<uint16_t>(
+            (0x8u << 12) | (instr.rd << 8) | (oneOpSubop(op) << 4)));
+        return out;
+    }
+
+    if (op == Op::J) {
+        if (instr.jumpOff < -256 || instr.jumpOff > 255)
+            GLIFS_FATAL("jump offset out of range: ", instr.jumpOff);
+        out.push_back(static_cast<uint16_t>(
+            (0x9u << 12) | (static_cast<unsigned>(instr.cond) << 9) |
+            (static_cast<uint16_t>(instr.jumpOff) & 0x1FFu)));
+        return out;
+    }
+
+    switch (op) {
+      case Op::Push:
+        out.push_back(static_cast<uint16_t>((0xAu << 12) |
+                                            (instr.rd << 8) | (0u << 4)));
+        return out;
+      case Op::Pop:
+        out.push_back(static_cast<uint16_t>((0xAu << 12) |
+                                            (instr.rd << 8) | (1u << 4)));
+        return out;
+      case Op::Call:
+        out.push_back(static_cast<uint16_t>((0xAu << 12) | (2u << 4)));
+        out.push_back(instr.srcWord);
+        return out;
+      case Op::Ret:
+        out.push_back(static_cast<uint16_t>((0xAu << 12) | (3u << 4)));
+        return out;
+      case Op::Br:
+        out.push_back(static_cast<uint16_t>((0xAu << 12) |
+                                            (instr.rd << 8) | (4u << 4)));
+        return out;
+      case Op::Nop:
+        out.push_back(static_cast<uint16_t>((0xBu << 12) | (0u << 4)));
+        return out;
+      case Op::Halt:
+        out.push_back(static_cast<uint16_t>((0xBu << 12) | (1u << 4)));
+        return out;
+      default:
+        GLIFS_FATAL("unencodable op");
+    }
+}
+
+std::optional<Instr>
+decode(const uint16_t *mem, size_t avail)
+{
+    if (avail == 0)
+        return std::nullopt;
+    const uint16_t w = mem[0];
+    const unsigned opc = (w >> 12) & 0xF;
+    Instr ins;
+
+    if (opc <= 0x7) {
+        ins.op = static_cast<Op>(opc);
+        ins.rd = (w >> 8) & 0xF;
+        ins.rs = (w >> 4) & 0xF;
+        ins.smode = static_cast<Mode>((w >> 2) & 0x3);
+        ins.dmode = static_cast<Mode>(w & 0x3);
+        if (ins.dmode == Mode::Imm)
+            return std::nullopt;
+        const bool src_mem =
+            ins.smode == Mode::Ind || ins.smode == Mode::Idx;
+        const bool dst_mem =
+            ins.dmode == Mode::Ind || ins.dmode == Mode::Idx;
+        if (dst_mem && (ins.op != Op::Mov || src_mem))
+            return std::nullopt;
+        size_t next = 1;
+        if (ins.smode == Mode::Imm || ins.smode == Mode::Idx) {
+            if (next >= avail)
+                return std::nullopt;
+            ins.srcWord = mem[next++];
+        }
+        if (ins.dmode == Mode::Idx) {
+            if (next >= avail)
+                return std::nullopt;
+            ins.dstWord = mem[next++];
+        }
+        return ins;
+    }
+
+    if (opc == 0x8) {
+        const unsigned sub = (w >> 4) & 0xF;
+        if (sub > oneOpSubop(Op::Tst))
+            return std::nullopt;
+        ins.op = static_cast<Op>(static_cast<unsigned>(Op::Clr) + sub);
+        ins.rd = (w >> 8) & 0xF;
+        return ins;
+    }
+
+    if (opc == 0x9) {
+        ins.op = Op::J;
+        ins.cond = static_cast<Cond>((w >> 9) & 0x7);
+        ins.jumpOff = static_cast<int16_t>(signExtend(w & 0x1FFu, 9));
+        return ins;
+    }
+
+    if (opc == 0xA) {
+        const unsigned sub = (w >> 4) & 0xF;
+        ins.rd = (w >> 8) & 0xF;
+        switch (sub) {
+          case 0: ins.op = Op::Push; return ins;
+          case 1: ins.op = Op::Pop; return ins;
+          case 2:
+            if (avail < 2)
+                return std::nullopt;
+            ins.op = Op::Call;
+            ins.srcWord = mem[1];
+            return ins;
+          case 3: ins.op = Op::Ret; return ins;
+          case 4: ins.op = Op::Br; return ins;
+          default: return std::nullopt;
+        }
+    }
+
+    if (opc == 0xB) {
+        const unsigned sub = (w >> 4) & 0xF;
+        if (sub == 0) {
+            ins.op = Op::Nop;
+            return ins;
+        }
+        if (sub == 1) {
+            ins.op = Op::Halt;
+            return ins;
+        }
+        return std::nullopt;
+    }
+
+    return std::nullopt;
+}
+
+} // namespace glifs

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The IoT430 instruction set: an MSP430-class 16-bit ISA used by the
+ * gate-level SoC, the assembler and the analysis engine.
+ *
+ * Encoding (16-bit instruction words, program memory word-addressed):
+ *
+ *  Two-operand (opcode 0x0-0x7: MOV ADD SUB CMP AND BIS XOR BIC):
+ *      [15:12] opcode  [11:8] rd  [7:4] rs  [3:2] smode  [1:0] dmode
+ *      smode: 0 reg, 1 #imm (+word), 2 @rs, 3 idx imm(rs) (+word)
+ *      dmode: 0 reg, 2 @rd, 3 idx imm(rd) (+word); only MOV may use
+ *      memory destinations, and source and destination cannot both be
+ *      memory. r0 reads as constant 0, so "&addr" is idx addr(r0).
+ *      r1 is the stack pointer.
+ *  One-operand (opcode 0x8):
+ *      [11:8] rd  [7:4] subop
+ *      subop: 0 CLR 1 INC 2 DEC 3 INV 4 RRA 5 RRC 6 RLA 7 RLC
+ *             8 SWPB 9 SXT 10 TST
+ *  Jumps (opcode 0x9):
+ *      [11:9] cond (JMP JZ JNZ JC JNC JN JGE JL)  [8:0] signed word
+ *      offset relative to the next instruction word.
+ *  Stack/flow (opcode 0xA):  [7:4] subop
+ *      0 PUSH rs([11:8]) 1 POP rd([11:8]) 2 CALL #target(+word)
+ *      3 RET 4 BR rs([11:8])
+ *  Misc (opcode 0xB):  [7:4] subop: 0 NOP 1 HALT
+ */
+
+#ifndef GLIFS_ISA_ISA_HH
+#define GLIFS_ISA_ISA_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace glifs
+{
+
+/** Architectural constants of the IoT430. */
+namespace iot430
+{
+constexpr unsigned kNumRegs = 16;
+constexpr unsigned kWordBits = 16;
+constexpr unsigned kPcBits = 12;
+constexpr size_t kProgWords = 4096;
+constexpr unsigned kSpReg = 1;
+
+/// Data-space address map (word addresses).
+constexpr uint16_t kP1In = 0x0000;
+constexpr uint16_t kP1Out = 0x0001;
+constexpr uint16_t kP2In = 0x0002;
+constexpr uint16_t kP2Out = 0x0003;
+constexpr uint16_t kP3In = 0x0004;
+constexpr uint16_t kP3Out = 0x0005;
+constexpr uint16_t kP4In = 0x0006;
+constexpr uint16_t kP4Out = 0x0007;
+constexpr uint16_t kWdtCtl = 0x0010;
+constexpr uint16_t kRamBase = 0x0800;
+constexpr size_t kRamWords = 2048;
+constexpr uint16_t kRamEnd = kRamBase + kRamWords - 1;  // 0x0FFF
+
+/// Watchdog control encoding: bits[1:0] interval select, bit 7 hold.
+constexpr uint16_t kWdtHold = 0x0080;
+constexpr uint16_t wdtIntervals[4] = {64, 512, 8192, 32768};
+} // namespace iot430
+
+/** Operations. */
+enum class Op : uint8_t
+{
+    // two-operand
+    Mov, Add, Sub, Cmp, And, Bis, Xor, Bic,
+    // one-operand
+    Clr, Inc, Dec, Inv, Rra, Rrc, Rla, Rlc, Swpb, Sxt, Tst,
+    // jump (condition in Instr::cond)
+    J,
+    // stack / flow
+    Push, Pop, Call, Ret, Br,
+    // misc
+    Nop, Halt,
+};
+
+/** Jump conditions. */
+enum class Cond : uint8_t { Always, Z, NZ, C, NC, N, GE, L };
+
+/** Addressing modes. */
+enum class Mode : uint8_t { Reg = 0, Imm = 1, Ind = 2, Idx = 3 };
+
+/** A decoded instruction. */
+struct Instr
+{
+    Op op = Op::Nop;
+    Cond cond = Cond::Always;
+    unsigned rd = 0;         ///< destination register / PUSH-BR source
+    unsigned rs = 0;         ///< source register
+    Mode smode = Mode::Reg;
+    Mode dmode = Mode::Reg;
+    uint16_t srcWord = 0;    ///< immediate or source index offset
+    uint16_t dstWord = 0;    ///< destination index offset
+    int16_t jumpOff = 0;     ///< signed word offset for Op::J
+
+    /** Total encoded length in words (1-3). */
+    unsigned words() const;
+
+    /** Does this instruction read data memory? */
+    bool readsMem() const;
+    /** Does this instruction write data memory? */
+    bool writesMem() const;
+    /** Can this instruction change the PC (other than PC+len)? */
+    bool isControlFlow() const;
+
+    bool operator==(const Instr &o) const = default;
+};
+
+/** True for MOV..BIC. */
+bool isTwoOp(Op op);
+/** True for CLR..TST. */
+bool isOneOp(Op op);
+
+/** Mnemonic of an operation ("mov", "jz", ...). */
+std::string opName(Op op, Cond cond = Cond::Always);
+
+/**
+ * Encode an instruction into 1-3 words.
+ * @throws FatalError on an unencodable instruction (bad mode combo,
+ *         out-of-range jump offset).
+ */
+std::vector<uint16_t> encode(const Instr &instr);
+
+/**
+ * Decode the instruction starting at @p mem (with @p avail words
+ * available). Returns nullopt for an illegal encoding.
+ */
+std::optional<Instr> decode(const uint16_t *mem, size_t avail);
+
+} // namespace glifs
+
+#endif // GLIFS_ISA_ISA_HH

@@ -1,0 +1,425 @@
+#include "isa/iss.hh"
+
+#include "base/logging.hh"
+#include "soc/address_map.hh"
+
+namespace glifs
+{
+
+Iss::Iss(const ProgramImage &img) : image(img)
+{
+    powerUp();
+}
+
+void
+Iss::powerUp()
+{
+    ramWords.assign(iot430::kRamWords, 0);
+    pout.fill(0);
+    reset();
+}
+
+void
+Iss::reset()
+{
+    st = IssState{};
+    pout.fill(0);
+    wdtHold = true;
+    wdtCounter = 0;
+}
+
+void
+Iss::por()
+{
+    // Power-on reset: every flip-flop clears, memory survives
+    // (paper Section 5.2, footnote 5).
+    st = IssState{};
+    pout.fill(0);
+    wdtHold = true;
+    wdtCounter = 0;
+}
+
+void
+Iss::chargeCycles(unsigned n)
+{
+    for (unsigned i = 0; i < n; ++i) {
+        ++cycleCount;
+        if (!wdtHold) {
+            if (--wdtCounter == 0) {
+                por();
+                return;
+            }
+        }
+    }
+}
+
+uint16_t
+Iss::ram(uint16_t addr) const
+{
+    GLIFS_ASSERT(classifyAddr(addr) == AddrRegion::Ram,
+                 "iss: not a RAM address");
+    return ramWords[ramIndex(addr)];
+}
+
+void
+Iss::setRam(uint16_t addr, uint16_t value)
+{
+    ramWords[ramIndex(addr)] = value;
+}
+
+uint16_t
+Iss::portOut(unsigned port) const
+{
+    GLIFS_ASSERT(port >= 1 && port <= 4, "bad port");
+    return pout[port - 1];
+}
+
+uint16_t
+Iss::fetchWord()
+{
+    uint16_t w = st.pc < image.words.size() ? image.words[st.pc] : 0;
+    st.pc = static_cast<uint16_t>((st.pc + 1) & 0x0FFF);
+    return w;
+}
+
+uint16_t
+Iss::readData(uint16_t addr)
+{
+    switch (classifyAddr(addr)) {
+      case AddrRegion::PortIn:
+        return portIn ? portIn(*portIndex(addr)) : 0;
+      case AddrRegion::PortOut:
+        return pout[*portIndex(addr) - 1];
+      case AddrRegion::WdtCtl:
+        return wdtCounter;
+      case AddrRegion::Ram:
+        return ramWords[ramIndex(addr)];
+      case AddrRegion::Unmapped:
+        return 0;
+    }
+    return 0;
+}
+
+void
+Iss::writeData(uint16_t addr, uint16_t value)
+{
+    switch (classifyAddr(addr)) {
+      case AddrRegion::PortOut:
+        pout[*portIndex(addr) - 1] = value;
+        break;
+      case AddrRegion::WdtCtl:
+        wdtHold = (value & iot430::kWdtHold) != 0;
+        wdtCounter = iot430::wdtIntervals[value & 3];
+        break;
+      case AddrRegion::Ram:
+        ramWords[ramIndex(addr)] = value;
+        break;
+      default:
+        break;
+    }
+}
+
+void
+Iss::setRegister(unsigned r, uint16_t value)
+{
+    if (r != 0)
+        st.regs[r] = value;
+}
+
+void
+Iss::setFlagsLogic(uint16_t result)
+{
+    st.z = result == 0;
+    st.n = (result & 0x8000) != 0;
+    st.c = false;
+    st.v = false;
+}
+
+namespace
+{
+
+/** Add with flag computation matching the ripple-carry ALU. */
+uint16_t
+addFlags(uint16_t a, uint16_t b, bool cin, bool &cout, bool &vout)
+{
+    uint32_t full = static_cast<uint32_t>(a) + b + (cin ? 1 : 0);
+    uint16_t sum = static_cast<uint16_t>(full);
+    cout = (full >> 16) != 0;
+    // Signed overflow: carry into MSB != carry out of MSB.
+    uint32_t low = static_cast<uint32_t>(a & 0x7FFF) + (b & 0x7FFF) +
+                   (cin ? 1 : 0);
+    bool carry_in_msb = (low >> 15) != 0;
+    vout = carry_in_msb != cout;
+    return sum;
+}
+
+} // namespace
+
+unsigned
+Iss::step()
+{
+    if (st.halted)
+        return 0;
+
+    const uint16_t instr_pc = st.pc;
+    std::vector<uint16_t> window;
+    for (uint16_t i = 0; i < 3; ++i) {
+        uint16_t a = static_cast<uint16_t>((instr_pc + i) & 0x0FFF);
+        window.push_back(a < image.words.size() ? image.words[a] : 0);
+    }
+    auto decoded = decode(window.data(), window.size());
+    if (!decoded) {
+        // Undefined encodings execute as 2-cycle nops on the core.
+        fetchWord();
+        chargeCycles(2);
+        return 2;
+    }
+    const Instr ins = *decoded;
+    for (unsigned i = 0; i < ins.words(); ++i)
+        fetchWord();
+
+    unsigned cycles = 0;
+
+    if (isTwoOp(ins.op)) {
+        cycles = 2;  // fetch + exec
+        // Source operand.
+        uint16_t src = 0;
+        switch (ins.smode) {
+          case Mode::Reg:
+            src = st.reg(ins.rs);
+            break;
+          case Mode::Imm:
+            src = ins.srcWord;
+            ++cycles;
+            break;
+          case Mode::Ind:
+            src = readData(st.reg(ins.rs));
+            ++cycles;
+            break;
+          case Mode::Idx:
+            src = readData(
+                static_cast<uint16_t>(st.reg(ins.rs) + ins.srcWord));
+            cycles += 2;  // src-imm fetch + mem read
+            break;
+        }
+        if (ins.dmode == Mode::Idx)
+            ++cycles;  // dst-imm fetch
+
+        const uint16_t a = st.reg(ins.rd);
+        uint16_t result = 0;
+        bool write_flags = true;
+        switch (ins.op) {
+          case Op::Mov:
+            result = src;
+            write_flags = false;
+            break;
+          case Op::Add: {
+            bool c, v;
+            result = addFlags(a, src, false, c, v);
+            st.c = c;
+            st.v = v;
+            break;
+          }
+          case Op::Sub:
+          case Op::Cmp: {
+            bool c, v;
+            result = addFlags(a, static_cast<uint16_t>(~src), true, c,
+                              v);
+            st.c = c;
+            st.v = v;
+            break;
+          }
+          case Op::And:
+            result = a & src;
+            st.c = false;
+            st.v = false;
+            break;
+          case Op::Bis:
+            result = a | src;
+            st.c = false;
+            st.v = false;
+            break;
+          case Op::Xor:
+            result = a ^ src;
+            st.c = false;
+            st.v = false;
+            break;
+          case Op::Bic:
+            result = a & static_cast<uint16_t>(~src);
+            st.c = false;
+            st.v = false;
+            break;
+          default:
+            GLIFS_PANIC("not a two-op");
+        }
+        if (write_flags) {
+            st.z = result == 0;
+            st.n = (result & 0x8000) != 0;
+        }
+
+        // Destination.
+        if (ins.op != Op::Cmp) {
+            switch (ins.dmode) {
+              case Mode::Reg:
+                setRegister(ins.rd, result);
+                break;
+              case Mode::Ind:
+                writeData(st.reg(ins.rd), result);
+                ++cycles;
+                break;
+              case Mode::Idx:
+                writeData(static_cast<uint16_t>(st.reg(ins.rd) +
+                                                ins.dstWord),
+                          result);
+                ++cycles;
+                break;
+              default:
+                break;
+            }
+        }
+        chargeCycles(cycles);
+        return cycles;
+    }
+
+    if (isOneOp(ins.op)) {
+        cycles = 2;
+        const uint16_t a = st.reg(ins.rd);
+        uint16_t result = 0;
+        bool c_flag = false;
+        bool v_flag = false;
+        switch (ins.op) {
+          case Op::Clr:
+            result = 0;
+            break;
+          case Op::Inc: {
+            bool c, v;
+            result = addFlags(a, 1, false, c, v);
+            c_flag = c;
+            v_flag = v;
+            break;
+          }
+          case Op::Dec: {
+            bool c, v;
+            result = addFlags(a, 0xFFFE, true, c, v);
+            c_flag = c;
+            v_flag = v;
+            break;
+          }
+          case Op::Inv:
+            result = static_cast<uint16_t>(~a);
+            break;
+          case Op::Rra:
+            result = static_cast<uint16_t>(
+                static_cast<int16_t>(a) >> 1);
+            c_flag = a & 1;
+            break;
+          case Op::Rrc:
+            result = static_cast<uint16_t>((a >> 1) |
+                                           (st.c ? 0x8000 : 0));
+            c_flag = a & 1;
+            break;
+          case Op::Rla:
+            result = static_cast<uint16_t>(a << 1);
+            c_flag = (a & 0x8000) != 0;
+            break;
+          case Op::Rlc:
+            result = static_cast<uint16_t>((a << 1) | (st.c ? 1 : 0));
+            c_flag = (a & 0x8000) != 0;
+            break;
+          case Op::Swpb:
+            result = static_cast<uint16_t>((a << 8) | (a >> 8));
+            break;
+          case Op::Sxt:
+            result = static_cast<uint16_t>(
+                static_cast<int16_t>(static_cast<int8_t>(a & 0xFF)));
+            break;
+          case Op::Tst:
+            result = a;
+            break;
+          default:
+            GLIFS_PANIC("not a one-op");
+        }
+        st.z = result == 0;
+        st.n = (result & 0x8000) != 0;
+        st.c = c_flag;
+        st.v = v_flag;
+        if (ins.op != Op::Tst)
+            setRegister(ins.rd, result);
+        chargeCycles(cycles);
+        return cycles;
+    }
+
+    switch (ins.op) {
+      case Op::J: {
+        bool taken = false;
+        switch (ins.cond) {
+          case Cond::Always: taken = true; break;
+          case Cond::Z: taken = st.z; break;
+          case Cond::NZ: taken = !st.z; break;
+          case Cond::C: taken = st.c; break;
+          case Cond::NC: taken = !st.c; break;
+          case Cond::N: taken = st.n; break;
+          case Cond::GE: taken = st.n == st.v; break;
+          case Cond::L: taken = st.n != st.v; break;
+        }
+        if (taken)
+            st.pc = static_cast<uint16_t>((st.pc + ins.jumpOff) &
+                                          0x0FFF);
+        cycles = 2;
+        break;
+      }
+      case Op::Push: {
+        // The pushed value is sampled before SP moves (push r1 stores
+        // the old stack pointer, as the datapath does).
+        uint16_t value = st.reg(ins.rd);
+        setRegister(1, static_cast<uint16_t>(st.regs[1] - 1));
+        writeData(st.regs[1], value);
+        cycles = 2;
+        break;
+      }
+      case Op::Pop: {
+        uint16_t value = readData(st.regs[1]);
+        setRegister(ins.rd, value);
+        setRegister(1, static_cast<uint16_t>(st.regs[1] + 1));
+        cycles = 2;
+        break;
+      }
+      case Op::Call:
+        setRegister(1, static_cast<uint16_t>(st.regs[1] - 1));
+        writeData(st.regs[1], st.pc);
+        st.pc = static_cast<uint16_t>(ins.srcWord & 0x0FFF);
+        cycles = 3;
+        break;
+      case Op::Ret:
+        st.pc = static_cast<uint16_t>(readData(st.regs[1]) & 0x0FFF);
+        setRegister(1, static_cast<uint16_t>(st.regs[1] + 1));
+        cycles = 2;
+        break;
+      case Op::Br:
+        st.pc = static_cast<uint16_t>(st.reg(ins.rd) & 0x0FFF);
+        cycles = 2;
+        break;
+      case Op::Nop:
+        cycles = 2;
+        break;
+      case Op::Halt:
+        st.halted = true;
+        cycles = 1;
+        break;
+      default:
+        GLIFS_PANIC("unhandled op");
+    }
+    chargeCycles(cycles);
+    return cycles;
+}
+
+uint64_t
+Iss::run(uint64_t max_cycles)
+{
+    uint64_t start = cycleCount;
+    while (!st.halted && cycleCount - start < max_cycles)
+        step();
+    return cycleCount - start;
+}
+
+} // namespace glifs

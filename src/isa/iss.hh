@@ -1,0 +1,104 @@
+/**
+ * @file
+ * A golden instruction-set simulator (ISS) for the IoT430.
+ *
+ * Executes architecturally (no gates) and is used three ways: as a
+ * fast functional simulator for firmware development, as the reference
+ * model the gate-level SoC is co-simulated against in the property
+ * tests, and for quick cycle estimates (it charges the documented
+ * multi-cycle FSM timing of the core).
+ */
+
+#ifndef GLIFS_ISA_ISS_HH
+#define GLIFS_ISA_ISS_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "assembler/program_image.hh"
+#include "isa/isa.hh"
+
+namespace glifs
+{
+
+/** Architectural state of the golden model. */
+struct IssState
+{
+    uint16_t pc = 0;
+    std::array<uint16_t, 16> regs{};  ///< r0 reads 0; r1 is SP
+    bool z = false, n = false, c = false, v = false;
+    bool halted = false;
+
+    uint16_t reg(unsigned r) const { return r == 0 ? 0 : regs[r]; }
+};
+
+/**
+ * The golden model.
+ */
+class Iss
+{
+  public:
+    /** Value supplier for reads of PxIN (port 1..4). */
+    using PortIn = std::function<uint16_t(unsigned port)>;
+
+    explicit Iss(const ProgramImage &image);
+
+    /** Reset architectural state (keeps memory, like the POR). */
+    void reset();
+
+    /** Also clear RAM (power-up). */
+    void powerUp();
+
+    /**
+     * Execute one instruction; returns the cycles it consumed on the
+     * multi-cycle core. No-op when halted.
+     */
+    unsigned step();
+
+    /** Run until HALT or the cycle budget is exhausted. */
+    uint64_t run(uint64_t max_cycles = 1'000'000);
+
+    const IssState &state() const { return st; }
+    IssState &state() { return st; }
+
+    uint16_t ram(uint16_t addr) const;
+    void setRam(uint16_t addr, uint16_t value);
+    uint16_t portOut(unsigned port) const;
+    void setPortIn(PortIn fn) { portIn = std::move(fn); }
+
+    /**
+     * The watchdog counter (approximate architectural model: armed by
+     * a WDTCTL store, decrements once per consumed cycle, POR resets
+     * architectural state but not memory).
+     */
+    bool watchdogRunning() const { return !wdtHold; }
+
+    /** Total consumed cycles. */
+    uint64_t cycles() const { return cycleCount; }
+
+  private:
+    const ProgramImage &image;
+    IssState st;
+    std::vector<uint16_t> ramWords;
+    std::array<uint16_t, 4> pout{};
+    PortIn portIn;
+
+    bool wdtHold = true;
+    uint16_t wdtCounter = 0;
+
+    uint64_t cycleCount = 0;
+
+    uint16_t fetchWord();
+    uint16_t readData(uint16_t addr);
+    void writeData(uint16_t addr, uint16_t value);
+    void setRegister(unsigned r, uint16_t value);
+    void setFlagsLogic(uint16_t result);
+    void por();
+    void chargeCycles(unsigned n);
+};
+
+} // namespace glifs
+
+#endif // GLIFS_ISA_ISS_HH

@@ -1,0 +1,169 @@
+#include "logic/glift.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace glifs
+{
+
+namespace
+{
+
+constexpr GateKind allKinds[] = {
+    GateKind::Buf, GateKind::Not, GateKind::And, GateKind::Nand,
+    GateKind::Or, GateKind::Nor, GateKind::Xor, GateKind::Xnor,
+    GateKind::Mux,
+};
+
+} // namespace
+
+const GliftTables &
+GliftTables::instance()
+{
+    static const GliftTables tables;
+    return tables;
+}
+
+unsigned
+GliftTables::encode(const Signal &s)
+{
+    return (s.taint ? 4u : 0u) | static_cast<unsigned>(s.value);
+}
+
+Signal
+GliftTables::decode(unsigned code)
+{
+    Signal s;
+    s.taint = (code & 4u) != 0;
+    s.value = static_cast<Tern>(code & 3u);
+    return s;
+}
+
+Signal
+GliftTables::evalReference(GateKind kind, const Signal *inputs)
+{
+    const unsigned arity = gateArity(kind);
+
+    // Identify unknown-valued and tainted input positions.
+    std::vector<unsigned> unknown_pos;
+    std::vector<unsigned> tainted_pos;
+    bool fixed[maxArity] = {false, false, false};
+    for (unsigned i = 0; i < arity; ++i) {
+        if (!inputs[i].known())
+            unknown_pos.push_back(i);
+        else
+            fixed[i] = inputs[i].asBool();
+        if (inputs[i].taint)
+            tainted_pos.push_back(i);
+    }
+
+    // Ternary value: enumerate all assignments of the X inputs; if the
+    // output is invariant the value is known, otherwise it is X.
+    Signal out;
+    {
+        bool any0 = false;
+        bool any1 = false;
+        const size_t combos = 1u << unknown_pos.size();
+        for (size_t c = 0; c < combos; ++c) {
+            bool in[maxArity];
+            for (unsigned i = 0; i < arity; ++i)
+                in[i] = fixed[i];
+            for (size_t k = 0; k < unknown_pos.size(); ++k)
+                in[unknown_pos[k]] = (c >> k) & 1u;
+            (gateEval(kind, in) ? any1 : any0) = true;
+        }
+        out.value = (any0 && any1) ? Tern::X
+                                   : (any1 ? Tern::One : Tern::Zero);
+    }
+
+    // Taint: can varying the tainted inputs change the output, for some
+    // assignment of the untainted-X inputs? Tainted inputs range over
+    // {0,1} regardless of their current value; untainted-X inputs are
+    // free (conservative); untainted known inputs are fixed.
+    out.taint = false;
+    if (!tainted_pos.empty()) {
+        std::vector<unsigned> free_pos;
+        for (unsigned p : unknown_pos) {
+            if (!inputs[p].taint)
+                free_pos.push_back(p);
+        }
+        const size_t free_combos = 1u << free_pos.size();
+        const size_t taint_combos = 1u << tainted_pos.size();
+        for (size_t f = 0; f < free_combos && !out.taint; ++f) {
+            bool any0 = false;
+            bool any1 = false;
+            for (size_t t = 0; t < taint_combos; ++t) {
+                bool in[maxArity];
+                for (unsigned i = 0; i < arity; ++i)
+                    in[i] = fixed[i];
+                for (size_t k = 0; k < free_pos.size(); ++k)
+                    in[free_pos[k]] = (f >> k) & 1u;
+                for (size_t k = 0; k < tainted_pos.size(); ++k)
+                    in[tainted_pos[k]] = (t >> k) & 1u;
+                (gateEval(kind, in) ? any1 : any0) = true;
+            }
+            out.taint = any0 && any1;
+        }
+    }
+    return out;
+}
+
+GliftTables::GliftTables()
+{
+    for (GateKind kind : allKinds) {
+        auto &table = tables[static_cast<size_t>(kind)];
+        const unsigned arity = gateArity(kind);
+        const size_t entries = 1u << (codeBits * arity);
+        for (size_t idx = 0; idx < entries; ++idx) {
+            Signal in[maxArity];
+            bool valid = true;
+            for (unsigned i = 0; i < arity; ++i) {
+                unsigned code = (idx >> (codeBits * i)) & 7u;
+                if ((code & 3u) == 3u) {
+                    valid = false;
+                    break;
+                }
+                in[i] = decode(code);
+            }
+            if (valid)
+                table[idx] = evalReference(kind, in);
+        }
+    }
+}
+
+Signal
+GliftTables::eval(GateKind kind, const Signal *inputs) const
+{
+    const unsigned arity = gateArity(kind);
+    size_t idx = 0;
+    for (unsigned i = 0; i < arity; ++i)
+        idx |= static_cast<size_t>(encode(inputs[i])) << (codeBits * i);
+    return tables[static_cast<size_t>(kind)][idx];
+}
+
+std::string
+GliftTables::truthTable(GateKind kind)
+{
+    GLIFS_ASSERT(gateArity(kind) == 2, "truthTable wants a 2-input gate");
+    std::ostringstream oss;
+    oss << gateKindName(kind) << " GLIFT truth table\n";
+    oss << " A AT  B BT |  O OT\n";
+    oss << "------------+------\n";
+    for (unsigned a = 0; a < 2; ++a) {
+        for (unsigned at = 0; at < 2; ++at) {
+            for (unsigned b = 0; b < 2; ++b) {
+                for (unsigned bt = 0; bt < 2; ++bt) {
+                    Signal in[2] = {sigBool(a, at), sigBool(b, bt)};
+                    Signal out = evalReference(kind, in);
+                    oss << " " << a << "  " << at << "  " << b << "  " << bt
+                        << " |  " << ternChar(out.value) << "  "
+                        << (out.taint ? 1 : 0) << "\n";
+                }
+            }
+        }
+    }
+    return oss.str();
+}
+
+} // namespace glifs

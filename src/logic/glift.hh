@@ -1,0 +1,85 @@
+/**
+ * @file
+ * GLIFT taint propagation for combinational gates (Tiwari et al., as used
+ * in Figure 1 of the paper).
+ *
+ * The output taint of a gate is set iff some assignment of the *tainted*
+ * inputs can change the gate's output, given the known untainted inputs.
+ * Untainted inputs whose value is unknown (X) are treated as free
+ * variables, which makes the rule conservative (never misses a flow) while
+ * still exploiting value-based masking (e.g. a NAND with an untainted 0
+ * input masks the other, tainted, input).
+ */
+
+#ifndef GLIFS_LOGIC_GLIFT_HH
+#define GLIFS_LOGIC_GLIFT_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "logic/ternary.hh"
+
+namespace glifs
+{
+
+/**
+ * Precomputed GLIFT propagation tables for every gate kind.
+ *
+ * Each input signal is encoded in 3 bits (value in {0,1,X} plus taint);
+ * the table maps the packed input code to the output Signal. Tables are
+ * built once by exhaustive enumeration of the gate's boolean function.
+ */
+class GliftTables
+{
+  public:
+    /** Singleton accessor; tables are built on first use. */
+    static const GliftTables &instance();
+
+    /** Propagate value and taint through a gate. */
+    Signal eval(GateKind kind, const Signal *inputs) const;
+
+    /**
+     * Reference (non-table) implementation used to build the tables and
+     * by the property tests.
+     */
+    static Signal evalReference(GateKind kind, const Signal *inputs);
+
+    /**
+     * Render the concrete-input GLIFT truth table of a 2-input gate in
+     * the layout of the paper's Figure 1 (columns A AT B BT O OT).
+     */
+    static std::string truthTable(GateKind kind);
+
+  private:
+    GliftTables();
+
+    static constexpr unsigned codeBits = 3;
+    static constexpr unsigned maxArity = 3;
+    static constexpr size_t tableSize = 1u << (codeBits * maxArity);
+
+    /** Encode one signal into 3 bits. */
+    static unsigned encode(const Signal &s);
+    static Signal decode(unsigned code);
+
+    std::array<std::array<Signal, tableSize>, 9> tables;
+};
+
+/** Convenience wrapper around GliftTables::instance().eval(). */
+inline Signal
+gliftEval(GateKind kind, const Signal *inputs)
+{
+    return GliftTables::instance().eval(kind, inputs);
+}
+
+/** Two-input convenience overload. */
+inline Signal
+gliftEval2(GateKind kind, const Signal &a, const Signal &b)
+{
+    Signal in[2] = {a, b};
+    return gliftEval(kind, in);
+}
+
+} // namespace glifs
+
+#endif // GLIFS_LOGIC_GLIFT_HH

@@ -1,0 +1,158 @@
+#include "logic/ternary.hh"
+
+#include "base/logging.hh"
+
+namespace glifs
+{
+
+unsigned
+gateArity(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::Buf:
+      case GateKind::Not:
+        return 1;
+      case GateKind::Mux:
+        return 3;
+      default:
+        return 2;
+    }
+}
+
+const char *
+gateKindName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::Buf: return "BUF";
+      case GateKind::Not: return "NOT";
+      case GateKind::And: return "AND";
+      case GateKind::Nand: return "NAND";
+      case GateKind::Or: return "OR";
+      case GateKind::Nor: return "NOR";
+      case GateKind::Xor: return "XOR";
+      case GateKind::Xnor: return "XNOR";
+      case GateKind::Mux: return "MUX";
+    }
+    return "?";
+}
+
+bool
+gateEval(GateKind kind, const bool *in)
+{
+    switch (kind) {
+      case GateKind::Buf: return in[0];
+      case GateKind::Not: return !in[0];
+      case GateKind::And: return in[0] && in[1];
+      case GateKind::Nand: return !(in[0] && in[1]);
+      case GateKind::Or: return in[0] || in[1];
+      case GateKind::Nor: return !(in[0] || in[1]);
+      case GateKind::Xor: return in[0] != in[1];
+      case GateKind::Xnor: return in[0] == in[1];
+      case GateKind::Mux: return in[0] ? in[2] : in[1];
+    }
+    GLIFS_PANIC("bad gate kind");
+}
+
+char
+ternChar(Tern t)
+{
+    switch (t) {
+      case Tern::Zero: return '0';
+      case Tern::One: return '1';
+      case Tern::X: return 'X';
+    }
+    return '?';
+}
+
+std::string
+Signal::str() const
+{
+    std::string s(1, ternChar(value));
+    if (taint)
+        s.push_back('\'');
+    return s;
+}
+
+Tern
+ternMerge(Tern a, Tern b)
+{
+    return a == b ? a : Tern::X;
+}
+
+bool
+ternSubsumes(Tern a, Tern b)
+{
+    return b == Tern::X || a == b;
+}
+
+namespace
+{
+
+/** True when both signals hold the same known value. */
+bool
+sameKnownValue(const Signal &a, const Signal &b)
+{
+    return a.known() && b.known() && a.value == b.value;
+}
+
+/**
+ * Value/taint after the enable mux, ignoring reset.
+ *
+ * A tainted enable that is known 0 does NOT taint the output: under
+ * the path-enumeration semantics of Algorithm 1 the "attacker flips
+ * the enable" scenario corresponds to a different control-flow path,
+ * which the engine explores separately; the conservative merge at the
+ * join ORs that path's taints back in. A tainted enable that is known
+ * 1 (or unknown) can still mask or propagate taint within this path.
+ */
+Signal
+enabledNext(const Signal &d, const Signal &en, const Signal &q)
+{
+    Signal out;
+    if (en.known()) {
+        if (!en.asBool())
+            return q;
+        out.value = d.value;
+        out.taint = d.taint || (en.taint && !sameKnownValue(d, q));
+    } else {
+        out.value = ternMerge(d.value, q.value);
+        out.taint = d.taint || q.taint ||
+                    (en.taint && !sameKnownValue(d, q));
+    }
+    return out;
+}
+
+} // namespace
+
+Signal
+dffNext(const Signal &d, const Signal &rst, const Signal &en,
+        const Signal &q, bool rstVal)
+{
+    Tern rv = ternBool(rstVal);
+
+    if (rst.known() && rst.asBool()) {
+        // Asserted reset: value forced; taint follows the reset line only
+        // (Figure 7: an untainted reset clears taint, a tainted one does
+        // not).
+        return {rv, rst.taint};
+    }
+
+    Signal next = enabledNext(d, en, q);
+
+    if (rst.known()) {
+        // Deasserted reset: a tainted reset line could have forced the
+        // output to rstVal, so it can affect the output unless the output
+        // already equals rstVal.
+        if (rst.taint && next.value != rv)
+            next.taint = true;
+        return next;
+    }
+
+    // Unknown reset: merge the reset and no-reset outcomes.
+    Signal merged;
+    merged.value = ternMerge(rv, next.value);
+    merged.taint = next.taint || rst.taint;
+    return merged;
+}
+
+} // namespace glifs

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Ternary logic values {0, 1, X} and tainted signals.
+ *
+ * Every net in a glifs simulation carries a Signal: a ternary logic value
+ * plus one GLIFT taint bit. X is the "unknown value symbol" used by the
+ * paper's input-independent symbolic simulation (Section 4.1).
+ */
+
+#ifndef GLIFS_LOGIC_TERNARY_HH
+#define GLIFS_LOGIC_TERNARY_HH
+
+#include <cstdint>
+#include <string>
+
+namespace glifs
+{
+
+/** A ternary logic value. */
+enum class Tern : uint8_t { Zero = 0, One = 1, X = 2 };
+
+/** Kinds of combinational gates understood by the logic layer. */
+enum class GateKind : uint8_t
+{
+    Buf,    ///< 1 input
+    Not,    ///< 1 input
+    And,    ///< 2 inputs
+    Nand,   ///< 2 inputs
+    Or,     ///< 2 inputs
+    Nor,    ///< 2 inputs
+    Xor,    ///< 2 inputs
+    Xnor,   ///< 2 inputs
+    Mux,    ///< 3 inputs: sel, a, b; out = sel ? b : a
+};
+
+/** Number of inputs a gate kind consumes. */
+unsigned gateArity(GateKind kind);
+
+/** Short printable name ("NAND", ...). */
+const char *gateKindName(GateKind kind);
+
+/** Concrete boolean function of a gate kind over concrete inputs. */
+bool gateEval(GateKind kind, const bool *inputs);
+
+/** A ternary value with an associated taint bit. */
+struct Signal
+{
+    Tern value = Tern::X;
+    bool taint = false;
+
+    Signal() = default;
+    Signal(Tern v, bool t) : value(v), taint(t) {}
+
+    /** Known (non-X) value? */
+    bool known() const { return value != Tern::X; }
+
+    /** Concrete boolean value; only valid when known(). */
+    bool asBool() const { return value == Tern::One; }
+
+    bool operator==(const Signal &o) const = default;
+
+    /** "0", "1" or "X", with trailing "'" when tainted. */
+    std::string str() const;
+};
+
+/** Untainted constants. */
+inline Signal sigZero() { return {Tern::Zero, false}; }
+inline Signal sigOne() { return {Tern::One, false}; }
+inline Signal sigX() { return {Tern::X, false}; }
+inline Signal sigBool(bool b, bool taint = false)
+{
+    return {b ? Tern::One : Tern::Zero, taint};
+}
+
+/** Ternary value from a bool. */
+inline Tern ternBool(bool b) { return b ? Tern::One : Tern::Zero; }
+
+/** Printable character for a ternary value. */
+char ternChar(Tern t);
+
+/**
+ * Merge two ternary values into the most conservative common abstraction:
+ * equal values stay, differing values become X.
+ */
+Tern ternMerge(Tern a, Tern b);
+
+/** True iff @p a is a refinement of @p b (b is X, or they are equal). */
+bool ternSubsumes(Tern a, Tern b);
+
+/**
+ * Flip-flop next-state computation with the paper's reset-taint semantics
+ * (Figure 7):
+ *  - asserted untainted reset clears both value and taint;
+ *  - asserted tainted reset clears the value but the output stays tainted;
+ *  - unknown reset conservatively merges the reset and data outcomes.
+ * @param d     data input
+ * @param rst   reset input (active high)
+ * @param en    clock/write enable input
+ * @param q     current output
+ * @param rstVal value loaded on reset
+ */
+Signal dffNext(const Signal &d, const Signal &rst, const Signal &en,
+               const Signal &q, bool rstVal);
+
+} // namespace glifs
+
+#endif // GLIFS_LOGIC_TERNARY_HH

@@ -1,0 +1,63 @@
+#include "netlist/builder.hh"
+
+#include "base/bitutil.hh"
+#include "base/logging.hh"
+
+namespace glifs
+{
+
+NetId
+NetBuilder::reduceTree(GateKind kind, std::span<const NetId> nets,
+                       bool empty_value)
+{
+    if (nets.empty())
+        return nl.constNet(empty_value);
+    std::vector<NetId> level(nets.begin(), nets.end());
+    while (level.size() > 1) {
+        std::vector<NetId> next;
+        next.reserve((level.size() + 1) / 2);
+        for (size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(nl.addComb(kind, level[i], level[i + 1]));
+        if (level.size() % 2 == 1)
+            next.push_back(level.back());
+        level.swap(next);
+    }
+    return level[0];
+}
+
+NetId
+NetBuilder::reduceAnd(std::span<const NetId> nets)
+{
+    return reduceTree(GateKind::And, nets, true);
+}
+
+NetId
+NetBuilder::reduceOr(std::span<const NetId> nets)
+{
+    return reduceTree(GateKind::Or, nets, false);
+}
+
+NetId
+NetBuilder::reduceXor(std::span<const NetId> nets)
+{
+    return reduceTree(GateKind::Xor, nets, false);
+}
+
+NetId
+NetBuilder::isZero(std::span<const NetId> nets)
+{
+    return bNot(reduceOr(nets));
+}
+
+NetId
+NetBuilder::matchesConst(std::span<const NetId> nets, uint64_t value)
+{
+    GLIFS_ASSERT(nets.size() <= 64, "matchesConst span too wide");
+    std::vector<NetId> terms;
+    terms.reserve(nets.size());
+    for (size_t i = 0; i < nets.size(); ++i)
+        terms.push_back(bit(value, i) ? nets[i] : bNot(nets[i]));
+    return reduceAnd(terms);
+}
+
+} // namespace glifs

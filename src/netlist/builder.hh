@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Bit-level construction helpers over a Netlist: named gate factories and
+ * reduction trees. The word-level layer lives in src/rtl.
+ */
+
+#ifndef GLIFS_NETLIST_BUILDER_HH
+#define GLIFS_NETLIST_BUILDER_HH
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace glifs
+{
+
+/**
+ * Thin convenience wrapper that builds gates into a Netlist.
+ */
+class NetBuilder
+{
+  public:
+    explicit NetBuilder(Netlist &netlist) : nl(netlist) {}
+
+    Netlist &netlist() { return nl; }
+    const Netlist &netlist() const { return nl; }
+
+    NetId zero() { return nl.constNet(false); }
+    NetId one() { return nl.constNet(true); }
+
+    NetId bNot(NetId a) { return nl.addComb(GateKind::Not, a); }
+    NetId bBuf(NetId a) { return nl.addComb(GateKind::Buf, a); }
+    NetId bAnd(NetId a, NetId b) { return nl.addComb(GateKind::And, a, b); }
+    NetId bNand(NetId a, NetId b)
+    {
+        return nl.addComb(GateKind::Nand, a, b);
+    }
+    NetId bOr(NetId a, NetId b) { return nl.addComb(GateKind::Or, a, b); }
+    NetId bNor(NetId a, NetId b) { return nl.addComb(GateKind::Nor, a, b); }
+    NetId bXor(NetId a, NetId b) { return nl.addComb(GateKind::Xor, a, b); }
+    NetId bXnor(NetId a, NetId b)
+    {
+        return nl.addComb(GateKind::Xnor, a, b);
+    }
+
+    /** out = sel ? b : a */
+    NetId
+    bMux(NetId sel, NetId a, NetId b)
+    {
+        return nl.addComb(GateKind::Mux, sel, a, b);
+    }
+
+    /** 3-input helpers built from 2-input gates. */
+    NetId bAnd3(NetId a, NetId b, NetId c) { return bAnd(bAnd(a, b), c); }
+    NetId bOr3(NetId a, NetId b, NetId c) { return bOr(bOr(a, b), c); }
+
+    /** Balanced AND reduction over a span of nets (empty -> const 1). */
+    NetId reduceAnd(std::span<const NetId> nets);
+
+    /** Balanced OR reduction over a span of nets (empty -> const 0). */
+    NetId reduceOr(std::span<const NetId> nets);
+
+    /** Balanced XOR reduction over a span of nets (empty -> const 0). */
+    NetId reduceXor(std::span<const NetId> nets);
+
+    /** NOR-reduction: 1 iff all nets are 0 (zero detector). */
+    NetId isZero(std::span<const NetId> nets);
+
+    /**
+     * 1 iff the nets equal the constant @p value (LSB-first span).
+     */
+    NetId matchesConst(std::span<const NetId> nets, uint64_t value);
+
+  private:
+    Netlist &nl;
+
+    NetId reduceTree(GateKind kind, std::span<const NetId> nets,
+                     bool empty_value);
+};
+
+} // namespace glifs
+
+#endif // GLIFS_NETLIST_BUILDER_HH

@@ -1,0 +1,86 @@
+#include "netlist/dot_export.hh"
+
+#include <sstream>
+
+namespace glifs
+{
+
+namespace
+{
+
+std::string
+nodeName(GateId g)
+{
+    return "g" + std::to_string(g);
+}
+
+std::string
+gateLabel(const Netlist &nl, GateId g)
+{
+    const Gate &gate = nl.gate(g);
+    switch (gate.type) {
+      case GateType::Comb:
+        return gateKindName(gate.kind);
+      case GateType::Dff:
+        return "DFF " + nl.net(gate.out).name;
+      case GateType::Const:
+        return gate.constVal ? "1" : "0";
+      case GateType::Input:
+        return "IN " + nl.net(gate.out).name;
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+toDot(const Netlist &nl, const std::string &graph_name)
+{
+    std::ostringstream oss;
+    oss << "digraph " << graph_name << " {\n"
+        << "  rankdir=LR;\n"
+        << "  node [shape=box, fontname=\"monospace\"];\n";
+
+    for (GateId g = 0; g < nl.numGates(); ++g) {
+        oss << "  " << nodeName(g) << " [label=\"" << gateLabel(nl, g)
+            << "\"";
+        if (nl.gate(g).type == GateType::Dff)
+            oss << ", style=filled, fillcolor=lightblue";
+        oss << "];\n";
+    }
+
+    for (GateId g = 0; g < nl.numGates(); ++g) {
+        const Gate &gate = nl.gate(g);
+        unsigned arity = 0;
+        if (gate.type == GateType::Comb)
+            arity = gateArity(gate.kind);
+        else if (gate.type == GateType::Dff)
+            arity = 3;
+        for (unsigned i = 0; i < arity; ++i) {
+            NetId in = gate.in[i];
+            if (in == kNoNet || nl.undriven(in) || nl.memDriven(in))
+                continue;
+            oss << "  " << nodeName(nl.driverOf(in)) << " -> "
+                << nodeName(g);
+            if (gate.type == GateType::Dff) {
+                static const char *port[3] = {"d", "rst", "en"};
+                oss << " [label=\"" << port[i] << "\"]";
+            }
+            oss << ";\n";
+        }
+    }
+
+    for (const auto &[net, name] : nl.outputs()) {
+        oss << "  out_" << net << " [label=\"OUT " << name
+            << "\", shape=ellipse];\n";
+        if (!nl.undriven(net) && !nl.memDriven(net)) {
+            oss << "  " << nodeName(nl.driverOf(net)) << " -> out_" << net
+                << ";\n";
+        }
+    }
+
+    oss << "}\n";
+    return oss.str();
+}
+
+} // namespace glifs

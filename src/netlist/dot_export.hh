@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Graphviz DOT export of (small) netlists for documentation/debugging.
+ */
+
+#ifndef GLIFS_NETLIST_DOT_EXPORT_HH
+#define GLIFS_NETLIST_DOT_EXPORT_HH
+
+#include <string>
+
+#include "netlist/netlist.hh"
+
+namespace glifs
+{
+
+/**
+ * Render the netlist as a DOT digraph. Intended for small circuits
+ * (examples, unit-test fixtures); a full SoC will produce a huge graph.
+ */
+std::string toDot(const Netlist &nl, const std::string &graph_name = "nl");
+
+} // namespace glifs
+
+#endif // GLIFS_NETLIST_DOT_EXPORT_HH

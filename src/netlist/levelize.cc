@@ -1,0 +1,115 @@
+#include "netlist/levelize.hh"
+
+#include <deque>
+
+#include "base/logging.hh"
+
+namespace glifs
+{
+
+namespace
+{
+
+/** Internal node numbering: [0, nGates) gates, [nGates, +nMems) mems. */
+struct NodeSpace
+{
+    size_t n_gates;
+    size_t n_mems;
+
+    size_t total() const { return n_gates + n_mems; }
+    size_t gateNode(GateId g) const { return g; }
+    size_t memNode(MemId m) const { return n_gates + m; }
+};
+
+} // namespace
+
+std::vector<EvalStep>
+levelize(const Netlist &nl)
+{
+    const NodeSpace ns{nl.numGates(), nl.numMemories()};
+
+    // A node is schedulable when it is a combinational gate or a memory
+    // read port; everything else is a source.
+    std::vector<bool> schedulable(ns.total(), false);
+    for (GateId g = 0; g < nl.numGates(); ++g) {
+        if (nl.gate(g).type == GateType::Comb)
+            schedulable[ns.gateNode(g)] = true;
+    }
+    for (MemId m = 0; m < nl.numMemories(); ++m)
+        schedulable[ns.memNode(m)] = true;
+
+    // Map each node to the nodes consuming its outputs, via nets.
+    std::vector<std::vector<uint32_t>> consumers(ns.total());
+    std::vector<uint32_t> indegree(ns.total(), 0);
+
+    auto add_dep = [&](NetId input_net, size_t consumer_node) {
+        if (input_net == kNoNet)
+            return;
+        size_t producer;
+        if (nl.memDriven(input_net)) {
+            producer = ns.memNode(nl.memDriver(input_net));
+        } else {
+            GateId d = nl.driverOf(input_net);
+            if (d == static_cast<GateId>(-1))
+                return;  // undriven: environment-set net, a source
+            if (nl.gate(d).type != GateType::Comb)
+                return;  // DFF / const / input output: a source
+            producer = ns.gateNode(d);
+        }
+        consumers[producer].push_back(
+            static_cast<uint32_t>(consumer_node));
+        ++indegree[consumer_node];
+    };
+
+    for (GateId g = 0; g < nl.numGates(); ++g) {
+        const Gate &gate = nl.gate(g);
+        if (gate.type != GateType::Comb)
+            continue;
+        const unsigned arity = gateArity(gate.kind);
+        for (unsigned i = 0; i < arity; ++i)
+            add_dep(gate.in[i], ns.gateNode(g));
+    }
+    for (MemId m = 0; m < nl.numMemories(); ++m) {
+        for (NetId a : nl.memory(m).readAddr)
+            add_dep(a, ns.memNode(m));
+    }
+
+    // Kahn's algorithm.
+    std::deque<size_t> ready;
+    for (size_t n = 0; n < ns.total(); ++n) {
+        if (schedulable[n] && indegree[n] == 0)
+            ready.push_back(n);
+    }
+
+    std::vector<EvalStep> order;
+    order.reserve(ns.total());
+    while (!ready.empty()) {
+        size_t n = ready.front();
+        ready.pop_front();
+        if (n < ns.n_gates) {
+            order.push_back(
+                {EvalStep::Kind::Gate, static_cast<uint32_t>(n)});
+        } else {
+            order.push_back(
+                {EvalStep::Kind::MemRead,
+                 static_cast<uint32_t>(n - ns.n_gates)});
+        }
+        for (uint32_t c : consumers[n]) {
+            if (--indegree[c] == 0)
+                ready.push_back(c);
+        }
+    }
+
+    size_t expected = 0;
+    for (size_t n = 0; n < ns.total(); ++n) {
+        if (schedulable[n])
+            ++expected;
+    }
+    if (order.size() != expected) {
+        GLIFS_FATAL("combinational cycle detected: scheduled ",
+                    order.size(), " of ", expected, " nodes");
+    }
+    return order;
+}
+
+} // namespace glifs

@@ -1,0 +1,132 @@
+#include "netlist/memory_array.hh"
+
+#include "base/logging.hh"
+
+namespace glifs
+{
+
+MemAddr
+decodeMemAddr(std::span<const Signal> addr, size_t words,
+              unsigned max_unknown_bits)
+{
+    MemAddr out;
+    for (size_t i = 0; i < addr.size(); ++i) {
+        const Signal &s = addr[i];
+        out.tainted = out.tainted || s.taint;
+        if (!s.known()) {
+            out.xBits.push_back(static_cast<unsigned>(i));
+        } else if (s.asBool()) {
+            out.base |= 1ULL << i;
+        }
+    }
+    if (out.xBits.size() > max_unknown_bits ||
+        (1ULL << out.xBits.size()) >= 2 * words) {
+        out.fullRange = true;
+        out.xBits.clear();
+        out.base = 0;
+    }
+    return out;
+}
+
+void
+forEachAddr(const MemAddr &addr, size_t words,
+            const std::function<void(size_t)> &fn)
+{
+    if (addr.fullRange) {
+        for (size_t w = 0; w < words; ++w)
+            fn(w);
+        return;
+    }
+    const size_t combos = 1ULL << addr.xBits.size();
+    for (size_t c = 0; c < combos; ++c) {
+        uint64_t a = addr.base;
+        for (size_t k = 0; k < addr.xBits.size(); ++k) {
+            if ((c >> k) & 1ULL)
+                a |= 1ULL << addr.xBits[k];
+        }
+        if (a < words)
+            fn(static_cast<size_t>(a));
+    }
+}
+
+void
+memoryRead(const std::vector<Signal> &cells, unsigned width, size_t words,
+           const MemAddr &addr, std::span<Signal> data_out)
+{
+    GLIFS_ASSERT(data_out.size() == width, "memoryRead width mismatch");
+    GLIFS_ASSERT(cells.size() == words * width, "memoryRead cell count");
+
+    if (addr.concrete()) {
+        if (addr.base < words) {
+            const Signal *cell = &cells[addr.base * width];
+            for (unsigned b = 0; b < width; ++b) {
+                data_out[b] = cell[b];
+                data_out[b].taint = data_out[b].taint || addr.tainted;
+            }
+        } else {
+            for (unsigned b = 0; b < width; ++b)
+                data_out[b] = Signal{Tern::X, addr.tainted};
+        }
+        return;
+    }
+
+    bool any = false;
+    for (unsigned b = 0; b < width; ++b)
+        data_out[b] = Signal{Tern::X, false};
+    forEachAddr(addr, words, [&](size_t w) {
+        const Signal *cell = &cells[w * width];
+        if (!any) {
+            for (unsigned b = 0; b < width; ++b)
+                data_out[b] = cell[b];
+            any = true;
+        } else {
+            for (unsigned b = 0; b < width; ++b) {
+                data_out[b].value =
+                    ternMerge(data_out[b].value, cell[b].value);
+                data_out[b].taint = data_out[b].taint || cell[b].taint;
+            }
+        }
+    });
+    for (unsigned b = 0; b < width; ++b)
+        data_out[b].taint = data_out[b].taint || addr.tainted;
+}
+
+void
+memoryWrite(std::vector<Signal> &cells, unsigned width, size_t words,
+            const MemAddr &addr, const Signal &we,
+            std::span<const Signal> data)
+{
+    GLIFS_ASSERT(data.size() == width, "memoryWrite width mismatch");
+    GLIFS_ASSERT(cells.size() == words * width, "memoryWrite cell count");
+
+    // Definitely no write: nothing to do. A tainted-but-0 enable is
+    // handled by the engine's path enumeration (the path where the
+    // write actually happens carries the taint; merges OR it back).
+    if (we.known() && !we.asBool())
+        return;
+
+    const bool strong = we.known() && we.asBool() && addr.concrete();
+    if (strong) {
+        if (addr.base >= words)
+            return;
+        Signal *cell = &cells[addr.base * width];
+        for (unsigned b = 0; b < width; ++b) {
+            cell[b] = data[b];
+            cell[b].taint =
+                cell[b].taint || addr.tainted || we.taint;
+        }
+        return;
+    }
+
+    // Possible (unknown enable) or ambiguous-address write: weak update.
+    const bool extra_taint = we.taint || addr.tainted;
+    forEachAddr(addr, words, [&](size_t w) {
+        Signal *cell = &cells[w * width];
+        for (unsigned b = 0; b < width; ++b) {
+            cell[b].value = ternMerge(cell[b].value, data[b].value);
+            cell[b].taint = cell[b].taint || data[b].taint || extra_taint;
+        }
+    });
+}
+
+} // namespace glifs

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Conservative taint semantics for memory macro blocks (Section 4.1 and
+ * Figure 9 of the paper).
+ *
+ * Reads and writes with fully known addresses behave like a normal RAM,
+ * ORing the address taint into the data taint. An address with unknown
+ * (X) bits denotes a *set* of cells: a read merges all reachable cells,
+ * and a write conservatively merges the written data into every
+ * reachable cell — a store through a fully unknown tainted pointer
+ * therefore taints the whole memory, exactly the behaviour the paper
+ * reports for the unmasked Figure 9 listing.
+ */
+
+#ifndef GLIFS_NETLIST_MEMORY_ARRAY_HH
+#define GLIFS_NETLIST_MEMORY_ARRAY_HH
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace glifs
+{
+
+/** Decoded view of a (possibly partially unknown) memory address. */
+struct MemAddr
+{
+    uint64_t base = 0;               ///< known bits of the address
+    std::vector<unsigned> xBits;     ///< bit positions whose value is X
+    bool tainted = false;            ///< OR of all address-bit taints
+    bool fullRange = false;          ///< too many X bits: any cell
+
+    /** Exactly one concrete address? */
+    bool concrete() const { return !fullRange && xBits.empty(); }
+};
+
+/** Decode address signals (LSB first) into a MemAddr. */
+MemAddr decodeMemAddr(std::span<const Signal> addr, size_t words,
+                      unsigned max_unknown_bits);
+
+/**
+ * Enumerate every in-range concrete address a MemAddr may denote and
+ * call @p fn(word_index) for each.
+ */
+void forEachAddr(const MemAddr &addr, size_t words,
+                 const std::function<void(size_t)> &fn);
+
+/**
+ * Read one word. @p cells is the backing store laid out as
+ * words*width signals, word-major. Output has @p width signals.
+ */
+void memoryRead(const std::vector<Signal> &cells, unsigned width,
+                size_t words, const MemAddr &addr,
+                std::span<Signal> data_out);
+
+/**
+ * Apply one write-port update at a clock edge. @p we is the write
+ * enable signal, @p data the word to store.
+ */
+void memoryWrite(std::vector<Signal> &cells, unsigned width, size_t words,
+                 const MemAddr &addr, const Signal &we,
+                 std::span<const Signal> data);
+
+} // namespace glifs
+
+#endif // GLIFS_NETLIST_MEMORY_ARRAY_HH

@@ -1,0 +1,47 @@
+#include "netlist/stats.hh"
+
+#include <sstream>
+
+namespace glifs
+{
+
+NetlistStats
+computeStats(const Netlist &nl)
+{
+    NetlistStats s;
+    s.nets = nl.numNets();
+    s.memories = nl.numMemories();
+    s.inputs = nl.inputs().size();
+    s.outputs = nl.outputs().size();
+    for (const Gate &g : nl.gates()) {
+        switch (g.type) {
+          case GateType::Comb:
+            ++s.combGates;
+            ++s.combByKind[static_cast<size_t>(g.kind)];
+            break;
+          case GateType::Dff:
+            ++s.dffs;
+            break;
+          case GateType::Const:
+            ++s.consts;
+            break;
+          case GateType::Input:
+            break;
+        }
+    }
+    for (const MemoryDecl &m : nl.memoryList())
+        s.memoryBits += m.words * m.width;
+    return s;
+}
+
+std::string
+NetlistStats::str() const
+{
+    std::ostringstream oss;
+    oss << "nets=" << nets << " comb=" << combGates << " dff=" << dffs
+        << " mem=" << memories << " (" << memoryBits << " bits)"
+        << " in=" << inputs << " out=" << outputs;
+    return oss.str();
+}
+
+} // namespace glifs

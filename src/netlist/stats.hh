@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Gate-count statistics for a netlist (used by Footnote-8 style
+ * reporting and the energy model).
+ */
+
+#ifndef GLIFS_NETLIST_STATS_HH
+#define GLIFS_NETLIST_STATS_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "netlist/netlist.hh"
+
+namespace glifs
+{
+
+/** Aggregate counts over a netlist. */
+struct NetlistStats
+{
+    std::array<size_t, 9> combByKind{};  ///< indexed by GateKind
+    size_t combGates = 0;
+    size_t dffs = 0;
+    size_t consts = 0;
+    size_t inputs = 0;
+    size_t outputs = 0;
+    size_t nets = 0;
+    size_t memories = 0;
+    size_t memoryBits = 0;
+
+    /** All nodes the symbolic analysis tracks state or taint for. */
+    size_t trackedGates() const { return combGates + dffs; }
+
+    std::string str() const;
+};
+
+/** Compute statistics for a netlist. */
+NetlistStats computeStats(const Netlist &nl);
+
+} // namespace glifs
+
+#endif // GLIFS_NETLIST_STATS_HH

@@ -1,0 +1,80 @@
+#include "netlist/validate.hh"
+
+#include "base/logging.hh"
+#include "netlist/levelize.hh"
+
+namespace glifs
+{
+
+std::vector<ValidationIssue>
+validate(const Netlist &nl)
+{
+    std::vector<ValidationIssue> issues;
+    auto error = [&](std::string msg) {
+        issues.push_back({ValidationIssue::Severity::Error,
+                          std::move(msg)});
+    };
+    auto warning = [&](std::string msg) {
+        issues.push_back({ValidationIssue::Severity::Warning,
+                          std::move(msg)});
+    };
+
+    for (GateId g = 0; g < nl.numGates(); ++g) {
+        const Gate &gate = nl.gate(g);
+        switch (gate.type) {
+          case GateType::Comb: {
+            const unsigned arity = gateArity(gate.kind);
+            for (unsigned i = 0; i < arity; ++i) {
+                if (gate.in[i] == kNoNet) {
+                    error(detail::concat("gate ", g, " (",
+                                         gateKindName(gate.kind),
+                                         ") input ", i, " unconnected"));
+                }
+            }
+            break;
+          }
+          case GateType::Dff: {
+            for (unsigned i = 0; i < 3; ++i) {
+                if (gate.in[i] == kNoNet) {
+                    error(detail::concat(
+                        "dff ", g, " (net '", nl.net(gate.out).name,
+                        "') input ", i, " unconnected"));
+                }
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    for (NetId n = 0; n < nl.numNets(); ++n) {
+        if (nl.undriven(n))
+            warning(detail::concat("net ", n, " ('", nl.net(n).name,
+                                   "') has no driver"));
+    }
+
+    bool have_errors = false;
+    for (const auto &i : issues)
+        have_errors |= i.severity == ValidationIssue::Severity::Error;
+
+    if (!have_errors) {
+        try {
+            levelize(nl);
+        } catch (const FatalError &e) {
+            error(e.what());
+        }
+    }
+    return issues;
+}
+
+void
+validateOrDie(const Netlist &nl)
+{
+    for (const auto &issue : validate(nl)) {
+        if (issue.severity == ValidationIssue::Severity::Error)
+            GLIFS_FATAL("netlist validation: ", issue.message);
+    }
+}
+
+} // namespace glifs

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Structural sanity checks for a finished netlist.
+ */
+
+#ifndef GLIFS_NETLIST_VALIDATE_HH
+#define GLIFS_NETLIST_VALIDATE_HH
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace glifs
+{
+
+/** One validation problem. */
+struct ValidationIssue
+{
+    enum class Severity { Error, Warning };
+    Severity severity;
+    std::string message;
+};
+
+/**
+ * Check the netlist for structural problems: unconnected gate inputs,
+ * nets with no driver that are not primary inputs, disconnected
+ * flip-flops, and combinational cycles.
+ */
+std::vector<ValidationIssue> validate(const Netlist &nl);
+
+/** Run validate() and fatal() on the first error. */
+void validateOrDie(const Netlist &nl);
+
+} // namespace glifs
+
+#endif // GLIFS_NETLIST_VALIDATE_HH

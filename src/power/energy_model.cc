@@ -1,0 +1,40 @@
+#include "power/energy_model.hh"
+
+#include <sstream>
+
+namespace glifs
+{
+
+EnergyReport
+computeEnergy(const NetlistStats &stats, const ToggleStats &toggles,
+              const EnergyParams &params)
+{
+    EnergyReport rep;
+    for (size_t k = 0; k < toggles.combToggles.size(); ++k) {
+        rep.switchingFj +=
+            params.combSwitchFj[k] *
+            static_cast<double>(toggles.combToggles[k]);
+    }
+    rep.switchingFj +=
+        params.dffSwitchFj * static_cast<double>(toggles.dffToggles);
+    rep.leakageFj = params.leakFjPerGateCycle *
+                    static_cast<double>(stats.trackedGates()) *
+                    static_cast<double>(toggles.cycles);
+    rep.memoryFj =
+        params.memWriteFj * static_cast<double>(toggles.memWrites);
+    return rep;
+}
+
+std::string
+EnergyReport::str() const
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(1);
+    oss << "switching " << switchingFj / 1000.0 << " pJ, leakage "
+        << leakageFj / 1000.0 << " pJ, memory " << memoryFj / 1000.0
+        << " pJ, total " << totalFj() / 1000.0 << " pJ";
+    return oss.str();
+}
+
+} // namespace glifs

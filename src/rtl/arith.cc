@@ -1,0 +1,76 @@
+#include "rtl/arith.hh"
+
+#include "base/logging.hh"
+
+namespace glifs
+{
+
+AddResult
+rtlAdd(RtlBuilder &rb, const Bus &a, const Bus &b, NetId cin)
+{
+    GLIFS_ASSERT(a.size() == b.size() && !a.empty(), "rtlAdd widths");
+    AddResult res;
+    res.sum.reserve(a.size());
+    NetId carry = cin;
+    NetId carry_prev = cin;
+    for (size_t i = 0; i < a.size(); ++i) {
+        NetId axb = rb.bXor(a[i], b[i]);
+        res.sum.push_back(rb.bXor(axb, carry));
+        carry_prev = carry;
+        // carry-out = ab + c(a^b)
+        carry = rb.bOr(rb.bAnd(a[i], b[i]), rb.bAnd(carry, axb));
+    }
+    res.carryOut = carry;
+    // Signed overflow: carry into MSB != carry out of MSB.
+    res.overflow = rb.bXor(carry, carry_prev);
+    return res;
+}
+
+AddResult
+rtlSub(RtlBuilder &rb, const Bus &a, const Bus &b)
+{
+    return rtlAdd(rb, a, rb.busNot(b), rb.one());
+}
+
+AddResult
+rtlAddSub(RtlBuilder &rb, const Bus &a, const Bus &b, NetId sub)
+{
+    Bus b_eff;
+    b_eff.reserve(b.size());
+    for (NetId n : b)
+        b_eff.push_back(rb.bXor(n, sub));
+    return rtlAdd(rb, a, b_eff, sub);
+}
+
+Bus
+rtlInc(RtlBuilder &rb, const Bus &a)
+{
+    return rtlAdd(rb, a, rb.busConst(0, static_cast<unsigned>(a.size())),
+                  rb.one()).sum;
+}
+
+Bus
+rtlDec(RtlBuilder &rb, const Bus &a)
+{
+    // a - 1 == a + ~0 + 0
+    return rtlAdd(rb, a,
+                  rb.busConst(~0ULL, static_cast<unsigned>(a.size())),
+                  rb.zero()).sum;
+}
+
+NetId
+rtlLtU(RtlBuilder &rb, const Bus &a, const Bus &b)
+{
+    // a < b unsigned <=> borrow out of a - b <=> NOT carryOut.
+    return rb.bNot(rtlSub(rb, a, b).carryOut);
+}
+
+NetId
+rtlLtS(RtlBuilder &rb, const Bus &a, const Bus &b)
+{
+    AddResult d = rtlSub(rb, a, b);
+    // a < b signed <=> N xor V of (a - b).
+    return rb.bXor(d.sum.back(), d.overflow);
+}
+
+} // namespace glifs

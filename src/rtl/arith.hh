@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Arithmetic components elaborated to gates: ripple-carry adders,
+ * subtractors, incrementers and comparators.
+ */
+
+#ifndef GLIFS_RTL_ARITH_HH
+#define GLIFS_RTL_ARITH_HH
+
+#include "rtl/bus.hh"
+
+namespace glifs
+{
+
+/** Sum and carry-out of an adder. */
+struct AddResult
+{
+    Bus sum;
+    NetId carryOut = kNoNet;
+    NetId overflow = kNoNet;  ///< signed overflow
+};
+
+/** a + b + cin (ripple-carry). */
+AddResult rtlAdd(RtlBuilder &rb, const Bus &a, const Bus &b, NetId cin);
+
+/** a - b (two's complement); carryOut is the NOT-borrow flag. */
+AddResult rtlSub(RtlBuilder &rb, const Bus &a, const Bus &b);
+
+/**
+ * sub ? a - b : a + b, sharing one adder (the ALU uses this).
+ * carryOut follows the MSP430 convention (carry for add, not-borrow for
+ * subtract).
+ */
+AddResult rtlAddSub(RtlBuilder &rb, const Bus &a, const Bus &b, NetId sub);
+
+/** a + 1. */
+Bus rtlInc(RtlBuilder &rb, const Bus &a);
+
+/** a - 1. */
+Bus rtlDec(RtlBuilder &rb, const Bus &a);
+
+/** Unsigned a < b. */
+NetId rtlLtU(RtlBuilder &rb, const Bus &a, const Bus &b);
+
+/** Signed a < b. */
+NetId rtlLtS(RtlBuilder &rb, const Bus &a, const Bus &b);
+
+} // namespace glifs
+
+#endif // GLIFS_RTL_ARITH_HH

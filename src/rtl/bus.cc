@@ -1,0 +1,186 @@
+#include "rtl/bus.hh"
+
+#include "base/bitutil.hh"
+#include "base/logging.hh"
+
+namespace glifs
+{
+
+void
+RtlBuilder::checkSameWidth(const Bus &a, const Bus &b) const
+{
+    GLIFS_ASSERT(a.size() == b.size(), "bus width mismatch: ", a.size(),
+                 " vs ", b.size());
+}
+
+Bus
+RtlBuilder::busInput(const std::string &name, unsigned width)
+{
+    Bus out;
+    out.reserve(width);
+    for (unsigned i = 0; i < width; ++i)
+        out.push_back(netlist().addInput(name + "[" + std::to_string(i) +
+                                         "]"));
+    return out;
+}
+
+Bus
+RtlBuilder::busNets(const std::string &name, unsigned width)
+{
+    Bus out;
+    out.reserve(width);
+    for (unsigned i = 0; i < width; ++i)
+        out.push_back(netlist().addNet(name + "[" + std::to_string(i) +
+                                       "]"));
+    return out;
+}
+
+Bus
+RtlBuilder::busConst(uint64_t value, unsigned width)
+{
+    Bus out;
+    out.reserve(width);
+    for (unsigned i = 0; i < width; ++i)
+        out.push_back(bit(value, i) ? one() : zero());
+    return out;
+}
+
+Bus
+RtlBuilder::busNot(const Bus &a)
+{
+    Bus out;
+    out.reserve(a.size());
+    for (NetId n : a)
+        out.push_back(bNot(n));
+    return out;
+}
+
+Bus
+RtlBuilder::busAnd(const Bus &a, const Bus &b)
+{
+    checkSameWidth(a, b);
+    Bus out;
+    out.reserve(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out.push_back(bAnd(a[i], b[i]));
+    return out;
+}
+
+Bus
+RtlBuilder::busOr(const Bus &a, const Bus &b)
+{
+    checkSameWidth(a, b);
+    Bus out;
+    out.reserve(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out.push_back(bOr(a[i], b[i]));
+    return out;
+}
+
+Bus
+RtlBuilder::busXor(const Bus &a, const Bus &b)
+{
+    checkSameWidth(a, b);
+    Bus out;
+    out.reserve(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out.push_back(bXor(a[i], b[i]));
+    return out;
+}
+
+Bus
+RtlBuilder::busMux(NetId sel, const Bus &a, const Bus &b)
+{
+    checkSameWidth(a, b);
+    Bus out;
+    out.reserve(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        out.push_back(bMux(sel, a[i], b[i]));
+    return out;
+}
+
+Bus
+RtlBuilder::busGate(NetId en, const Bus &a)
+{
+    Bus out;
+    out.reserve(a.size());
+    for (NetId n : a)
+        out.push_back(bAnd(en, n));
+    return out;
+}
+
+NetId
+RtlBuilder::busEq(const Bus &a, const Bus &b)
+{
+    checkSameWidth(a, b);
+    std::vector<NetId> eqs;
+    eqs.reserve(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        eqs.push_back(bXnor(a[i], b[i]));
+    return reduceAnd(eqs);
+}
+
+NetId
+RtlBuilder::busEqConst(const Bus &a, uint64_t value)
+{
+    return matchesConst(std::span<const NetId>(a.data(), a.size()), value);
+}
+
+NetId
+RtlBuilder::busIsZero(const Bus &a)
+{
+    return isZero(std::span<const NetId>(a.data(), a.size()));
+}
+
+NetId
+RtlBuilder::busNonZero(const Bus &a)
+{
+    return reduceOr(std::span<const NetId>(a.data(), a.size()));
+}
+
+Bus
+RtlBuilder::slice(const Bus &a, unsigned lo, unsigned n)
+{
+    GLIFS_ASSERT(lo + n <= a.size(), "bad bus slice");
+    return Bus(a.begin() + lo, a.begin() + lo + n);
+}
+
+Bus
+RtlBuilder::concat(const Bus &lo, const Bus &hi)
+{
+    Bus out(lo);
+    out.insert(out.end(), hi.begin(), hi.end());
+    return out;
+}
+
+Bus
+RtlBuilder::zext(const Bus &a, unsigned width)
+{
+    Bus out(a);
+    if (out.size() > width)
+        out.resize(width);
+    while (out.size() < width)
+        out.push_back(zero());
+    return out;
+}
+
+Bus
+RtlBuilder::sext(const Bus &a, unsigned width)
+{
+    GLIFS_ASSERT(!a.empty(), "sext of empty bus");
+    Bus out(a);
+    if (out.size() > width)
+        out.resize(width);
+    while (out.size() < width)
+        out.push_back(a.back());
+    return out;
+}
+
+void
+RtlBuilder::busOutput(const Bus &a, const std::string &name)
+{
+    for (size_t i = 0; i < a.size(); ++i)
+        netlist().markOutput(a[i], name + "[" + std::to_string(i) + "]");
+}
+
+} // namespace glifs

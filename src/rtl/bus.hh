@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Word-level RTL construction over a gate netlist.
+ *
+ * A Bus is an ordered (LSB-first) list of nets. RtlBuilder elaborates
+ * word-level operators into primitive gates so the whole IoT430 SoC ends
+ * up as a genuine gate-level netlist.
+ */
+
+#ifndef GLIFS_RTL_BUS_HH
+#define GLIFS_RTL_BUS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/builder.hh"
+
+namespace glifs
+{
+
+/** An LSB-first bundle of nets. */
+using Bus = std::vector<NetId>;
+
+/**
+ * Word-level gate elaborator.
+ */
+class RtlBuilder : public NetBuilder
+{
+  public:
+    explicit RtlBuilder(Netlist &netlist) : NetBuilder(netlist) {}
+
+    /** A bus of fresh primary inputs named name[i]. */
+    Bus busInput(const std::string &name, unsigned width);
+
+    /** A bus of fresh unconnected nets (for memory read data etc.). */
+    Bus busNets(const std::string &name, unsigned width);
+
+    /** A constant bus. */
+    Bus busConst(uint64_t value, unsigned width);
+
+    /** Bitwise operators. */
+    Bus busNot(const Bus &a);
+    Bus busAnd(const Bus &a, const Bus &b);
+    Bus busOr(const Bus &a, const Bus &b);
+    Bus busXor(const Bus &a, const Bus &b);
+
+    /** Per-bit 2:1 mux: out = sel ? b : a. */
+    Bus busMux(NetId sel, const Bus &a, const Bus &b);
+
+    /** AND every bit with one enable net. */
+    Bus busGate(NetId en, const Bus &a);
+
+    /** Equality / zero / reduction predicates. */
+    NetId busEq(const Bus &a, const Bus &b);
+    NetId busEqConst(const Bus &a, uint64_t value);
+    NetId busIsZero(const Bus &a);
+    NetId busNonZero(const Bus &a);
+
+    /** Slice [lo, lo+n) of a bus. */
+    static Bus slice(const Bus &a, unsigned lo, unsigned n);
+
+    /** Concatenate (lo bits first). */
+    static Bus concat(const Bus &lo, const Bus &hi);
+
+    /** Zero-extend / truncate to width. */
+    Bus zext(const Bus &a, unsigned width);
+
+    /** Sign-extend to width. */
+    Bus sext(const Bus &a, unsigned width);
+
+    /** Mark every bit as primary output named name[i]. */
+    void busOutput(const Bus &a, const std::string &name);
+
+  private:
+    void checkSameWidth(const Bus &a, const Bus &b) const;
+};
+
+} // namespace glifs
+
+#endif // GLIFS_RTL_BUS_HH

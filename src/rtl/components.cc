@@ -1,0 +1,108 @@
+#include "rtl/components.hh"
+
+#include "base/bitutil.hh"
+#include "base/logging.hh"
+
+namespace glifs
+{
+
+RegWord
+rtlRegister(RtlBuilder &rb, const std::string &name, unsigned width,
+            uint64_t rst_val, bool por_reset)
+{
+    RegWord reg;
+    reg.q.reserve(width);
+    reg.flops.reserve(width);
+    for (unsigned i = 0; i < width; ++i) {
+        DffHandle h = rb.netlist().addDff(
+            name + "[" + std::to_string(i) + "]", bit(rst_val, i),
+            por_reset);
+        reg.q.push_back(h.q);
+        reg.flops.push_back(h.gate);
+    }
+    return reg;
+}
+
+void
+rtlConnectRegister(RtlBuilder &rb, const RegWord &reg, const Bus &d,
+                   NetId rst, NetId en)
+{
+    GLIFS_ASSERT(d.size() == reg.q.size(), "register width mismatch");
+    for (size_t i = 0; i < reg.flops.size(); ++i)
+        rb.netlist().connectDff(reg.flops[i], d[i], rst, en);
+}
+
+Bus
+rtlDecoder(RtlBuilder &rb, const Bus &a)
+{
+    const size_t n = 1ULL << a.size();
+    Bus out;
+    out.reserve(n);
+    for (size_t v = 0; v < n; ++v)
+        out.push_back(rb.busEqConst(a, v));
+    return out;
+}
+
+Bus
+rtlMuxN(RtlBuilder &rb, const Bus &sel, const std::vector<Bus> &choices)
+{
+    GLIFS_ASSERT(choices.size() == (1ULL << sel.size()),
+                 "rtlMuxN needs 2^sel choices, got ", choices.size());
+    for (const Bus &c : choices) {
+        GLIFS_ASSERT(c.size() == choices[0].size(),
+                     "rtlMuxN choice width mismatch");
+    }
+
+    // Build the tree from the LSB of sel upward.
+    std::vector<Bus> level = choices;
+    for (size_t s = 0; s < sel.size(); ++s) {
+        std::vector<Bus> next;
+        next.reserve(level.size() / 2);
+        for (size_t i = 0; i + 1 < level.size(); i += 2)
+            next.push_back(rb.busMux(sel[s], level[i], level[i + 1]));
+        level.swap(next);
+    }
+    GLIFS_ASSERT(level.size() == 1, "mux tree reduction error");
+    return level[0];
+}
+
+ShiftResult
+rtlShr1(RtlBuilder &rb, const Bus &a, bool arithmetic, NetId carry_in)
+{
+    GLIFS_ASSERT(!a.empty(), "shift of empty bus");
+    ShiftResult res;
+    res.shiftedOut = a[0];
+    res.out.assign(a.begin() + 1, a.end());
+    NetId fill;
+    if (carry_in != kNoNet)
+        fill = carry_in;
+    else if (arithmetic)
+        fill = a.back();
+    else
+        fill = rb.zero();
+    res.out.push_back(fill);
+    return res;
+}
+
+ShiftResult
+rtlShl1(RtlBuilder &rb, const Bus &a, NetId carry_in)
+{
+    GLIFS_ASSERT(!a.empty(), "shift of empty bus");
+    ShiftResult res;
+    res.shiftedOut = a.back();
+    res.out.push_back(carry_in != kNoNet ? carry_in : rb.zero());
+    res.out.insert(res.out.end(), a.begin(), a.end() - 1);
+    return res;
+}
+
+Bus
+rtlSwapBytes(RtlBuilder &rb, const Bus &a)
+{
+    GLIFS_ASSERT(a.size() == 16, "rtlSwapBytes wants 16 bits");
+    (void)rb;
+    Bus out(a.begin() + 8, a.end());
+    out.insert(out.end(), a.begin(), a.begin() + 8);
+    return out;
+}
+
+} // namespace glifs

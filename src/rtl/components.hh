@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Structural components: registers, counters, decoders, wide muxes and
+ * single-bit shifters.
+ */
+
+#ifndef GLIFS_RTL_COMPONENTS_HH
+#define GLIFS_RTL_COMPONENTS_HH
+
+#include "rtl/bus.hh"
+
+namespace glifs
+{
+
+/**
+ * A word register made of DFFs whose d/rst/en inputs can be connected
+ * after creation (allowing feedback).
+ */
+struct RegWord
+{
+    Bus q;                         ///< flip-flop outputs
+    std::vector<GateId> flops;     ///< underlying DFF gates
+
+    unsigned width() const { return static_cast<unsigned>(q.size()); }
+};
+
+/**
+ * Create a register of @p width flip-flops named name[i].
+ * @param rst_val value loaded on reset
+ * @param por_reset whether the watchdog power-on reset also resets it
+ */
+RegWord rtlRegister(RtlBuilder &rb, const std::string &name,
+                    unsigned width, uint64_t rst_val = 0,
+                    bool por_reset = true);
+
+/** Connect all flops of a register to d / rst / en. */
+void rtlConnectRegister(RtlBuilder &rb, const RegWord &reg, const Bus &d,
+                        NetId rst, NetId en);
+
+/** One-hot decoder: out[i] = (a == i), for 2^a.size() outputs. */
+Bus rtlDecoder(RtlBuilder &rb, const Bus &a);
+
+/**
+ * N-way word mux: out = choices[sel]. The number of choices must be
+ * exactly 1 << sel.size(); all choices must share a width.
+ */
+Bus rtlMuxN(RtlBuilder &rb, const Bus &sel,
+            const std::vector<Bus> &choices);
+
+/** Logical shift right by one; returns shifted bus and the dropped bit. */
+struct ShiftResult
+{
+    Bus out;
+    NetId shiftedOut = kNoNet;
+};
+
+/** Logical/arithmetic shift right by 1 (arith replicates sign). */
+ShiftResult rtlShr1(RtlBuilder &rb, const Bus &a, bool arithmetic,
+                    NetId carry_in = kNoNet);
+
+/** Shift left by 1 (LSB filled with carry_in or 0). */
+ShiftResult rtlShl1(RtlBuilder &rb, const Bus &a, NetId carry_in = kNoNet);
+
+/** Byte swap of a 16-bit bus. */
+Bus rtlSwapBytes(RtlBuilder &rb, const Bus &a);
+
+} // namespace glifs
+
+#endif // GLIFS_RTL_COMPONENTS_HH

@@ -1,0 +1,38 @@
+#include "rtl/lut.hh"
+
+#include "base/bitutil.hh"
+#include "base/logging.hh"
+#include "rtl/components.hh"
+
+namespace glifs
+{
+
+Bus
+rtlLutRom(RtlBuilder &rb, const Bus &sel,
+          const std::vector<uint64_t> &table, unsigned width)
+{
+    GLIFS_ASSERT(table.size() == (1ULL << sel.size()),
+                 "rtlLutRom table size ", table.size(), " for ",
+                 sel.size(), " select bits");
+    std::vector<Bus> choices;
+    choices.reserve(table.size());
+    for (uint64_t v : table)
+        choices.push_back(rb.busConst(v, width));
+    return rtlMuxN(rb, sel, choices);
+}
+
+NetId
+rtlLutBit(RtlBuilder &rb, const Bus &sel, uint64_t truth)
+{
+    GLIFS_ASSERT(sel.size() <= 6, "rtlLutBit select too wide");
+    std::vector<Bus> choices;
+    const size_t n = 1ULL << sel.size();
+    choices.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        choices.push_back(Bus{bit(truth, static_cast<unsigned>(i))
+                                  ? rb.one()
+                                  : rb.zero()});
+    return rtlMuxN(rb, sel, choices)[0];
+}
+
+} // namespace glifs

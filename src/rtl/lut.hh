@@ -1,0 +1,31 @@
+/**
+ * @file
+ * LUT/ROM synthesis: combinational lookup tables built from mux trees.
+ * The IoT430 control unit is a microcode-style ROM synthesized with
+ * these helpers, so control is genuinely made of gates.
+ */
+
+#ifndef GLIFS_RTL_LUT_HH
+#define GLIFS_RTL_LUT_HH
+
+#include "rtl/bus.hh"
+
+namespace glifs
+{
+
+/**
+ * Synthesize a combinational ROM: out = table[sel], where table has
+ * exactly 1 << sel.size() entries of @p width bits each.
+ */
+Bus rtlLutRom(RtlBuilder &rb, const Bus &sel,
+              const std::vector<uint64_t> &table, unsigned width);
+
+/**
+ * Synthesize a single-output boolean function given its truth table
+ * (bit i of @p truth is the output for sel == i).
+ */
+NetId rtlLutBit(RtlBuilder &rb, const Bus &sel, uint64_t truth);
+
+} // namespace glifs
+
+#endif // GLIFS_RTL_LUT_HH

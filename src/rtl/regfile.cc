@@ -1,0 +1,50 @@
+#include "rtl/regfile.hh"
+
+#include "base/bitutil.hh"
+#include "base/logging.hh"
+
+namespace glifs
+{
+
+RegFile
+rtlRegFile(RtlBuilder &rb, const std::string &name, unsigned count,
+           unsigned width)
+{
+    GLIFS_ASSERT(count >= 2 && (count & (count - 1)) == 0,
+                 "register count must be a power of two");
+    RegFile rf;
+    rf.width = width;
+    rf.addrBits = bitsFor(count);
+    rf.regs.reserve(count);
+    for (unsigned r = 0; r < count; ++r) {
+        rf.regs.push_back(
+            rtlRegister(rb, name + std::to_string(r), width));
+    }
+    return rf;
+}
+
+void
+rtlRegFileWrite(RtlBuilder &rb, RegFile &rf, const Bus &waddr,
+                const Bus &wdata, NetId we, NetId rst)
+{
+    GLIFS_ASSERT(waddr.size() == rf.addrBits, "regfile waddr width");
+    GLIFS_ASSERT(wdata.size() == rf.width, "regfile wdata width");
+    Bus onehot = rtlDecoder(rb, waddr);
+    for (size_t r = 0; r < rf.regs.size(); ++r) {
+        NetId en = rb.bAnd(we, onehot[r]);
+        rtlConnectRegister(rb, rf.regs[r], wdata, rst, en);
+    }
+}
+
+Bus
+rtlRegFileRead(RtlBuilder &rb, const RegFile &rf, const Bus &raddr)
+{
+    GLIFS_ASSERT(raddr.size() == rf.addrBits, "regfile raddr width");
+    std::vector<Bus> choices;
+    choices.reserve(rf.regs.size());
+    for (const RegWord &r : rf.regs)
+        choices.push_back(r.q);
+    return rtlMuxN(rb, raddr, choices);
+}
+
+} // namespace glifs

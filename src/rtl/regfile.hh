@@ -1,0 +1,43 @@
+/**
+ * @file
+ * A register file elaborated to DFFs with one write port and two
+ * combinational read ports.
+ */
+
+#ifndef GLIFS_RTL_REGFILE_HH
+#define GLIFS_RTL_REGFILE_HH
+
+#include "rtl/components.hh"
+
+namespace glifs
+{
+
+/** Handle to an elaborated register file. */
+struct RegFile
+{
+    std::vector<RegWord> regs;   ///< one register per architectural reg
+    unsigned width = 0;
+    unsigned addrBits = 0;
+};
+
+/**
+ * Create @p count registers of @p width bits named name<r>[i].
+ * Registers reset to 0 and are POR-reset (the watchdog reset clears
+ * them, as the paper's proof requires).
+ */
+RegFile rtlRegFile(RtlBuilder &rb, const std::string &name, unsigned count,
+                   unsigned width);
+
+/**
+ * Wire the shared write port: on a rising edge with @p we asserted,
+ * regs[waddr] <= wdata. @p rst resets every register.
+ */
+void rtlRegFileWrite(RtlBuilder &rb, RegFile &rf, const Bus &waddr,
+                     const Bus &wdata, NetId we, NetId rst);
+
+/** Combinational read port: returns regs[raddr]. */
+Bus rtlRegFileRead(RtlBuilder &rb, const RegFile &rf, const Bus &raddr);
+
+} // namespace glifs
+
+#endif // GLIFS_RTL_REGFILE_HH

@@ -1,0 +1,49 @@
+#include "sim/signal_state.hh"
+
+#include "base/logging.hh"
+
+namespace glifs
+{
+
+SignalState::SignalState(const Netlist &nl)
+{
+    netSignals.assign(nl.numNets(), Signal{Tern::X, false});
+    memories.resize(nl.numMemories());
+    for (MemId m = 0; m < nl.numMemories(); ++m) {
+        const MemoryDecl &decl = nl.memory(m);
+        memories[m].assign(decl.words * decl.width,
+                           Signal{Tern::X, false});
+    }
+    // Constant nets hold their value from the start.
+    for (const Gate &g : nl.gates()) {
+        if (g.type == GateType::Const)
+            netSignals[g.out] = sigBool(g.constVal);
+    }
+}
+
+uint64_t
+SignalState::memWordValue(const Netlist &nl, MemId id, size_t word) const
+{
+    const MemoryDecl &decl = nl.memory(id);
+    GLIFS_ASSERT(word < decl.words, "memWordValue out of range");
+    uint64_t v = 0;
+    const Signal *cell = &memories[id][word * decl.width];
+    for (unsigned b = 0; b < decl.width; ++b) {
+        if (cell[b].known() && cell[b].asBool())
+            v |= 1ULL << b;
+    }
+    return v;
+}
+
+void
+SignalState::setMemWord(const Netlist &nl, MemId id, size_t word,
+                        uint64_t value, bool taint)
+{
+    const MemoryDecl &decl = nl.memory(id);
+    GLIFS_ASSERT(word < decl.words, "setMemWord out of range");
+    Signal *cell = &memories[id][word * decl.width];
+    for (unsigned b = 0; b < decl.width; ++b)
+        cell[b] = Signal{ternBool((value >> b) & 1ULL), taint};
+}
+
+} // namespace glifs

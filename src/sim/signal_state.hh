@@ -1,0 +1,53 @@
+/**
+ * @file
+ * The mutable value/taint state of a netlist simulation: one Signal per
+ * net plus the contents of every memory block.
+ */
+
+#ifndef GLIFS_SIM_SIGNAL_STATE_HH
+#define GLIFS_SIM_SIGNAL_STATE_HH
+
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace glifs
+{
+
+/** Per-net signals and memory contents. */
+class SignalState
+{
+  public:
+    SignalState() = default;
+    explicit SignalState(const Netlist &nl);
+
+    Signal net(NetId id) const { return netSignals[id]; }
+    void setNet(NetId id, const Signal &s) { netSignals[id] = s; }
+
+    std::vector<Signal> &memCells(MemId id) { return memories[id]; }
+    const std::vector<Signal> &memCells(MemId id) const
+    {
+        return memories[id];
+    }
+
+    /** Read one memory word's concrete value; X bits read as 0. */
+    uint64_t memWordValue(const Netlist &nl, MemId id, size_t word) const;
+
+    /** Store a concrete, untainted word into a memory. */
+    void setMemWord(const Netlist &nl, MemId id, size_t word,
+                    uint64_t value, bool taint = false);
+
+    size_t numNets() const { return netSignals.size(); }
+    size_t numMems() const { return memories.size(); }
+
+    /** Raw per-net signal array (fast whole-state scans). */
+    const std::vector<Signal> &rawNets() const { return netSignals; }
+
+  private:
+    std::vector<Signal> netSignals;
+    std::vector<std::vector<Signal>> memories;
+};
+
+} // namespace glifs
+
+#endif // GLIFS_SIM_SIGNAL_STATE_HH

@@ -1,0 +1,119 @@
+#include "sim/simulator.hh"
+
+#include "base/logging.hh"
+#include "logic/glift.hh"
+
+namespace glifs
+{
+
+Simulator::Simulator(const Netlist &netlist)
+    : nl(netlist), order(levelize(netlist)), sigs(netlist)
+{
+}
+
+void
+Simulator::evalMemRead(MemId m)
+{
+    const MemoryDecl &decl = nl.memory(m);
+    std::vector<Signal> addr(decl.readAddr.size());
+    for (size_t i = 0; i < addr.size(); ++i)
+        addr[i] = sigs.net(decl.readAddr[i]);
+
+    MemAddr ma = decodeMemAddr(addr, decl.words, decl.maxUnknownAddrBits);
+    if (!decl.addrTaintsRead)
+        ma.tainted = false;
+    std::vector<Signal> data(decl.width);
+    memoryRead(sigs.memCells(m), decl.width, decl.words, ma, data);
+    for (unsigned b = 0; b < decl.width; ++b)
+        sigs.setNet(decl.readData[b], data[b]);
+}
+
+void
+Simulator::evalComb()
+{
+    const GliftTables &glift = GliftTables::instance();
+    for (const EvalStep &step : order) {
+        if (step.kind == EvalStep::Kind::MemRead) {
+            evalMemRead(step.index);
+            continue;
+        }
+        const Gate &g = nl.gate(step.index);
+        Signal in[3];
+        const unsigned arity = gateArity(g.kind);
+        for (unsigned i = 0; i < arity; ++i)
+            in[i] = sigs.net(g.in[i]);
+        Signal out = glift.eval(g.kind, in);
+        if (togglesOn) {
+            Signal prev = sigs.net(g.out);
+            if (prev.value != out.value)
+                ++toggles.combToggles[static_cast<size_t>(g.kind)];
+        }
+        sigs.setNet(g.out, out);
+    }
+}
+
+void
+Simulator::clockEdge()
+{
+    // Compute all flip-flop next states from the settled nets...
+    std::vector<Signal> dff_next;
+    dff_next.reserve(nl.dffs().size());
+    for (GateId gid : nl.dffs()) {
+        const Gate &g = nl.gate(gid);
+        dff_next.push_back(dffNext(sigs.net(g.in[0]), sigs.net(g.in[1]),
+                                   sigs.net(g.in[2]), sigs.net(g.out),
+                                   g.rstVal));
+    }
+
+    // ... and all memory write-port updates, before committing anything,
+    // so the edge is atomic.
+    struct PendingWrite
+    {
+        MemId mem;
+        MemAddr addr;
+        Signal we;
+        std::vector<Signal> data;
+    };
+    std::vector<PendingWrite> writes;
+    for (MemId m = 0; m < nl.numMemories(); ++m) {
+        const MemoryDecl &decl = nl.memory(m);
+        if (!decl.writable)
+            continue;
+        PendingWrite w;
+        w.mem = m;
+        w.we = sigs.net(decl.writeEn);
+        if (w.we.known() && !w.we.asBool() && !w.we.taint)
+            continue;
+        std::vector<Signal> addr(decl.writeAddr.size());
+        for (size_t i = 0; i < addr.size(); ++i)
+            addr[i] = sigs.net(decl.writeAddr[i]);
+        w.addr = decodeMemAddr(addr, decl.words, decl.maxUnknownAddrBits);
+        w.data.resize(decl.width);
+        for (unsigned b = 0; b < decl.width; ++b)
+            w.data[b] = sigs.net(decl.writeData[b]);
+        writes.push_back(std::move(w));
+    }
+
+    // Commit.
+    size_t i = 0;
+    for (GateId gid : nl.dffs()) {
+        const Gate &g = nl.gate(gid);
+        if (togglesOn && sigs.net(g.out).value != dff_next[i].value)
+            ++toggles.dffToggles;
+        sigs.setNet(g.out, dff_next[i]);
+        ++i;
+    }
+    for (const PendingWrite &w : writes) {
+        const MemoryDecl &decl = nl.memory(w.mem);
+        memoryWrite(sigs.memCells(w.mem), decl.width, decl.words, w.addr,
+                    w.we, w.data);
+        if (togglesOn)
+            ++toggles.memWrites;
+    }
+
+    ++cycleCount;
+    if (togglesOn)
+        ++toggles.cycles;
+}
+
+} // namespace glifs

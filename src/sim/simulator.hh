@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Cycle-accurate gate-level simulator with GLIFT taint propagation.
+ *
+ * The same engine serves two roles:
+ *  - concrete simulation (all inputs known) for functional testing,
+ *    cycle counting and energy measurement; and
+ *  - symbolic simulation (X inputs) as the single-cycle step primitive
+ *    of the paper's input-independent taint tracking (Algorithm 1).
+ */
+
+#ifndef GLIFS_SIM_SIMULATOR_HH
+#define GLIFS_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/levelize.hh"
+#include "netlist/memory_array.hh"
+#include "netlist/netlist.hh"
+#include "sim/signal_state.hh"
+#include "sim/toggle_stats.hh"
+
+namespace glifs
+{
+
+/**
+ * Gate-level cycle simulator. The netlist must outlive the simulator.
+ */
+class Simulator
+{
+  public:
+    explicit Simulator(const Netlist &nl);
+
+    const Netlist &netlist() const { return nl; }
+    SignalState &state() { return sigs; }
+    const SignalState &state() const { return sigs; }
+
+    /** Replace the whole simulation state (used by symbolic restore). */
+    void setState(const SignalState &s) { sigs = s; }
+    void setState(SignalState &&s) { sigs = std::move(s); }
+
+    /** Drive a primary input (or any undriven net). */
+    void setInput(NetId net, const Signal &s) { sigs.setNet(net, s); }
+
+    /** Current value of any net (after evalComb() for comb nets). */
+    Signal netValue(NetId net) const { return sigs.net(net); }
+
+    /**
+     * Settle all combinational logic and memory read ports for the
+     * current cycle, in levelized order.
+     */
+    void evalComb();
+
+    /**
+     * Advance one clock edge: latch every flip-flop (with the Figure-7
+     * reset-taint semantics) and commit memory write ports.
+     * evalComb() must have been called for the cycle.
+     */
+    void clockEdge();
+
+    /** evalComb() + clockEdge(). */
+    void
+    step()
+    {
+        evalComb();
+        clockEdge();
+    }
+
+    uint64_t cycle() const { return cycleCount; }
+    void resetCycleCount() { cycleCount = 0; }
+
+    /** Enable per-gate toggle counting (for the energy model). */
+    void enableToggleStats(bool on) { togglesOn = on; }
+    const ToggleStats &toggleStats() const { return toggles; }
+    ToggleStats &toggleStats() { return toggles; }
+
+  private:
+    const Netlist &nl;
+    std::vector<EvalStep> order;
+    SignalState sigs;
+    uint64_t cycleCount = 0;
+    bool togglesOn = false;
+    ToggleStats toggles;
+
+    void evalMemRead(MemId m);
+};
+
+} // namespace glifs
+
+#endif // GLIFS_SIM_SIMULATOR_HH

@@ -1,0 +1,24 @@
+#include "sim/toggle_stats.hh"
+
+namespace glifs
+{
+
+void
+ToggleStats::clear()
+{
+    combToggles.fill(0);
+    dffToggles = 0;
+    memWrites = 0;
+    cycles = 0;
+}
+
+uint64_t
+ToggleStats::totalCombToggles() const
+{
+    uint64_t n = 0;
+    for (uint64_t c : combToggles)
+        n += c;
+    return n;
+}
+
+} // namespace glifs

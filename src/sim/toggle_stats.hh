@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Switching-activity counters: how often each gate's output toggled.
+ * Feeds the energy model (src/power).
+ */
+
+#ifndef GLIFS_SIM_TOGGLE_STATS_HH
+#define GLIFS_SIM_TOGGLE_STATS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "logic/ternary.hh"
+
+namespace glifs
+{
+
+/** Per-kind toggle counters plus flip-flop and memory activity. */
+struct ToggleStats
+{
+    std::array<uint64_t, 9> combToggles{};  ///< indexed by GateKind
+    uint64_t dffToggles = 0;
+    uint64_t memWrites = 0;
+    uint64_t cycles = 0;
+
+    void clear();
+    uint64_t totalCombToggles() const;
+};
+
+} // namespace glifs
+
+#endif // GLIFS_SIM_TOGGLE_STATS_HH

@@ -1,0 +1,77 @@
+#include "sim/trace.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace glifs
+{
+
+void
+TraceRecorder::watch(const std::string &label, NetId net)
+{
+    columns.push_back(Column{label, {net}});
+}
+
+void
+TraceRecorder::watchBus(const std::string &label,
+                        const std::vector<NetId> &bus)
+{
+    columns.push_back(Column{label, bus});
+}
+
+void
+TraceRecorder::capture(uint64_t cycle, const SignalState &state)
+{
+    std::vector<std::string> vals;
+    vals.reserve(columns.size());
+    for (const Column &col : columns) {
+        if (col.nets.size() == 1) {
+            vals.push_back(state.net(col.nets[0]).str());
+        } else {
+            std::string s;
+            bool tainted = false;
+            for (auto it = col.nets.rbegin(); it != col.nets.rend();
+                 ++it) {
+                Signal sig = state.net(*it);
+                s.push_back(ternChar(sig.value));
+                tainted = tainted || sig.taint;
+            }
+            if (tainted)
+                s.push_back('\'');
+            vals.push_back(std::move(s));
+        }
+    }
+    rows.emplace_back(cycle, std::move(vals));
+}
+
+std::string
+TraceRecorder::str() const
+{
+    std::vector<size_t> widths(columns.size());
+    for (size_t c = 0; c < columns.size(); ++c) {
+        widths[c] = columns[c].label.size();
+        for (const auto &[cycle, vals] : rows)
+            widths[c] = std::max(widths[c], vals[c].size());
+    }
+
+    std::ostringstream oss;
+    oss << "cycle";
+    for (size_t c = 0; c < columns.size(); ++c) {
+        oss << "  " << columns[c].label
+            << std::string(widths[c] - columns[c].label.size(), ' ');
+    }
+    oss << "\n";
+    for (const auto &[cycle, vals] : rows) {
+        std::string cyc = std::to_string(cycle);
+        oss << std::string(5 - std::min<size_t>(5, cyc.size()), ' ')
+            << cyc;
+        for (size_t c = 0; c < columns.size(); ++c) {
+            oss << "  " << vals[c]
+                << std::string(widths[c] - vals[c].size(), ' ');
+        }
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace glifs

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Lightweight per-cycle text tracing of selected nets/buses (used to
+ * print Figure-7 style execution listings).
+ */
+
+#ifndef GLIFS_SIM_TRACE_HH
+#define GLIFS_SIM_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/signal_state.hh"
+
+namespace glifs
+{
+
+/** Records the values of selected signals cycle by cycle. */
+class TraceRecorder
+{
+  public:
+    /** Watch a single net under a column label. */
+    void watch(const std::string &label, NetId net);
+
+    /** Watch a bus (rendered as a binary string, MSB first). */
+    void watchBus(const std::string &label, const std::vector<NetId> &bus);
+
+    /** Capture the current values for one cycle. */
+    void capture(uint64_t cycle, const SignalState &state);
+
+    /** Render the whole trace as an aligned table. */
+    std::string str() const;
+
+    size_t numRows() const { return rows.size(); }
+    void clear() { rows.clear(); }
+
+  private:
+    struct Column
+    {
+        std::string label;
+        std::vector<NetId> nets;  ///< single net or a bus (LSB first)
+    };
+
+    std::vector<Column> columns;
+    std::vector<std::pair<uint64_t, std::vector<std::string>>> rows;
+};
+
+} // namespace glifs
+
+#endif // GLIFS_SIM_TRACE_HH

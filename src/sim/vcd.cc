@@ -1,0 +1,110 @@
+#include "sim/vcd.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace glifs
+{
+
+std::string
+VcdWriter::idFor(size_t index, bool taint)
+{
+    // Printable VCD identifier codes: base-94 over '!'..'~'.
+    std::string id;
+    size_t n = index * 2 + (taint ? 1 : 0);
+    do {
+        id.push_back(static_cast<char>('!' + n % 94));
+        n /= 94;
+    } while (n != 0);
+    return id;
+}
+
+void
+VcdWriter::watch(const std::string &name, NetId net)
+{
+    watchBus(name, {net});
+}
+
+void
+VcdWriter::watchBus(const std::string &name,
+                    const std::vector<NetId> &bus)
+{
+    GLIFS_ASSERT(samples.empty(), "watch before the first sample");
+    Watched w;
+    w.name = name;
+    w.nets = bus;
+    w.id = idFor(signals.size(), false);
+    w.taintId = idFor(signals.size(), true);
+    signals.push_back(std::move(w));
+    last.resize(signals.size());
+}
+
+void
+VcdWriter::sample(uint64_t cycle, const SignalState &state)
+{
+    Sample s;
+    s.cycle = cycle;
+    s.values.resize(signals.size());
+    for (size_t i = 0; i < signals.size(); ++i) {
+        const Watched &w = signals[i];
+        std::string bits;
+        std::string taint;
+        for (auto it = w.nets.rbegin(); it != w.nets.rend(); ++it) {
+            Signal sig = state.net(*it);
+            bits.push_back(sig.known() ? (sig.asBool() ? '1' : '0')
+                                       : 'x');
+            taint.push_back(sig.taint ? '1' : '0');
+        }
+        if (bits != last[i].first || taint != last[i].second) {
+            s.values[i] = {bits, taint};
+            last[i] = {bits, taint};
+        }
+    }
+    samples.push_back(std::move(s));
+}
+
+std::string
+VcdWriter::str() const
+{
+    std::ostringstream oss;
+    oss << "$timescale 1ns $end\n";
+    oss << "$scope module glifs $end\n";
+    for (const Watched &w : signals) {
+        oss << "$var wire " << w.nets.size() << " " << w.id << " "
+            << w.name << " $end\n";
+        oss << "$var wire " << w.nets.size() << " " << w.taintId << " "
+            << w.name << "_taint $end\n";
+    }
+    oss << "$upscope $end\n$enddefinitions $end\n";
+
+    for (const Sample &s : samples) {
+        oss << "#" << s.cycle << "\n";
+        for (size_t i = 0; i < signals.size(); ++i) {
+            const auto &[bits, taint] = s.values[i];
+            if (bits.empty())
+                continue;
+            if (signals[i].nets.size() == 1) {
+                oss << bits << signals[i].id << "\n";
+                oss << taint << signals[i].taintId << "\n";
+            } else {
+                oss << "b" << bits << " " << signals[i].id << "\n";
+                oss << "b" << taint << " " << signals[i].taintId
+                    << "\n";
+            }
+        }
+    }
+    return oss.str();
+}
+
+void
+VcdWriter::write(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        GLIFS_FATAL("cannot write ", path);
+    out << str();
+}
+
+} // namespace glifs

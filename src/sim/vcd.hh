@@ -1,0 +1,70 @@
+/**
+ * @file
+ * VCD (Value Change Dump) writer: record selected nets or buses during
+ * simulation and emit a standard VCD file that GTKWave & co. can open.
+ * Taint is emitted as a parallel `<name>_taint` signal so information
+ * flows are visible next to the values.
+ */
+
+#ifndef GLIFS_SIM_VCD_HH
+#define GLIFS_SIM_VCD_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/signal_state.hh"
+
+namespace glifs
+{
+
+/**
+ * Collects value changes and renders a VCD document.
+ */
+class VcdWriter
+{
+  public:
+    /** Watch a single net. */
+    void watch(const std::string &name, NetId net);
+
+    /** Watch a bus (LSB-first, emitted as a VCD vector). */
+    void watchBus(const std::string &name, const std::vector<NetId> &bus);
+
+    /** Sample the current state at time @p cycle. */
+    void sample(uint64_t cycle, const SignalState &state);
+
+    /** Render the complete VCD document. */
+    std::string str() const;
+
+    /** Render and write to a file. */
+    void write(const std::string &path) const;
+
+    size_t numSignals() const { return signals.size(); }
+    size_t numSamples() const { return samples.size(); }
+
+  private:
+    struct Watched
+    {
+        std::string name;
+        std::vector<NetId> nets;  // 1 = scalar
+        std::string id;           // VCD identifier code
+        std::string taintId;
+    };
+
+    struct Sample
+    {
+        uint64_t cycle;
+        /// Per watched signal: (value string, taint string); empty
+        /// strings mean "unchanged since the previous sample".
+        std::vector<std::pair<std::string, std::string>> values;
+    };
+
+    std::vector<Watched> signals;
+    std::vector<Sample> samples;
+    std::vector<std::pair<std::string, std::string>> last;
+
+    static std::string idFor(size_t index, bool taint);
+};
+
+} // namespace glifs
+
+#endif // GLIFS_SIM_VCD_HH

@@ -1,0 +1,56 @@
+#include "soc/address_map.hh"
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace glifs
+{
+
+AddrRegion
+classifyAddr(uint16_t addr)
+{
+    using namespace iot430;
+    if (addr <= kP4Out)
+        return (addr % 2 == 0) ? AddrRegion::PortIn : AddrRegion::PortOut;
+    if (addr == kWdtCtl)
+        return AddrRegion::WdtCtl;
+    if (addr >= kRamBase && addr <= kRamEnd)
+        return AddrRegion::Ram;
+    return AddrRegion::Unmapped;
+}
+
+std::optional<unsigned>
+portIndex(uint16_t addr)
+{
+    if (addr <= iot430::kP4Out)
+        return addr / 2 + 1;
+    return std::nullopt;
+}
+
+std::string
+addrName(uint16_t addr)
+{
+    switch (classifyAddr(addr)) {
+      case AddrRegion::PortIn:
+        return "P" + std::to_string(*portIndex(addr)) + "IN";
+      case AddrRegion::PortOut:
+        return "P" + std::to_string(*portIndex(addr)) + "OUT";
+      case AddrRegion::WdtCtl:
+        return "WDTCTL";
+      case AddrRegion::Ram:
+        return "RAM[" + hex16(addr) + "]";
+      case AddrRegion::Unmapped:
+        return "unmapped[" + hex16(addr) + "]";
+    }
+    return "?";
+}
+
+size_t
+ramIndex(uint16_t addr)
+{
+    GLIFS_ASSERT(classifyAddr(addr) == AddrRegion::Ram,
+                 "not a RAM address: ", hex16(addr));
+    return addr - iot430::kRamBase;
+}
+
+} // namespace glifs

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Helpers over the IoT430 data-space address map.
+ */
+
+#ifndef GLIFS_SOC_ADDRESS_MAP_HH
+#define GLIFS_SOC_ADDRESS_MAP_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "isa/isa.hh"
+
+namespace glifs
+{
+
+/** Address-space region categories. */
+enum class AddrRegion : uint8_t { PortIn, PortOut, WdtCtl, Ram, Unmapped };
+
+/** Classify a data-space word address. */
+AddrRegion classifyAddr(uint16_t addr);
+
+/** For port addresses: the port number 1..4. */
+std::optional<unsigned> portIndex(uint16_t addr);
+
+/** Human-readable name for an address ("P1IN", "WDTCTL", "RAM[0x...]"). */
+std::string addrName(uint16_t addr);
+
+/** RAM word index of a data-space address (address must be RAM). */
+size_t ramIndex(uint16_t addr);
+
+} // namespace glifs
+
+#endif // GLIFS_SOC_ADDRESS_MAP_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * SoC ALU: source-operand select, shared adder/subtractor, logic ops,
+ * single-bit shifts, flag generation and jump-condition evaluation.
+ */
+
+#include "soc/soc_internal.hh"
+
+namespace glifs
+{
+
+void
+socBuildAlu(SocCtx &ctx)
+{
+    RtlBuilder &rb = ctx.rb;
+
+    // ---- source operand -------------------------------------------------
+    // smode: 0 register, 1 immediate (tmpS), 2/3 memory (MDR).
+    ctx.srcB = rtlMuxN(rb, ctx.smode,
+                       {ctx.rsVal, ctx.tmpS.q, ctx.mdr.q, ctx.mdr.q});
+
+    const Bus &a = ctx.rdVal;
+    const Bus &b = ctx.srcB;
+
+    // ---- operation predicates -------------------------------------------
+    const NetId op_add = rb.busEqConst(ctx.opc, 0x1);
+    const NetId op_sub = rb.busEqConst(ctx.opc, 0x2);
+    const NetId op_and = rb.busEqConst(ctx.opc, 0x4);
+    const NetId op_bis = rb.busEqConst(ctx.opc, 0x5);
+    const NetId op_xor = rb.busEqConst(ctx.opc, 0x6);
+    const NetId op_bic = rb.busEqConst(ctx.opc, 0x7);
+
+    const Bus &sub_field = ctx.rsf;  // one-op subop lives in [7:4]
+    const NetId so_clr = rb.busEqConst(sub_field, 0);
+    const NetId so_inc = rb.busEqConst(sub_field, 1);
+    const NetId so_dec = rb.busEqConst(sub_field, 2);
+    const NetId so_inv = rb.busEqConst(sub_field, 3);
+    const NetId so_rra = rb.busEqConst(sub_field, 4);
+    const NetId so_rrc = rb.busEqConst(sub_field, 5);
+    const NetId so_rla = rb.busEqConst(sub_field, 6);
+    const NetId so_rlc = rb.busEqConst(sub_field, 7);
+    const NetId so_swpb = rb.busEqConst(sub_field, 8);
+    const NetId so_sxt = rb.busEqConst(sub_field, 9);
+
+    // ---- shared adder -----------------------------------------------------
+    const NetId two_sub =
+        rb.bAnd(ctx.isTwoOp, rb.bOr(op_sub, ctx.isCmp));
+    const NetId one_sub = rb.bAnd(ctx.isOneOp, so_dec);
+    const NetId do_sub = rb.bOr(two_sub, one_sub);
+    Bus add_b = rb.busMux(ctx.isOneOp, b, rb.busConst(1, 16));
+    AddResult adder = rtlAddSub(rb, a, add_b, do_sub);
+
+    // ---- logic / shift candidates -----------------------------------------
+    Bus and_res = rb.busAnd(a, b);
+    Bus bis_res = rb.busOr(a, b);
+    Bus xor_res = rb.busXor(a, b);
+    Bus bic_res = rb.busAnd(a, rb.busNot(b));
+    Bus inv_res = rb.busNot(a);
+
+    const NetId carry = ctx.flags.q[2];
+    // Right shift: fill with carry (RRC) or the sign bit (RRA).
+    NetId shr_fill = rb.bMux(so_rrc, a.back(), carry);
+    Bus shr_res(a.begin() + 1, a.end());
+    shr_res.push_back(shr_fill);
+    // Left shift: fill with carry (RLC) or 0 (RLA).
+    NetId shl_fill = rb.bMux(so_rlc, rb.zero(), carry);
+    Bus shl_res;
+    shl_res.push_back(shl_fill);
+    shl_res.insert(shl_res.end(), a.begin(), a.end() - 1);
+
+    Bus swpb_res = rtlSwapBytes(rb, a);
+    Bus sxt_res = rb.sext(RtlBuilder::slice(a, 0, 8), 16);
+
+    // ---- two-operand result ------------------------------------------------
+    Bus two_res = b;  // MOV
+    two_res = rb.busMux(rb.bOr3(op_add, op_sub, ctx.isCmp), two_res,
+                        adder.sum);
+    two_res = rb.busMux(op_and, two_res, and_res);
+    two_res = rb.busMux(op_bis, two_res, bis_res);
+    two_res = rb.busMux(op_xor, two_res, xor_res);
+    two_res = rb.busMux(op_bic, two_res, bic_res);
+
+    // ---- one-operand result -------------------------------------------------
+    Bus one_res = a;  // TST
+    one_res = rb.busMux(so_clr, one_res, rb.busConst(0, 16));
+    one_res = rb.busMux(rb.bOr(so_inc, so_dec), one_res, adder.sum);
+    one_res = rb.busMux(so_inv, one_res, inv_res);
+    one_res = rb.busMux(rb.bOr(so_rra, so_rrc), one_res, shr_res);
+    one_res = rb.busMux(rb.bOr(so_rla, so_rlc), one_res, shl_res);
+    one_res = rb.busMux(so_swpb, one_res, swpb_res);
+    one_res = rb.busMux(so_sxt, one_res, sxt_res);
+
+    ctx.aluRes = rb.busMux(ctx.isOneOp, two_res, one_res);
+
+    // ---- flags -------------------------------------------------------------
+    const NetId adder_op = rb.bOr3(
+        rb.bAnd(ctx.isTwoOp, rb.bOr3(op_add, op_sub, ctx.isCmp)),
+        rb.bAnd(ctx.isOneOp, rb.bOr(so_inc, so_dec)), rb.zero());
+    const NetId shift_r = rb.bAnd(ctx.isOneOp, rb.bOr(so_rra, so_rrc));
+    const NetId shift_l = rb.bAnd(ctx.isOneOp, rb.bOr(so_rla, so_rlc));
+
+    NetId z = rb.busIsZero(ctx.aluRes);
+    NetId n = ctx.aluRes.back();
+    NetId c = rb.zero();
+    c = rb.bMux(adder_op, c, adder.carryOut);
+    c = rb.bMux(shift_r, c, a.front());
+    c = rb.bMux(shift_l, c, a.back());
+    NetId v = rb.bMux(adder_op, rb.zero(), adder.overflow);
+
+    ctx.flagsNext = Bus{z, n, c, v};
+    ctx.flagWe = rb.bOr(rb.bAnd(ctx.isTwoOp, rb.bNot(ctx.isMov)),
+                        ctx.isOneOp);
+
+    // ---- jump condition ------------------------------------------------------
+    const NetId fz = ctx.flags.q[0];
+    const NetId fn = ctx.flags.q[1];
+    const NetId fc = ctx.flags.q[2];
+    const NetId fv = ctx.flags.q[3];
+    const NetId nxv = rb.bXor(fn, fv);
+    std::vector<Bus> conds = {
+        Bus{rb.one()},        // JMP
+        Bus{fz},              // JZ
+        Bus{rb.bNot(fz)},     // JNZ
+        Bus{fc},              // JC
+        Bus{rb.bNot(fc)},     // JNC
+        Bus{fn},              // JN
+        Bus{rb.bNot(nxv)},    // JGE
+        Bus{nxv},             // JL
+    };
+    ctx.jumpTaken = rtlMuxN(rb, ctx.jcond, conds)[0];
+}
+
+} // namespace glifs

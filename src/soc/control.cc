@@ -1,0 +1,207 @@
+/**
+ * @file
+ * SoC control: instruction decode, FSM next-state logic, and the final
+ * connection of every architectural register.
+ */
+
+#include "base/logging.hh"
+#include "soc/soc_internal.hh"
+
+namespace glifs
+{
+
+void
+socBuildDecode(SocCtx &ctx)
+{
+    RtlBuilder &rb = ctx.rb;
+
+    // FSM state one-hots (from the 4-bit state register).
+    ctx.st.resize(11);
+    for (size_t s = 0; s < ctx.st.size(); ++s)
+        ctx.st[s] = rb.busEqConst(ctx.stateReg.q, s);
+
+    // During Fetch the instruction word is still on the ROM output;
+    // afterwards it sits in IR.
+    ctx.decodeWord = rb.busMux(ctx.inState(CoreState::Fetch), ctx.ir.q,
+                               ctx.progRdata);
+
+    const Bus &d = ctx.decodeWord;
+    ctx.opc = RtlBuilder::slice(d, 12, 4);
+    ctx.rdf = RtlBuilder::slice(d, 8, 4);
+    ctx.rsf = RtlBuilder::slice(d, 4, 4);
+    ctx.smode = RtlBuilder::slice(d, 2, 2);
+    ctx.dmode = RtlBuilder::slice(d, 0, 2);
+    ctx.jcond = RtlBuilder::slice(d, 9, 3);
+    ctx.joff = RtlBuilder::slice(d, 0, 9);
+
+    ctx.isTwoOp = rb.bNot(d[15]);
+    ctx.isOneOp = rb.busEqConst(ctx.opc, 0x8);
+    ctx.isJump = rb.busEqConst(ctx.opc, 0x9);
+    ctx.isStk = rb.busEqConst(ctx.opc, 0xA);
+    ctx.isMisc = rb.busEqConst(ctx.opc, 0xB);
+
+    ctx.stkPush = rb.bAnd(ctx.isStk, rb.busEqConst(ctx.rsf, 0));
+    ctx.stkPop = rb.bAnd(ctx.isStk, rb.busEqConst(ctx.rsf, 1));
+    ctx.stkCall = rb.bAnd(ctx.isStk, rb.busEqConst(ctx.rsf, 2));
+    ctx.stkRet = rb.bAnd(ctx.isStk, rb.busEqConst(ctx.rsf, 3));
+    ctx.stkBr = rb.bAnd(ctx.isStk, rb.busEqConst(ctx.rsf, 4));
+    ctx.miscHalt = rb.bAnd(ctx.isMisc, rb.busEqConst(ctx.rsf, 1));
+
+    ctx.isMov = rb.busEqConst(ctx.opc, 0x0);
+    ctx.isCmp = rb.busEqConst(ctx.opc, 0x3);
+
+    ctx.smodeImm = rb.busEqConst(ctx.smode, 1);
+    ctx.smodeInd = rb.busEqConst(ctx.smode, 2);
+    ctx.smodeIdx = rb.busEqConst(ctx.smode, 3);
+    ctx.dmodeReg = rb.busEqConst(ctx.dmode, 0);
+    ctx.dmodeInd = rb.busEqConst(ctx.dmode, 2);
+    ctx.dmodeIdx = rb.busEqConst(ctx.dmode, 3);
+
+    ctx.needSrcImm =
+        rb.bAnd(ctx.isTwoOp, rb.bOr(ctx.smodeImm, ctx.smodeIdx));
+    ctx.needDstImm = rb.bAnd(ctx.isTwoOp, ctx.dmodeIdx);
+    ctx.needRead =
+        rb.bAnd(ctx.isTwoOp, rb.bOr(ctx.smodeInd, ctx.smodeIdx));
+    ctx.needWrite =
+        rb.bAnd(ctx.isTwoOp, rb.bOr(ctx.dmodeInd, ctx.dmodeIdx));
+}
+
+namespace
+{
+
+Bus
+stateConst(RtlBuilder &rb, CoreState s)
+{
+    return rb.busConst(static_cast<uint64_t>(s), 4);
+}
+
+} // namespace
+
+void
+socBuildControl(SocCtx &ctx)
+{
+    RtlBuilder &rb = ctx.rb;
+
+    const NetId st_f = ctx.inState(CoreState::Fetch);
+    const NetId st_si = ctx.inState(CoreState::SrcImm);
+    const NetId st_di = ctx.inState(CoreState::DstImm);
+    const NetId st_rd = ctx.inState(CoreState::ReadMem);
+    const NetId st_ex = ctx.inState(CoreState::Exec);
+    const NetId st_pu = ctx.inState(CoreState::Push);
+    const NetId st_po = ctx.inState(CoreState::Pop);
+    const NetId st_rt = ctx.inState(CoreState::Ret);
+    const NetId st_ca = ctx.inState(CoreState::Call);
+
+    // ---- final load mux (RAM vs peripherals) --------------------------
+    ctx.loaded = rb.busMux(ctx.ramSelRead, ctx.periphRdata, ctx.ramRdata);
+
+    // ---- next-state logic ---------------------------------------------
+    // Dispatch target after Fetch.
+    Bus nf = stateConst(rb, CoreState::Exec);
+    nf = rb.busMux(ctx.miscHalt, nf, stateConst(rb, CoreState::Halt));
+    nf = rb.busMux(ctx.stkRet, nf, stateConst(rb, CoreState::Ret));
+    nf = rb.busMux(ctx.stkPop, nf, stateConst(rb, CoreState::Pop));
+    nf = rb.busMux(ctx.stkPush, nf, stateConst(rb, CoreState::Push));
+    nf = rb.busMux(ctx.needRead, nf, stateConst(rb, CoreState::ReadMem));
+    nf = rb.busMux(ctx.needDstImm, nf, stateConst(rb, CoreState::DstImm));
+    nf = rb.busMux(rb.bOr(ctx.needSrcImm, ctx.stkCall), nf,
+                   stateConst(rb, CoreState::SrcImm));
+
+    // After SrcImm.
+    Bus ns = stateConst(rb, CoreState::Exec);
+    ns = rb.busMux(ctx.needRead, ns, stateConst(rb, CoreState::ReadMem));
+    ns = rb.busMux(ctx.needDstImm, ns, stateConst(rb, CoreState::DstImm));
+    ns = rb.busMux(ctx.stkCall, ns, stateConst(rb, CoreState::Call));
+
+    // After DstImm.
+    Bus nd = rb.busMux(ctx.needRead, stateConst(rb, CoreState::Exec),
+                       stateConst(rb, CoreState::ReadMem));
+
+    // After Exec.
+    Bus ne = rb.busMux(ctx.needWrite, stateConst(rb, CoreState::Fetch),
+                       stateConst(rb, CoreState::WriteMem));
+
+    std::vector<Bus> next_by_state(16, stateConst(rb, CoreState::Fetch));
+    next_by_state[static_cast<size_t>(CoreState::Fetch)] = nf;
+    next_by_state[static_cast<size_t>(CoreState::SrcImm)] = ns;
+    next_by_state[static_cast<size_t>(CoreState::DstImm)] = nd;
+    next_by_state[static_cast<size_t>(CoreState::ReadMem)] =
+        stateConst(rb, CoreState::Exec);
+    next_by_state[static_cast<size_t>(CoreState::Exec)] = ne;
+    next_by_state[static_cast<size_t>(CoreState::Halt)] =
+        stateConst(rb, CoreState::Halt);
+    Bus state_next = rtlMuxN(rb, ctx.stateReg.q, next_by_state);
+
+    rtlConnectRegister(rb, ctx.stateReg, state_next, ctx.por, rb.one());
+
+    // ---- PC -------------------------------------------------------------
+    Bus pc_inc = rtlInc(rb, ctx.pc.q);
+    Bus jump_target =
+        rtlAdd(rb, ctx.pc.q, rb.sext(ctx.joff, iot430::kPcBits),
+               rb.zero()).sum;
+
+    Bus pc_d = pc_inc;
+    const NetId exec_jump = rb.bAnd(st_ex, ctx.isJump);
+    pc_d = rb.busMux(exec_jump, pc_d,
+                     rb.busMux(ctx.jumpTaken, ctx.pc.q, jump_target));
+    const NetId exec_br = rb.bAnd(st_ex, ctx.stkBr);
+    // BR encodes its register in the rd field.
+    pc_d = rb.busMux(exec_br, pc_d,
+                     RtlBuilder::slice(ctx.rdVal, 0, iot430::kPcBits));
+    pc_d = rb.busMux(st_ca, pc_d,
+                     RtlBuilder::slice(ctx.tmpS.q, 0, iot430::kPcBits));
+    pc_d = rb.busMux(st_rt, pc_d,
+                     RtlBuilder::slice(ctx.loaded, 0, iot430::kPcBits));
+
+    NetId pc_en = rb.bOr3(st_f, st_si, st_di);
+    pc_en = rb.bOr3(pc_en, st_ca, st_rt);
+    pc_en = rb.bOr3(pc_en, exec_jump, exec_br);
+    rtlConnectRegister(rb, ctx.pc, pc_d, ctx.por, pc_en);
+
+    // Latch the address of the instruction being fetched.
+    rtlConnectRegister(rb, ctx.instrAddr, ctx.pc.q, ctx.por, st_f);
+
+    // ---- simple pipeline registers ---------------------------------------
+    rtlConnectRegister(rb, ctx.ir, ctx.progRdata, ctx.por, st_f);
+    rtlConnectRegister(rb, ctx.tmpS, ctx.progRdata, ctx.por, st_si);
+    rtlConnectRegister(rb, ctx.tmpD, ctx.progRdata, ctx.por, st_di);
+    rtlConnectRegister(rb, ctx.mdr, ctx.loaded, ctx.por, st_rd);
+    rtlConnectRegister(rb, ctx.res, ctx.aluRes, ctx.por, st_ex);
+    rtlConnectRegister(rb, ctx.flags, ctx.flagsNext, ctx.por,
+                       rb.bAnd(st_ex, ctx.flagWe));
+
+    // ---- register file writes --------------------------------------------
+    const NetId reg_dst_write = rb.bAnd(
+        st_ex,
+        rb.bOr(rb.bAnd3(ctx.isTwoOp, rb.bNot(ctx.isCmp), ctx.dmodeReg),
+               rb.bAnd(ctx.isOneOp,
+                       rb.bNot(rb.busEqConst(ctx.rsf, 10)))));  // TST
+    const NetId reg_we = rb.bOr(reg_dst_write, st_po);
+    Bus reg_wdata = rb.busMux(st_po, ctx.aluRes, ctx.loaded);
+
+    Bus onehot = rtlDecoder(rb, ctx.rdf);
+    for (size_t i = 0; i < ctx.gpr.size(); ++i) {
+        NetId en = rb.bAnd(reg_we, onehot[i + 2]);
+        rtlConnectRegister(rb, ctx.gpr[i], reg_wdata, ctx.por, en);
+    }
+
+    // ---- stack pointer ------------------------------------------------
+    Bus sp_plus1 = rtlInc(rb, ctx.sp.q);
+    const NetId sp_dec = rb.bOr(st_pu, st_ca);
+    const NetId sp_inc = rb.bOr(st_po, st_rt);
+    const NetId sp_reg_write = rb.bAnd(reg_we, onehot[1]);
+
+    Bus sp_d = reg_wdata;
+    sp_d = rb.busMux(sp_dec, sp_d, ctx.dWrite);  // push addr == SP-1
+    sp_d = rb.busMux(sp_inc, sp_d, sp_plus1);
+    NetId sp_en = rb.bOr3(sp_dec, sp_inc, sp_reg_write);
+    rtlConnectRegister(rb, ctx.sp, sp_d, ctx.por, sp_en);
+
+    // ---- GPIO output registers ------------------------------------------
+    for (unsigned p = 0; p < 4; ++p) {
+        rtlConnectRegister(rb, ctx.portOut[p], ctx.wrData, ctx.por,
+                           ctx.portOutWe[p]);
+    }
+}
+
+} // namespace glifs

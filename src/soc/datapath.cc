@@ -1,0 +1,138 @@
+/**
+ * @file
+ * SoC datapath elaboration: register shells, program ROM, register-file
+ * read ports, effective-address logic and the data RAM.
+ */
+
+#include "base/logging.hh"
+#include "soc/soc_internal.hh"
+
+namespace glifs
+{
+
+void
+socBuildShells(SocCtx &ctx)
+{
+    RtlBuilder &rb = ctx.rb;
+
+    ctx.extRst = rb.netlist().addInput("ext_rst");
+    for (unsigned p = 0; p < 4; ++p) {
+        ctx.portIn[p] =
+            rb.busInput("p" + std::to_string(p + 1) + "in", 16);
+    }
+
+    ctx.stateReg = rtlRegister(rb, "state", 4,
+                               static_cast<uint64_t>(CoreState::Fetch));
+    ctx.pc = rtlRegister(rb, "pc", iot430::kPcBits, 0);
+    ctx.instrAddr = rtlRegister(rb, "iaddr", iot430::kPcBits, 0);
+    ctx.ir = rtlRegister(rb, "ir", 16);
+    ctx.tmpS = rtlRegister(rb, "tmps", 16);
+    ctx.tmpD = rtlRegister(rb, "tmpd", 16);
+    ctx.mdr = rtlRegister(rb, "mdr", 16);
+    ctx.res = rtlRegister(rb, "res", 16);
+    ctx.flags = rtlRegister(rb, "flags", 4);
+    ctx.sp = rtlRegister(rb, "sp", 16);
+    ctx.gpr.reserve(14);
+    for (unsigned r = 2; r < iot430::kNumRegs; ++r)
+        ctx.gpr.push_back(rtlRegister(rb, "r" + std::to_string(r), 16));
+
+    for (unsigned p = 0; p < 4; ++p) {
+        ctx.portOut[p] =
+            rtlRegister(rb, "p" + std::to_string(p + 1) + "out", 16);
+    }
+    ctx.wdtCounter = rtlRegister(rb, "wdt_cnt", 16, 0);
+    ctx.wdtHold = rtlRegister(rb, "wdt_hold", 1, 1);
+}
+
+void
+socBuildRom(SocCtx &ctx)
+{
+    RtlBuilder &rb = ctx.rb;
+    ctx.progRdata = rb.busNets("prog_rdata", 16);
+
+    MemoryDecl rom;
+    rom.name = "progmem";
+    rom.width = 16;
+    rom.words = ctx.cfg.progWords;
+    rom.writable = false;
+    rom.addrTaintsRead = false;  // see MemoryDecl::addrTaintsRead
+    rom.readAddr = ctx.pc.q;
+    rom.readData = ctx.progRdata;
+    ctx.progMem = rb.netlist().addMemory(rom);
+}
+
+void
+socBuildRegRead(SocCtx &ctx)
+{
+    RtlBuilder &rb = ctx.rb;
+
+    std::vector<Bus> choices;
+    choices.reserve(iot430::kNumRegs);
+    choices.push_back(rb.busConst(0, 16));  // r0: constant zero
+    choices.push_back(ctx.sp.q);            // r1: stack pointer
+    for (const RegWord &r : ctx.gpr)
+        choices.push_back(r.q);
+
+    ctx.rsVal = rtlMuxN(rb, ctx.rsf, choices);
+    ctx.rdVal = rtlMuxN(rb, ctx.rdf, choices);
+}
+
+void
+socBuildAddressing(SocCtx &ctx)
+{
+    RtlBuilder &rb = ctx.rb;
+
+    const NetId st_pop = ctx.inState(CoreState::Pop);
+    const NetId st_ret = ctx.inState(CoreState::Ret);
+    const NetId st_push = ctx.inState(CoreState::Push);
+    const NetId st_call = ctx.inState(CoreState::Call);
+    const NetId st_write = ctx.inState(CoreState::WriteMem);
+
+    // ---- read address: rs + (idx ? tmpS : 0), or SP for pop/ret -----
+    const NetId sp_read = rb.bOr(st_pop, st_ret);
+    Bus read_base = rb.busMux(sp_read, ctx.rsVal, ctx.sp.q);
+    Bus read_off = rb.busMux(ctx.smodeIdx, rb.busConst(0, 16), ctx.tmpS.q);
+    read_off = rb.busMux(sp_read, read_off, rb.busConst(0, 16));
+    ctx.dRead = rtlAdd(rb, read_base, read_off, rb.zero()).sum;
+
+    // ---- write address: rd + (idx ? tmpD : 0), or SP-1 for push/call
+    const NetId sp_write = rb.bOr(st_push, st_call);
+    Bus write_base = rb.busMux(sp_write, ctx.rdVal, ctx.sp.q);
+    Bus write_off =
+        rb.busMux(ctx.dmodeIdx, rb.busConst(0, 16), ctx.tmpD.q);
+    write_off =
+        rb.busMux(sp_write, write_off, rb.busConst(0xFFFF, 16));
+    ctx.dWrite = rtlAdd(rb, write_base, write_off, rb.zero()).sum;
+
+    // ---- store data: RES, pushed register, or the return address ----
+    Bus w = ctx.res.q;
+    w = rb.busMux(st_push, w, ctx.rdVal);
+    w = rb.busMux(st_call, w, rb.zext(ctx.pc.q, 16));
+    ctx.wrData = w;
+
+    ctx.memWriteState = rb.bOr3(st_write, st_push, st_call);
+
+    // ---- RAM block ---------------------------------------------------
+    // RAM occupies [kRamBase, kRamBase + ramWords): address bit 11 set,
+    // bits 15:12 clear (for the default 2048-word RAM).
+    ctx.ramSelRead =
+        rb.busEqConst(RtlBuilder::slice(ctx.dRead, 11, 5), 0x01);
+    ctx.ramSelWrite =
+        rb.busEqConst(RtlBuilder::slice(ctx.dWrite, 11, 5), 0x01);
+    ctx.ramWe = rb.bAnd(ctx.memWriteState, ctx.ramSelWrite);
+
+    ctx.ramRdata = rb.busNets("ram_rdata", 16);
+    MemoryDecl ram;
+    ram.name = "datamem";
+    ram.width = 16;
+    ram.words = ctx.cfg.ramWords;
+    ram.writable = true;
+    ram.readAddr = RtlBuilder::slice(ctx.dRead, 0, 11);
+    ram.readData = ctx.ramRdata;
+    ram.writeAddr = RtlBuilder::slice(ctx.dWrite, 0, 11);
+    ram.writeData = ctx.wrData;
+    ram.writeEn = ctx.ramWe;
+    ctx.dataMem = rb.netlist().addMemory(ram);
+}
+
+} // namespace glifs

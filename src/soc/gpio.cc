@@ -1,0 +1,49 @@
+/**
+ * @file
+ * GPIO ports: memory-mapped PxIN inputs and PxOUT output registers,
+ * plus the peripheral read mux.
+ *
+ * Because port write enables are decoded from the effective store
+ * address, a store through an unknown or tainted pointer taints the
+ * output registers via the gate-level enable path -- the exact hazard
+ * the paper's memory masking closes.
+ */
+
+#include "isa/isa.hh"
+#include "soc/soc_internal.hh"
+
+namespace glifs
+{
+
+void
+socBuildGpio(SocCtx &ctx)
+{
+    RtlBuilder &rb = ctx.rb;
+
+    static const uint16_t in_addr[4] = {iot430::kP1In, iot430::kP2In,
+                                        iot430::kP3In, iot430::kP4In};
+    static const uint16_t out_addr[4] = {iot430::kP1Out, iot430::kP2Out,
+                                         iot430::kP3Out, iot430::kP4Out};
+
+    // Write decodes.
+    for (unsigned p = 0; p < 4; ++p) {
+        NetId match = rb.busEqConst(ctx.dWrite, out_addr[p]);
+        ctx.portOutWe[p] = rb.bAnd(ctx.memWriteState, match);
+    }
+
+    // Peripheral read mux over the full 16-bit effective read address.
+    Bus r = rb.busConst(0, 16);
+    for (unsigned p = 0; p < 4; ++p) {
+        r = rb.busMux(rb.busEqConst(ctx.dRead, in_addr[p]), r,
+                      ctx.portIn[p]);
+        r = rb.busMux(rb.busEqConst(ctx.dRead, out_addr[p]), r,
+                      ctx.portOut[p].q);
+    }
+    // Reading WDTCTL returns the remaining watchdog count (our
+    // substrate's readback convention).
+    r = rb.busMux(rb.busEqConst(ctx.dRead, iot430::kWdtCtl), r,
+                  ctx.wdtCounter.q);
+    ctx.periphRdata = r;
+}
+
+} // namespace glifs

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Concrete-execution harness around the SoC: loads a program, drives
+ * reset and port stimulus, and runs the gate-level simulation until
+ * HALT. Used for functional tests, cycle counting and energy
+ * measurement (the paper's "input-based gate-level simulations",
+ * Section 7.3).
+ */
+
+#ifndef GLIFS_SOC_RUNNER_HH
+#define GLIFS_SOC_RUNNER_HH
+
+#include <functional>
+
+#include "sim/simulator.hh"
+#include "soc/soc.hh"
+
+namespace glifs
+{
+
+/** Drives a Soc netlist concretely. */
+class SocRunner
+{
+  public:
+    /**
+     * Per-cycle stimulus: returns the value of input port @p port
+     * (1..4) at cycle @p cycle.
+     */
+    using Stimulus = std::function<uint16_t(unsigned port,
+                                            uint64_t cycle)>;
+
+    explicit SocRunner(const Soc &soc);
+
+    Simulator &simulator() { return sim; }
+    const Soc &soc() const { return socRef; }
+
+    /** Load a program image into program memory. */
+    void load(const ProgramImage &image);
+
+    /** Fix a constant value on an input port. */
+    void setPortInput(unsigned port, uint16_t value);
+
+    /** Install a dynamic stimulus function (overrides fixed values). */
+    void setStimulus(Stimulus stimulus) { stim = std::move(stimulus); }
+
+    /** Pulse the external reset for one cycle. */
+    void reset();
+
+    /** Advance one clock cycle. */
+    void stepCycle();
+
+    /** Is the core sitting in the HALT state? */
+    bool halted() const;
+
+    /**
+     * Run until HALT. Returns the number of cycles executed (not
+     * counting reset).
+     * @throws FatalError if @p max_cycles elapse first.
+     */
+    uint64_t runToHalt(uint64_t max_cycles = 2'000'000);
+
+    /** Run exactly @p cycles cycles. */
+    void run(uint64_t cycles);
+
+    // Convenience state readers.
+    uint16_t reg(unsigned r) const;
+    uint16_t pc() const;
+    uint16_t ram(uint16_t addr) const;
+    uint16_t portOut(unsigned port) const;
+    uint64_t cycles() const { return sim.cycle(); }
+
+  private:
+    const Soc &socRef;
+    Simulator sim;
+    uint16_t fixedIn[4] = {0, 0, 0, 0};
+    Stimulus stim;
+
+    void driveInputs(bool reset_asserted);
+};
+
+} // namespace glifs
+
+#endif // GLIFS_SOC_RUNNER_HH

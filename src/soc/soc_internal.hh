@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared elaboration context passed between the SoC construction
+ * stages (decode/control, ALU, datapath, peripherals). Internal to
+ * src/soc.
+ */
+
+#ifndef GLIFS_SOC_SOC_INTERNAL_HH
+#define GLIFS_SOC_SOC_INTERNAL_HH
+
+#include "rtl/arith.hh"
+#include "rtl/components.hh"
+#include "rtl/lut.hh"
+#include "rtl/regfile.hh"
+#include "soc/soc.hh"
+
+namespace glifs
+{
+
+/** Everything the SoC build stages share. */
+struct SocCtx
+{
+    explicit SocCtx(Netlist &nl, const SocConfig &config)
+        : rb(nl), cfg(config)
+    {}
+
+    RtlBuilder rb;
+    SocConfig cfg;
+
+    // --- primary inputs ----------------------------------------------
+    NetId extRst = kNoNet;
+    Bus portIn[4];
+
+    // --- architectural registers (shells created first) --------------
+    RegWord stateReg;   ///< 4-bit FSM state
+    RegWord pc;         ///< 12-bit program counter
+    RegWord instrAddr;  ///< 12-bit address of current instruction
+    RegWord ir;         ///< instruction register
+    RegWord tmpS;       ///< source immediate / index word
+    RegWord tmpD;       ///< destination index word
+    RegWord mdr;        ///< memory data register
+    RegWord res;        ///< EXEC result latch
+    RegWord flags;      ///< Z,N,C,V
+    RegWord sp;         ///< stack pointer (r1)
+    std::vector<RegWord> gpr;  ///< r2..r15
+
+    // --- decode (from IR, or the fetch word during Fetch) -------------
+    Bus decodeWord;
+    Bus opc, rdf, rsf, smode, dmode, jcond, joff;
+    NetId isTwoOp = kNoNet, isOneOp = kNoNet, isJump = kNoNet;
+    NetId isStk = kNoNet, isMisc = kNoNet;
+    NetId stkPush = kNoNet, stkPop = kNoNet, stkCall = kNoNet;
+    NetId stkRet = kNoNet, stkBr = kNoNet, miscHalt = kNoNet;
+    NetId isMov = kNoNet, isCmp = kNoNet;
+    NetId smodeImm = kNoNet, smodeInd = kNoNet, smodeIdx = kNoNet;
+    NetId dmodeReg = kNoNet, dmodeInd = kNoNet, dmodeIdx = kNoNet;
+    NetId needSrcImm = kNoNet, needDstImm = kNoNet;
+    NetId needRead = kNoNet, needWrite = kNoNet;
+
+    /// One-hot state nets indexed by CoreState.
+    std::vector<NetId> st;
+
+    // --- register file values ----------------------------------------
+    Bus rsVal, rdVal;
+
+    // --- ALU ----------------------------------------------------------
+    Bus srcB;        ///< selected source operand
+    Bus aluRes;
+    Bus flagsNext;   ///< Z,N,C,V next values
+    NetId flagWe = kNoNet;
+    NetId jumpTaken = kNoNet;
+
+    // --- memory interface ----------------------------------------------
+    Bus progRdata;   ///< program ROM read data
+    Bus dRead;       ///< 16-bit effective read address
+    Bus dWrite;      ///< 16-bit effective write address
+    Bus wrData;      ///< data to store
+    Bus ramRdata;
+    Bus loaded;      ///< final load result (RAM or peripheral)
+    NetId ramSelRead = kNoNet, ramSelWrite = kNoNet;
+    NetId memWriteState = kNoNet, ramWe = kNoNet;
+
+    // --- peripherals ----------------------------------------------------
+    RegWord portOut[4];
+    NetId portOutWe[4] = {kNoNet, kNoNet, kNoNet, kNoNet};
+    Bus periphRdata;
+    NetId wdtWe = kNoNet, wdtExpired = kNoNet, wdtHoldQ = kNoNet;
+    RegWord wdtCounter;
+    RegWord wdtHold;
+    NetId por = kNoNet;
+
+    MemId progMem = 0;
+    MemId dataMem = 0;
+
+    /** One-hot helper for a CoreState. */
+    NetId inState(CoreState s) const
+    {
+        return st[static_cast<size_t>(s)];
+    }
+};
+
+/** Stage 1: primary inputs and register shells. */
+void socBuildShells(SocCtx &ctx);
+
+/** Stage 2: program ROM (read address = PC). */
+void socBuildRom(SocCtx &ctx);
+
+/** Stage 3: instruction decode predicates and state one-hots. */
+void socBuildDecode(SocCtx &ctx);
+
+/** Stage 4: register-file read ports (rsVal / rdVal). */
+void socBuildRegRead(SocCtx &ctx);
+
+/** Stage 5: ALU, source-operand select and flag logic. */
+void socBuildAlu(SocCtx &ctx);
+
+/** Stage 6: effective addresses, data RAM and store-data mux. */
+void socBuildAddressing(SocCtx &ctx);
+
+/** Stage 7: GPIO peripheral read mux and the final load mux. */
+void socBuildGpio(SocCtx &ctx);
+
+/** Stage 8: watchdog timer, POR net, and WDT register connections. */
+void socBuildWatchdog(SocCtx &ctx);
+
+/** Stage 9: next-state logic and all remaining register connections. */
+void socBuildControl(SocCtx &ctx);
+
+/** Populate the probe struct after construction. */
+void socFillProbes(const SocCtx &ctx, SocProbes &prb);
+
+} // namespace glifs
+
+#endif // GLIFS_SOC_SOC_INTERNAL_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Gate-level watchdog timer.
+ *
+ * A store to WDTCTL loads the down-counter with one of the four MSP430
+ * watchdog intervals (64/512/8192/32768 cycles, selected by data bits
+ * [1:0]) and sets/clears the hold bit from data bit 7. While not held,
+ * the counter decrements every cycle; when it reaches 1 the watchdog
+ * fires a power-on reset (POR) that resets every flip-flop in the SoC
+ * -- including the PC, which restarts at the reset vector (address 0)
+ * -- but leaves the memories intact (paper Section 5.2, footnote 5).
+ * After POR the hold bit resets to 1, so the watchdog is disarmed until
+ * untainted code rearms it.
+ */
+
+#include "isa/isa.hh"
+#include "soc/soc_internal.hh"
+
+namespace glifs
+{
+
+void
+socBuildWatchdog(SocCtx &ctx)
+{
+    RtlBuilder &rb = ctx.rb;
+
+    // Write decode: this net is what the analysis must prove untainted
+    // (Section 5.2: "the write enable input for the control register is
+    // verified to be untainted").
+    ctx.wdtWe = rb.bAnd(ctx.memWriteState,
+                        rb.busEqConst(ctx.dWrite, iot430::kWdtCtl));
+
+    // Interval preset selected by the stored data's low bits.
+    Bus sel = RtlBuilder::slice(ctx.wrData, 0, 2);
+    Bus preset = rtlLutRom(
+        rb, sel,
+        {iot430::wdtIntervals[0], iot430::wdtIntervals[1],
+         iot430::wdtIntervals[2], iot430::wdtIntervals[3]},
+        16);
+
+    ctx.wdtHoldQ = ctx.wdtHold.q[0];
+    const NetId running = rb.bNot(ctx.wdtHoldQ);
+
+    // Expiry fires during the counter==1 cycle so the POR edge lands
+    // exactly when the count hits zero.
+    ctx.wdtExpired =
+        rb.bAnd(running, rb.busEqConst(ctx.wdtCounter.q, 1));
+    ctx.por = rb.bOr(ctx.extRst, ctx.wdtExpired);
+
+    // Counter: load on a WDTCTL write, otherwise count down when
+    // running.
+    Bus cnt_dec = rtlDec(rb, ctx.wdtCounter.q);
+    Bus cnt_d = rb.busMux(ctx.wdtWe, cnt_dec, preset);
+    NetId cnt_en = rb.bOr(ctx.wdtWe, running);
+    rtlConnectRegister(rb, ctx.wdtCounter, cnt_d, ctx.por, cnt_en);
+
+    // Hold bit: loaded from data bit 7 on a write; resets to 1.
+    rtlConnectRegister(rb, ctx.wdtHold, Bus{ctx.wrData[7]}, ctx.por,
+                       ctx.wdtWe);
+}
+
+} // namespace glifs

@@ -1,0 +1,77 @@
+#include "starlogic/starlogic.hh"
+
+#include <sstream>
+
+#include "base/strutil.hh"
+
+namespace glifs
+{
+
+StarLogicResult
+runStarLogic(const Soc &soc, const Policy &policy,
+             const ProgramImage &image, uint64_t max_cycles)
+{
+    EngineConfig cfg;
+    cfg.starLogicMode = true;
+    cfg.maxCycles = max_cycles;
+    IftEngine engine(soc, policy, cfg);
+    EngineResult r = engine.run(image);
+
+    StarLogicResult out;
+    out.aborted = r.starAborted;
+    out.verified = r.completed && r.secure();
+    out.taintedGateFraction = r.taintedGateFraction;
+    out.taintedGates = r.taintedGates;
+    out.totalGates = r.totalGates;
+    out.cyclesSimulated = r.cyclesSimulated;
+    out.violations = r.violations;
+    return out;
+}
+
+std::string
+StarLogicResult::str() const
+{
+    std::ostringstream oss;
+    if (aborted) {
+        oss << "*-logic ABORTED: control depends on unknown/tainted "
+               "input; "
+            << percent(taintedGateFraction, 1) << " of gates ("
+            << taintedGates << "/" << totalGates
+            << ") become unknown and tainted; software fixes cannot "
+               "be verified";
+    } else {
+        oss << "*-logic completed: "
+            << (verified ? "verified secure" : "violations found")
+            << ", " << percent(taintedGateFraction, 1)
+            << " gates tainted";
+    }
+    return oss.str();
+}
+
+AnalysisComparison
+compareAnalyses(const Soc &soc, const Policy &policy,
+                const ProgramImage &image)
+{
+    AnalysisComparison cmp;
+    IftEngine app(soc, policy, EngineConfig{});
+    cmp.appSpecific = app.run(image);
+    cmp.star = runStarLogic(soc, policy, image);
+    return cmp;
+}
+
+std::string
+AnalysisComparison::str(const std::string &name) const
+{
+    std::ostringstream oss;
+    oss << name << ":\n";
+    oss << "  app-specific: "
+        << (appSpecific.secure() ? "verified secure"
+                                 : "violations reported")
+        << ", " << percent(appSpecific.taintedGateFraction, 1)
+        << " gates tainted, " << appSpecific.cyclesSimulated
+        << " cycles\n";
+    oss << "  " << star.str() << "\n";
+    return oss.str();
+}
+
+} // namespace glifs

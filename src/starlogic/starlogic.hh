@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The *-logic baseline (Tiwari et al. [19], paper footnote 8): static
+ * gate-level taint tracking with no application-specific path
+ * exploration. When the PC becomes unknown or tainted, the analysis
+ * cannot continue precisely; every software-exercisable gate becomes
+ * unknown and tainted, and software fixes cannot be verified.
+ */
+
+#ifndef GLIFS_STARLOGIC_STARLOGIC_HH
+#define GLIFS_STARLOGIC_STARLOGIC_HH
+
+#include "ift/engine.hh"
+
+namespace glifs
+{
+
+/** Result of a *-logic analysis. */
+struct StarLogicResult
+{
+    bool aborted = false;          ///< PC became unknown/tainted
+    bool verified = false;         ///< completed with no violations
+    double taintedGateFraction = 0.0;
+    size_t taintedGates = 0;
+    size_t totalGates = 0;
+    uint64_t cyclesSimulated = 0;
+    std::vector<Violation> violations;
+
+    std::string str() const;
+};
+
+/** Run the *-logic baseline on a program. */
+StarLogicResult runStarLogic(const Soc &soc, const Policy &policy,
+                             const ProgramImage &image,
+                             uint64_t max_cycles = 2'000'000);
+
+/**
+ * Side-by-side comparison row: our application-specific analysis vs
+ * *-logic on the same system (drives bench_footnote8_starlogic).
+ */
+struct AnalysisComparison
+{
+    EngineResult appSpecific;
+    StarLogicResult star;
+
+    std::string str(const std::string &name) const;
+};
+
+AnalysisComparison compareAnalyses(const Soc &soc, const Policy &policy,
+                                   const ProgramImage &image);
+
+} // namespace glifs
+
+#endif // GLIFS_STARLOGIC_STARLOGIC_HH

@@ -1,0 +1,693 @@
+/**
+ * @file
+ * The 13 benchmark task bodies (Table 1).
+ *
+ * Conventions: tasks run with SP = 0x0ff0 (tainted RAM); progress that
+ * must survive a watchdog POR lives in the tainted partition (PHASE at
+ * 0x0fc0 and scalar state at 0x0fc2-0x0fcf -- placed above every array
+ * address cone so conservative X-merged store addresses cannot reach
+ * them -- arrays at 0x0c20-0x0c3f, results at 0x0c10/0x0c30, BUCKETS
+ * at 0x0c40 for the deliberately unbounded
+ * stores of the violating benchmarks). Bodies jump to the harness
+ * labels `task` (re-dispatch) and `task_done` (signal completion).
+ *
+ * The six Table-2 violators branch on tainted-input-derived values
+ * (condition 1) and store through tainted-input-derived addresses
+ * (condition 2); the other seven use fixed or predicated control and
+ * loop-counter-derived addresses only.
+ */
+
+#include "workloads/bodies.hh"
+
+namespace glifs
+{
+
+std::string
+workloadBodyMult()
+{
+    // Predicated shift-add multiply: the multiplier bit is turned into
+    // a full mask (0 or 0xffff) arithmetically, so no control flow
+    // depends on tainted data. One round per resumable phase so a
+    // watchdog slice can always make progress.
+    return R"(
+        mov &PHASE, r10
+        and #0x001f, r10     ; bound the resume phase
+        tst r10
+        jnz mu_chk
+        mov &P1IN, r4        ; multiplicand (tainted)
+        mov r4, &0x0fc4
+        mov &P1IN, r4        ; multiplier (tainted)
+        mov r4, &0x0fc5
+        mov #0, &0x0fc6      ; product accumulator
+        mov #1, &PHASE
+        jmp task
+mu_chk:
+        cmp #17, r10
+        jl mu_round
+        jmp task_done
+mu_round:
+        mov &0x0fc4, r4
+        mov &0x0fc5, r5
+        mov &0x0fc6, r6
+        mov r5, r8
+        and #1, r8           ; current multiplier bit
+        clr r9
+        sub r8, r9           ; r9 = -(bit): 0x0000 or 0xffff
+        mov r4, r11
+        and r9, r11          ; multiplicand or 0
+        add r11, r6
+        rla r4
+        rra r5
+        mov r4, &0x0fc4
+        mov r5, &0x0fc5
+        mov r6, &0x0fc6
+        inc r10
+        mov r10, &PHASE
+        cmp #17, r10
+        jl mu_more
+        mov r6, &0x0c10
+mu_more:
+        jmp task
+)";
+}
+
+std::string
+workloadBodyBinSearch()
+{
+    return R"(
+        mov &PHASE, r10
+        and #0x001f, r10     ; bound the resume phase
+        cmp #16, r10
+        jl bs_init
+        cmp #17, r10
+        jl bs_find
+        jmp task_done
+bs_init:                     ; t[i] = 4*i + 2 (sorted table)
+        mov r10, r11
+        rla r11
+        rla r11
+        add #2, r11
+        mov #0x0c20, r12
+        add r10, r12
+        mov r11, 0(r12)
+        inc r10
+        mov r10, &PHASE
+        jmp task
+bs_find:
+        mov &P1IN, r4        ; search key (tainted)
+        clr r5               ; lo
+        mov #16, r6          ; hi (exclusive)
+bs_loop:
+        cmp r6, r5
+        jge bs_done
+        mov r5, r7
+        add r6, r7
+        rra r7               ; mid
+        mov #0x0c20, r8
+        add r7, r8
+        mov @r8, r9          ; t[mid] (tainted)
+        cmp r4, r9           ; tainted comparison: condition 1
+        jge bs_high
+        mov r7, r5
+        inc r5
+        jmp bs_loop
+bs_high:
+        mov r7, r6
+        jmp bs_loop
+bs_done:
+        mov r5, &0x0c10      ; found position
+        mov #BUCKETS, r14
+        add r4, r14          ; key-derived pointer: condition 2
+        mov r5, 0(r14)
+        mov #17, &PHASE
+        jmp task
+)";
+}
+
+std::string
+workloadBodyTea8()
+{
+    // 8 rounds of a 16-bit TEA-style Feistel mix; fixed control flow,
+    // one round per resumable phase.
+    return R"(
+        mov &PHASE, r10
+        and #0x000f, r10     ; bound the resume phase
+        tst r10
+        jnz te_chk
+        mov &P1IN, r4        ; v0
+        mov r4, &0x0fc4
+        mov &P1IN, r4        ; v1
+        mov r4, &0x0fc5
+        mov #0, &0x0fc6      ; sum
+        mov #1, &PHASE
+        jmp task
+te_chk:
+        cmp #9, r10
+        jl te_round
+        jmp task_done
+te_round:
+        mov &0x0fc4, r4      ; v0
+        mov &0x0fc5, r5      ; v1
+        mov &0x0fc6, r6      ; sum
+        add #0x9e37, r6
+        mov r5, r8
+        rla r8
+        rla r8
+        rla r8
+        rla r8
+        add #0x3c6e, r8      ; (v1<<4) + k0
+        mov r5, r9
+        add r6, r9           ; v1 + sum
+        mov r5, r11
+        rra r11
+        rra r11
+        rra r11
+        rra r11
+        rra r11
+        add #0x7a9b, r11     ; (v1>>5) + k1
+        xor r9, r8
+        xor r11, r8
+        add r8, r4           ; v0 += mix
+        mov r4, r8
+        rla r8
+        rla r8
+        rla r8
+        rla r8
+        add #0x1b58, r8      ; (v0<<4) + k2
+        mov r4, r9
+        add r6, r9
+        mov r4, r11
+        rra r11
+        rra r11
+        rra r11
+        rra r11
+        rra r11
+        add #0x4d2c, r11     ; (v0>>5) + k3
+        xor r9, r8
+        xor r11, r8
+        add r8, r5           ; v1 += mix
+        mov r4, &0x0fc4
+        mov r5, &0x0fc5
+        mov r6, &0x0fc6
+        inc r10
+        mov r10, &PHASE
+        cmp #9, r10
+        jl te_more
+        mov r4, &0x0c10
+        mov r5, &0x0c11
+te_more:
+        jmp task
+)";
+}
+
+std::string
+workloadBodyIntFilt()
+{
+    // 4-tap FIR: y = (x + 2*x1 + 2*x2 + x3) / 4, history in RAM.
+    return R"(
+        mov &PHASE, r10
+        and #0x000f, r10     ; bound the resume phase
+        cmp #8, r10
+        jl if_unit
+        jmp task_done
+if_unit:
+        mov &P1IN, r4        ; x (tainted)
+        mov &0x0fc4, r5      ; x1
+        mov &0x0fc5, r6      ; x2
+        mov &0x0fc6, r7      ; x3
+        mov r4, r8
+        add r7, r8
+        mov r5, r9
+        rla r9
+        add r9, r8
+        mov r6, r9
+        rla r9
+        add r9, r8
+        rra r8
+        rra r8
+        mov #0x0c30, r9
+        add r10, r9
+        mov r8, 0(r9)        ; y[i]: loop-counter-derived address
+        mov r6, &0x0fc6
+        mov r5, &0x0fc5
+        mov r4, &0x0fc4
+        inc r10
+        mov r10, &PHASE
+        jmp task
+)";
+}
+
+std::string
+workloadBodyTHold()
+{
+    return R"(
+        mov &PHASE, r10
+        and #0x000f, r10     ; bound the resume phase
+        cmp #8, r10
+        jl th_unit
+        jmp task_done
+th_unit:
+        mov &P1IN, r4
+        cmp #0x4000, r4      ; tainted threshold compare: condition 1
+        jnc th_skip
+        mov #BUCKETS, r5
+        add r4, r5           ; sample-derived pointer: condition 2
+        mov r4, 0(r5)
+        mov &0x0fc2, r6
+        inc r6
+        mov r6, &0x0fc2      ; event count
+th_skip:
+        inc r10
+        mov r10, &PHASE
+        jmp task
+)";
+}
+
+std::string
+workloadBodyDiv()
+{
+    return R"(
+        mov &PHASE, r10
+        and #0x000f, r10     ; bound the resume phase
+        tst r10
+        jz dv_run
+        jmp task_done
+dv_run:
+        mov &P1IN, r4        ; dividend (tainted)
+        mov &P1IN, r5        ; divisor (tainted)
+        bis #1, r5           ; never zero
+        clr r6               ; quotient
+        clr r7               ; remainder
+        mov #16, r8
+dv_loop:
+        rla r4               ; C = dividend MSB
+        rlc r7               ; remainder = (remainder<<1) | C
+        rla r6
+        cmp r5, r7           ; tainted compare: condition 1
+        jnc dv_skip
+        sub r5, r7
+        bis #1, r6
+dv_skip:
+        dec r8
+        jnz dv_loop
+        mov r6, &0x0c10
+        mov r7, &0x0c11
+        mov #BUCKETS, r9
+        add r6, r9           ; quotient-derived pointer: condition 2
+        mov #1, 0(r9)
+        mov #1, &PHASE
+        jmp task
+)";
+}
+
+std::string
+workloadBodyInSort()
+{
+    // Insertion sort with one element inserted per resumable phase so
+    // a watchdog slice always makes progress (phases 0-7 sample, 8-14
+    // insert elements 1..7, 15 does the violating bucket store).
+    return R"(
+        mov &PHASE, r10
+        and #0x001f, r10     ; bound the resume phase
+        cmp #8, r10
+        jl is_read
+        cmp #15, r10
+        jl is_ins
+        cmp #16, r10
+        jl is_fin
+        jmp task_done
+is_read:
+        mov #0x0c20, r11
+        add r10, r11
+        mov &P1IN, r4
+        mov r4, 0(r11)
+        inc r10
+        mov r10, &PHASE
+        jmp task
+is_ins:                      ; insert element i = phase - 7
+        mov r10, r5
+        sub #7, r5
+        and #0x0007, r5      ; bound the merge-widened index
+        mov #0x0c20, r6
+        add r5, r6
+        mov @r6, r7          ; key (tainted)
+        mov r5, r8
+is_inner:
+        tst r8
+        jz is_place
+        mov #0x0c20, r9
+        add r8, r9
+        mov -1(r9), r11      ; arr[j-1] (tainted)
+        cmp r7, r11          ; tainted compare: condition 1
+        jl is_place
+        mov r11, 0(r9)
+        dec r8
+        jmp is_inner
+is_place:
+        mov #0x0c20, r9
+        add r8, r9
+        mov r7, 0(r9)
+        inc r10
+        mov r10, &PHASE
+        jmp task
+is_fin:
+        mov &0x0c20, r12     ; minimum element (tainted)
+        mov #BUCKETS, r13
+        add r12, r13         ; value-derived pointer: condition 2
+        mov #1, 0(r13)
+        mov #16, &PHASE
+        jmp task
+)";
+}
+
+std::string
+workloadBodyRle()
+{
+    // Fully predicated run-length state update: the equality of
+    // consecutive tainted samples is computed as an arithmetic mask.
+    return R"(
+        mov &PHASE, r10
+        and #0x000f, r10     ; bound the resume phase
+        cmp #8, r10
+        jl rl_unit
+        jmp task_done
+rl_unit:
+        mov &P1IN, r4
+        mov &0x0fc2, r5      ; previous sample
+        mov r4, r6
+        xor r5, r6           ; diff
+        clr r7
+        sub r6, r7
+        bis r6, r7           ; bit15 set iff diff != 0
+        mov #15, r9
+rl_sh:
+        rra r7
+        dec r9
+        jnz rl_sh            ; r7 = 0xffff if differ else 0
+        inv r7               ; equal-mask
+        mov &0x0fc3, r11     ; run length
+        and r7, r11          ; reset on change
+        inc r11
+        mov r11, &0x0fc3
+        mov r4, &0x0fc2
+        mov #0x0c20, r12
+        add r10, r12
+        add r10, r12
+        mov r4, 0(r12)       ; out[2i]   = sample
+        mov r11, 1(r12)      ; out[2i+1] = run length
+        inc r10
+        mov r10, &PHASE
+        jmp task
+)";
+}
+
+std::string
+workloadBodyIntAvg()
+{
+    return R"(
+        mov &PHASE, r10
+        and #0x000f, r10     ; bound the resume phase
+        cmp #8, r10
+        jl av_unit
+        cmp #9, r10
+        jl av_fin
+        jmp task_done
+av_unit:
+        mov &P1IN, r4
+        cmp #0x7000, r4      ; tainted outlier test: condition 1
+        jc av_skip
+        mov &0x0fc2, r5
+        add r4, r5
+        mov r5, &0x0fc2      ; accumulator
+av_skip:
+        inc r10
+        mov r10, &PHASE
+        jmp task
+av_fin:
+        mov &0x0fc2, r5
+        rra r5
+        rra r5
+        rra r5               ; /8
+        mov r5, &0x0c10
+        mov #BUCKETS, r6
+        add r5, r6           ; average-derived pointer: condition 2
+        mov #1, 0(r6)
+        mov #9, &PHASE
+        jmp task
+)";
+}
+
+std::string
+workloadBodyAutocorr()
+{
+    // r[lag] = sum x[i]*x[i+lag] for lag 0..2 over 6 terms, with a
+    // predicated multiply subroutine (exercises call/ret/stack).
+    return R"(
+        mov &PHASE, r10
+        and #0x000f, r10     ; bound the resume phase
+        cmp #8, r10
+        jl ac_read
+        cmp #11, r10
+        jl ac_lag
+        jmp task_done
+ac_read:
+        mov #0x0c20, r11
+        add r10, r11
+        mov &P1IN, r4
+        and #0x00ff, r4      ; scale samples
+        mov r4, 0(r11)
+        inc r10
+        mov r10, &PHASE
+        jmp task
+ac_lag:
+        mov r10, r13
+        sub #8, r13          ; lag
+        and #0x0003, r13     ; bound it (resume phase is unconstrained)
+        clr r12              ; accumulator
+        clr r11              ; i
+ac_inner:
+        cmp #6, r11
+        jge ac_store
+        mov #0x0c20, r4
+        add r11, r4
+        mov @r4, r5          ; x[i]
+        mov #0x0c20, r4
+        add r11, r4
+        add r13, r4
+        mov @r4, r6          ; x[i+lag]
+        push r10
+        push r11
+        call #ac_mul
+        pop r11
+        pop r10
+        add r7, r12
+        inc r11
+        jmp ac_inner
+ac_store:
+        mov #0x0c30, r4
+        add r13, r4
+        mov r12, 0(r4)       ; r[lag]
+        inc r10
+        mov r10, &PHASE
+        jmp task
+ac_mul:                      ; r7 = r5 * r6 (predicated, clobbers r8-r11)
+        clr r7
+        mov #16, r8
+ac_mloop:
+        mov r6, r9
+        and #1, r9
+        clr r10
+        sub r9, r10
+        mov r5, r11
+        and r10, r11
+        add r11, r7
+        rla r5
+        rra r6
+        dec r8
+        jnz ac_mloop
+        ret
+)";
+}
+
+std::string
+workloadBodyFft()
+{
+    // 8-point butterfly network (Walsh-Hadamard structure: the same
+    // fixed staged butterflies as a radix-2 FFT with +-1 twiddles).
+    return R"(
+        mov &PHASE, r10
+        and #0x000f, r10     ; bound the resume phase
+        cmp #8, r10
+        jl ff_read
+        cmp #11, r10
+        jl ff_stage
+        jmp task_done
+ff_read:
+        mov #0x0c20, r11
+        add r10, r11
+        mov &P1IN, r4
+        and #0x00ff, r4
+        mov r4, 0(r11)
+        inc r10
+        mov r10, &PHASE
+        jmp task
+ff_stage:
+        mov r10, r13
+        sub #8, r13          ; stage 0..2
+        and #0x0003, r13     ; bound it (resume phase is unconstrained)
+        mov #1, r12          ; span = 1 << stage
+        tst r13
+        jz ff_spa
+ff_sp:
+        rla r12
+        dec r13
+        jnz ff_sp
+ff_spa:
+        and #0x000f, r12     ; bound the span (merge-abstracted shift)
+        clr r11              ; i
+ff_loop:
+        cmp #8, r11
+        jge ff_next
+        mov r11, r4
+        and r12, r4          ; i & span
+        jnz ff_skip
+        mov r11, r3
+        and #0x0007, r3      ; bound the merge-widened index
+        mov #0x0c20, r5
+        add r3, r5
+        mov r5, r6
+        add r12, r6
+        mov @r5, r7          ; a
+        mov @r6, r8          ; b
+        mov r7, r9
+        add r8, r9           ; a + b
+        sub r8, r7           ; a - b
+        mov r9, 0(r5)
+        mov r7, 0(r6)
+ff_skip:
+        inc r11
+        jmp ff_loop
+ff_next:
+        inc r10
+        mov r10, &PHASE
+        jmp task
+)";
+}
+
+std::string
+workloadBodyConvEn()
+{
+    // Rate-1/2, K=3 convolutional encoder; one input bit per
+    // resumable phase, shift-register state in tainted RAM.
+    return R"(
+        mov &PHASE, r10
+        and #0x001f, r10     ; bound the resume phase
+        tst r10
+        jnz ce_chk
+        mov &P1IN, r4        ; latch the 16 input bits
+        mov r4, &0x0fc4
+        mov #0, &0x0fc5      ; s0
+        mov #0, &0x0fc6      ; s1
+        mov #0, &0x0fc7      ; g0 bits
+        mov #0, &0x0fc8      ; g1 bits
+        mov #1, &PHASE
+        jmp task
+ce_chk:
+        cmp #17, r10
+        jl ce_bit
+        jmp task_done
+ce_bit:
+        mov &0x0fc4, r4
+        mov &0x0fc5, r5      ; s0
+        mov &0x0fc6, r6      ; s1
+        mov &0x0fc7, r7      ; g0
+        mov &0x0fc8, r8      ; g1
+        mov r4, r11
+        and #1, r11
+        mov r11, r12
+        xor r5, r12
+        xor r6, r12          ; g0 = b ^ s0 ^ s1
+        mov r11, r13
+        xor r6, r13          ; g1 = b ^ s1
+        rla r7
+        bis r12, r7
+        rla r8
+        bis r13, r8
+        mov r5, r6
+        mov r11, r5
+        rra r4
+        mov r4, &0x0fc4
+        mov r5, &0x0fc5
+        mov r6, &0x0fc6
+        mov r7, &0x0fc7
+        mov r8, &0x0fc8
+        inc r10
+        mov r10, &PHASE
+        cmp #17, r10
+        jl ce_more
+        mov r7, &0x0c10
+        mov r8, &0x0c11
+ce_more:
+        jmp task
+)";
+}
+
+std::string
+workloadBodyViterbi()
+{
+    // Two-state Viterbi ACS (add-compare-select) over 8 received
+    // symbols; the compare-select branches on tainted path metrics.
+    return R"(
+        mov &PHASE, r10
+        and #0x000f, r10     ; bound the resume phase
+        cmp #8, r10
+        jl vt_step
+        cmp #9, r10
+        jl vt_fin
+        jmp task_done
+vt_step:
+        mov &P1IN, r4
+        and #3, r4           ; received symbol (tainted)
+        mov &0x0fc4, r5      ; metric m0
+        mov &0x0fc5, r6      ; metric m1
+        mov r4, r7
+        mov r4, r8
+        rra r8
+        and #1, r8
+        and #1, r7
+        add r8, r7           ; c0 = popcount(symbol)
+        mov #2, r8
+        sub r7, r8           ; c1 = 2 - c0
+        mov r5, r9
+        add r7, r9           ; m0 + c0
+        mov r6, r11
+        add r8, r11          ; m1 + c1
+        cmp r11, r9          ; tainted compare-select: condition 1
+        jl vt_k0
+        mov r11, r9
+vt_k0:
+        mov r9, &0x0fc4
+        mov r5, r9
+        add r8, r9
+        mov r6, r11
+        add r7, r11
+        cmp r11, r9
+        jl vt_k1
+        mov r11, r9
+vt_k1:
+        mov r9, &0x0fc5
+        inc r10
+        mov r10, &PHASE
+        jmp task
+vt_fin:
+        mov &0x0fc4, r5
+        mov r5, &0x0c10
+        mov #BUCKETS, r6
+        add r5, r6           ; metric-derived pointer: condition 2
+        mov #1, 0(r6)
+        mov #9, &PHASE
+        jmp task
+)";
+}
+
+} // namespace glifs

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Task-body assembly sources for the 13 benchmarks (internal to
+ * src/workloads; use the Workload registry).
+ */
+
+#ifndef GLIFS_WORKLOADS_BODIES_HH
+#define GLIFS_WORKLOADS_BODIES_HH
+
+#include <string>
+
+namespace glifs
+{
+
+std::string workloadBodyMult();
+std::string workloadBodyBinSearch();
+std::string workloadBodyTea8();
+std::string workloadBodyIntFilt();
+std::string workloadBodyTHold();
+std::string workloadBodyDiv();
+std::string workloadBodyInSort();
+std::string workloadBodyRle();
+std::string workloadBodyIntAvg();
+std::string workloadBodyAutocorr();
+std::string workloadBodyFft();
+std::string workloadBodyConvEn();
+std::string workloadBodyViterbi();
+
+} // namespace glifs
+
+#endif // GLIFS_WORKLOADS_BODIES_HH

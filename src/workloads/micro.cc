@@ -1,0 +1,117 @@
+#include "workloads/micro.hh"
+
+namespace glifs
+{
+
+namespace
+{
+
+const char *kEquHeader =
+    "        .equ P1IN, 0x0000\n"
+    "        .equ P2OUT, 0x0003\n"
+    "        .equ WDT, 0x0010\n";
+
+Policy
+microPolicy()
+{
+    return benchmarkPolicy(0x0010, 0x0FFF);
+}
+
+} // namespace
+
+MicroBenchmark
+fig8Unprotected()
+{
+    MicroBenchmark mb;
+    mb.name = "fig8-unprotected";
+    mb.description =
+        "tainted control flow jumps back into untainted code";
+    mb.source = std::string(kEquHeader) + R"(
+start:  nop
+        jmp tsk
+        .org 0x10
+tsk:    mov &P1IN, r4        ; tainted input
+        tst r4
+        jz t1                ; PC becomes tainted here
+        nop
+t1:     mov #100, r10
+tl:     dec r10
+        jnz tl
+        jmp start            ; tainted PC enters untainted code
+)";
+    mb.policy = microPolicy();
+    return mb;
+}
+
+MicroBenchmark
+fig8Protected()
+{
+    MicroBenchmark mb;
+    mb.name = "fig8-protected";
+    mb.description = "watchdog reset recovers an untainted PC";
+    mb.source = std::string(kEquHeader) + R"(
+start:  mov #0x0000, &WDT    ; arm the watchdog (64-cycle interval)
+        jmp tsk
+        .org 0x10
+tsk:    mov &P1IN, r4
+        tst r4
+        jz t1
+        nop
+t1:     mov #100, r10
+tl:     dec r10
+        jnz tl
+pad:    jmp pad              ; idle until the POR resets the PC
+)";
+    mb.policy = microPolicy();
+    return mb;
+}
+
+MicroBenchmark
+fig9Unmasked()
+{
+    MicroBenchmark mb;
+    mb.name = "fig9-unmasked";
+    mb.description = "untrusted input used as an unbounded store offset";
+    mb.source = std::string(kEquHeader) + R"(
+start:  jmp tsk
+        .org 0x10
+tsk:    mov #4096, &0x0cfa
+        mov #0x0c31, r15
+        mov #1, 0(r15)
+        mov &P1IN, r15       ; read untrusted input
+        mov #0x0c00, r14
+        add r15, r14         ; compute store address from it
+        mov #500, 0(r14)     ; taints the whole data memory
+        mov r15, &0x0c64
+stop:   jmp stop
+)";
+    mb.policy = microPolicy();
+    return mb;
+}
+
+MicroBenchmark
+fig9Masked()
+{
+    MicroBenchmark mb;
+    mb.name = "fig9-masked";
+    mb.description = "masked store offset stays in the tainted partition";
+    mb.source = std::string(kEquHeader) + R"(
+start:  jmp tsk
+        .org 0x10
+tsk:    mov #4096, &0x0cfa
+        mov #0x0c31, r15
+        mov #1, 0(r15)
+        mov &P1IN, r15
+        mov #0x0c00, r14
+        add r15, r14
+        and #0x03ff, r14     ; mask into the tainted partition
+        bis #0x0c00, r14
+        mov #500, 0(r14)
+        mov r15, &0x0c64
+stop:   jmp stop
+)";
+    mb.policy = microPolicy();
+    return mb;
+}
+
+} // namespace glifs

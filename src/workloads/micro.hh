@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The Section-5.3 verification micro-benchmarks: IoT430 transcriptions
+ * of the paper's Figure 8 (watchdog timer reset) and Figure 9 (memory
+ * address masking) code listings, each in unprotected and protected
+ * variants.
+ */
+
+#ifndef GLIFS_WORKLOADS_MICRO_HH
+#define GLIFS_WORKLOADS_MICRO_HH
+
+#include <string>
+
+#include "ift/policy.hh"
+
+namespace glifs
+{
+
+/** A self-contained analysis scenario. */
+struct MicroBenchmark
+{
+    std::string name;
+    std::string description;
+    std::string source;
+    Policy policy;
+};
+
+/**
+ * Figure 8, left-hand listing: a tainted task whose control flow
+ * becomes tainted and then jumps back to untainted code -- once the PC
+ * is tainted it never becomes untainted again.
+ */
+MicroBenchmark fig8Unprotected();
+
+/**
+ * Figure 8, right-hand listing: the untainted code arms the watchdog
+ * before entering the task; the POR recovers an untainted PC.
+ */
+MicroBenchmark fig8Protected();
+
+/**
+ * Figure 9, left-hand listing: an untrusted input is used as a store
+ * offset, tainting memory outside the tainted partition.
+ */
+MicroBenchmark fig9Unmasked();
+
+/**
+ * Figure 9, right-hand listing: the offset is masked into the tainted
+ * partition; no untainted memory can be tainted.
+ */
+MicroBenchmark fig9Masked();
+
+} // namespace glifs
+
+#endif // GLIFS_WORKLOADS_MICRO_HH

@@ -1,0 +1,136 @@
+#include "workloads/motivation.hh"
+
+namespace glifs
+{
+
+namespace
+{
+
+const char *kEquHeader =
+    "        .equ P1IN, 0x0000\n"
+    "        .equ P2OUT, 0x0003\n"
+    "        .equ P3IN, 0x0004\n"
+    "        .equ P4OUT, 0x0007\n";
+
+/**
+ * The untainted half of every motivation example: for 25 iterations
+ * read the untainted port, accumulate into the untainted d[] array and
+ * write the result to the trusted output port.
+ */
+const char *kUntaintedLoop = R"(
+start:  clr r5
+uloop:  cmp #25, r5
+        jge udone
+        mov &P3IN, r4        ; untainted input
+        mov r5, r9
+        and #0x001f, r9      ; bound the (merge-widened) index
+        mov #0x0900, r6      ; d[] in the untainted partition
+        add r9, r6
+        mov @r6, r7
+        add r4, r7
+        mov r7, 0(r6)
+        mov r7, &P4OUT       ; trusted output
+        inc r5
+        jmp uloop
+udone:  jmp tsk
+        .org 0x100
+)";
+
+Policy
+motivationPolicy()
+{
+    return benchmarkPolicy(0x0100, 0x0FFF);
+}
+
+} // namespace
+
+MicroBenchmark
+figure3Clean()
+{
+    MicroBenchmark mb;
+    mb.name = "figure3-clean";
+    mb.description =
+        "tainted/untainted code only use their own ports and memory";
+    mb.source = std::string(kEquHeader) + kUntaintedLoop + R"(
+tsk:    clr r5
+tloop:  cmp #25, r5
+        jge tdone
+        mov &P1IN, r4        ; tainted input
+        mov r5, r9
+        and #0x001f, r9      ; bound the (merge-widened) index
+        mov #0x0c20, r6      ; c[] in the tainted partition
+        add r9, r6
+        mov @r6, r7
+        add r4, r7
+        mov r7, 3(r6)        ; c[i+3] = a + c[i]
+        mov r7, &P2OUT       ; untrusted output
+        inc r5
+        jmp tloop
+tdone:  jmp tdone
+)";
+    mb.policy = motivationPolicy();
+    return mb;
+}
+
+MicroBenchmark
+figure4Vulnerable()
+{
+    MicroBenchmark mb;
+    mb.name = "figure4-vulnerable";
+    mb.description = "tainted input used as a memory offset";
+    mb.source = std::string(kEquHeader) + kUntaintedLoop + R"(
+tsk:    mov &P1IN, r8        ; offset = <P1> (tainted!)
+        clr r5
+tloop:  cmp #25, r5
+        jge tdone
+        mov &P1IN, r4
+        mov #0x0c20, r6
+        add r5, r6
+        mov @r6, r7
+        add r4, r7
+        mov r6, r9
+        add r8, r9           ; &c[i + offset]: unbounded
+        mov r7, 0(r9)        ; may taint untainted memory / ports
+        mov r7, &P2OUT
+        inc r5
+        jmp tloop
+tdone:  jmp tdone
+)";
+    mb.policy = motivationPolicy();
+    return mb;
+}
+
+MicroBenchmark
+figure5Masked()
+{
+    MicroBenchmark mb;
+    mb.name = "figure5-masked";
+    mb.description = "masking the tainted offset restores security";
+    mb.source = std::string(kEquHeader) + kUntaintedLoop + R"(
+tsk:    mov &P1IN, r8
+        and #0x03ff, r8      ; Offset = mask(offset)
+        clr r5
+tloop:  cmp #25, r5
+        jge tdone
+        mov &P1IN, r4
+        mov r5, r9
+        and #0x001f, r9      ; bound the (merge-widened) index
+        mov #0x0c20, r6
+        add r9, r6
+        mov @r6, r7
+        add r4, r7
+        mov r6, r10
+        add r8, r10
+        and #0x03ff, r10     ; bounded into the tainted partition
+        bis #0x0c00, r10
+        mov r7, 0(r10)
+        mov r7, &P2OUT
+        inc r5
+        jmp tloop
+tdone:  jmp tdone
+)";
+    mb.policy = motivationPolicy();
+    return mb;
+}
+
+} // namespace glifs

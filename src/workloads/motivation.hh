@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The Section-3 motivation examples: Figures 3 (a secure application
+ * on a commodity processor), 4 (a tainted offset makes it insecure)
+ * and 5 (a software mask makes it secure again), transcribed to
+ * IoT430 assembly with the paper's port/partition layout.
+ */
+
+#ifndef GLIFS_WORKLOADS_MOTIVATION_HH
+#define GLIFS_WORKLOADS_MOTIVATION_HH
+
+#include "workloads/micro.hh"
+
+namespace glifs
+{
+
+/** Figure 3: tainted and untainted loops each stay in their lane. */
+MicroBenchmark figure3Clean();
+
+/** Figure 4: the tainted loop indexes memory with a tainted offset. */
+MicroBenchmark figure4Vulnerable();
+
+/** Figure 5: the offset is masked; the system is secure again. */
+MicroBenchmark figure5Masked();
+
+} // namespace glifs
+
+#endif // GLIFS_WORKLOADS_MOTIVATION_HH

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Harness generation and the workload registry.
+ */
+
+#include "workloads/workload.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+#include "workloads/bodies.hh"
+#include "xform/watchdog_xform.hh"
+
+namespace glifs
+{
+
+std::string
+harnessSource(const std::string &body, const HarnessOptions &opts)
+{
+    std::ostringstream oss;
+    oss << "        .equ P1IN, 0x0000\n"
+           "        .equ P2OUT, 0x0003\n"
+           "        .equ P3IN, 0x0004\n"
+           "        .equ P4OUT, 0x0007\n"
+           "        .equ WDT, 0x0010\n"
+           "        .equ DONE, 0xd07e\n"
+           "        .equ PHASE, 0x0fc0\n"
+           "        .equ TDATA, 0x0c00\n"
+           "        .equ BUCKETS, 0x0c40\n";
+    if (opts.watchdog) {
+        oss << "        .equ WDT_CMD, "
+            << wdtArmCommand(opts.intervalSel) << "\n";
+    }
+    oss << "start:  mov #0x0ff0, r1\n";
+    if (opts.watchdog)
+        oss << "        mov #WDT_CMD, &WDT\n";
+    oss << "        jmp task\n";
+    oss << "        .org " << kTaskBase << "\n";
+    oss << "task:\n" << body;
+    oss << "task_done:\n"
+           "        mov #DONE, &P2OUT\n";
+    if (opts.watchdog) {
+        oss << "task_idle:\n"
+               "        jmp task_idle\n";
+    } else {
+        oss << "        jmp start\n";
+    }
+    return oss.str();
+}
+
+std::string
+Workload::source(const HarnessOptions &opts) const
+{
+    return harnessSource(body, opts);
+}
+
+AsmProgram
+Workload::program(const HarnessOptions &opts) const
+{
+    return parseSource(source(opts));
+}
+
+ProgramImage
+Workload::image(const HarnessOptions &opts) const
+{
+    return assembleSource(source(opts));
+}
+
+Policy
+Workload::policy() const
+{
+    return benchmarkPolicy(kTaskBase, kTaskEnd);
+}
+
+const std::vector<Workload> &
+allWorkloads()
+{
+    static const std::vector<Workload> workloads = {
+        // Embedded sensor benchmarks [34].
+        {"mult", "predicated 16x16 shift-add multiply", false, false,
+         workloadBodyMult()},
+        {"binSearch", "binary search for a tainted key", true, true,
+         workloadBodyBinSearch()},
+        {"tea8", "8-round TEA-style block cipher", false, false,
+         workloadBodyTea8()},
+        {"intFilt", "4-tap integer FIR filter", false, false,
+         workloadBodyIntFilt()},
+        {"tHold", "threshold event detector", true, true,
+         workloadBodyTHold()},
+        {"div", "16-bit restoring division", true, true,
+         workloadBodyDiv()},
+        {"inSort", "insertion sort of sampled data", true, true,
+         workloadBodyInSort()},
+        {"rle", "predicated run-length encoder", false, false,
+         workloadBodyRle()},
+        {"intAVG", "outlier-filtering running average", true, true,
+         workloadBodyIntAvg()},
+        // EEMBC-style benchmarks [35].
+        {"autocorr", "autocorrelation with predicated MAC", false,
+         false, workloadBodyAutocorr()},
+        {"FFT", "8-point butterfly transform", false, false,
+         workloadBodyFft()},
+        {"ConvEn", "rate-1/2 K=3 convolutional encoder", false, false,
+         workloadBodyConvEn()},
+        {"Viterbi", "4-state Viterbi decoder", true, true,
+         workloadBodyViterbi()},
+    };
+    return workloads;
+}
+
+const Workload &
+workloadByName(const std::string &name)
+{
+    for (const Workload &w : allWorkloads()) {
+        if (w.name == name)
+            return w;
+    }
+    GLIFS_FATAL("unknown workload '", name, "'");
+}
+
+} // namespace glifs

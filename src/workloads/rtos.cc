@@ -1,0 +1,234 @@
+#include "workloads/rtos.hh"
+
+#include <sstream>
+
+#include "soc/runner.hh"
+#include "xform/overhead.hh"
+#include "xform/watchdog_xform.hh"
+
+namespace glifs
+{
+
+namespace
+{
+
+Policy
+rtosPolicy()
+{
+    Policy p;
+    p.name = "rtos non-interference";
+    p.taintedInPort = {true, false, false, false};   // P1 untrusted
+    p.trustedOutPort = {true, false, true, true};    // P2 untrusted out
+    p.addCode("scheduler", 0x0000, 0x003F, false);
+    p.addCode("div", 0x0040, 0x00FF, false);         // trusted task
+    p.addCode("binSearch", 0x0100, 0x01FF, true);    // untrusted task
+    p.addMem("sys_ram", 0x0800, 0x0BFF, false);
+    p.addMem("task_ram", 0x0C00, 0x0FFF, true);
+    return p;
+}
+
+/**
+ * Generate the system source.
+ * @param protected_mode watchdog slicing + masked binSearch stores
+ * @param interval_sel watchdog interval for protected mode
+ */
+std::string
+rtosSource(bool protected_mode, unsigned interval_sel)
+{
+    std::ostringstream oss;
+    oss << "        .equ P1IN, 0x0000\n"
+           "        .equ P2OUT, 0x0003\n"
+           "        .equ P3IN, 0x0004\n"
+           "        .equ P4OUT, 0x0007\n"
+           "        .equ WDT, 0x0010\n"
+           "        .equ DONE, 0xd07e\n"
+           "        .equ CURTASK, 0x0900\n"
+           "        .equ DIVPH, 0x0910\n"
+           "        .equ BSPH, 0x0c00\n";
+    if (protected_mode) {
+        oss << "        .equ WDT_CMD, "
+            << wdtArmCommand(interval_sel) << "\n";
+    }
+
+    // ---- scheduler (untainted, at the reset vector) ------------------
+    oss << "start:  mov &CURTASK, r4\n"
+           "        xor #1, r4\n"
+           "        mov r4, &CURTASK\n";
+    if (protected_mode)
+        oss << "        mov #WDT_CMD, &WDT\n";
+    oss << "        tst r4\n"
+           "        jz s_div\n"
+           "        mov #0x0ff0, r1\n"   // untrusted stack: tainted RAM
+           "        jmp bs_task\n"
+           "s_div:  mov #0x0bf0, r1\n"   // trusted stack: untainted RAM
+           "        jmp div_task\n";
+
+    // The end-of-slice behaviour of each task.
+    const char *yield = protected_mode ? nullptr : "        jmp start\n";
+
+    // ---- div task (trusted, untainted) -------------------------------
+    oss << "        .org 0x40\n"
+           "div_task:\n"
+           "        mov &DIVPH, r10\n"
+           "        cmp #4, r10\n"
+           "        jl d_unit\n";
+    if (protected_mode) {
+        oss << "d_idle: jmp d_idle\n";
+    } else {
+        oss << "        mov #DONE, &P4OUT\n"
+               "        jmp start\n";
+    }
+    oss << "d_unit:\n"
+           "        mov &P3IN, r4\n"
+           "        mov &P3IN, r5\n"
+           "        bis #1, r5\n"
+           "        clr r6\n"
+           "        clr r7\n"
+           "        mov #16, r8\n"
+           "d_loop: rla r4\n"
+           "        rlc r7\n"
+           "        rla r6\n"
+           "        cmp r5, r7\n"
+           "        jnc d_skip\n"
+           "        sub r5, r7\n"
+           "        bis #1, r6\n"
+           "d_skip: dec r8\n"
+           "        jnz d_loop\n"
+           "        inc r10\n"
+           "        mov r10, &DIVPH\n"
+           "        cmp #4, r10\n"
+           "        jl d_cont\n"
+           "        mov #DONE, &P4OUT\n"
+           "d_cont: ";
+    oss << (protected_mode ? "jmp div_task\n" : "jmp start\n");
+    (void)yield;
+
+    // ---- binSearch task (untrusted, tainted) --------------------------
+    const char *mask12 = protected_mode
+                             ? "        and #0x03ff, r12\n"
+                               "        bis #0x0c00, r12\n"
+                             : "";
+    const char *mask14 = protected_mode
+                             ? "        and #0x03ff, r14\n"
+                               "        bis #0x0c00, r14\n"
+                             : "";
+    oss << "        .org 0x100\n"
+           "bs_task:\n"
+           "        mov &BSPH, r10\n"
+           "        cmp #16, r10\n"
+           "        jl b_init\n"
+           "        cmp #20, r10\n"
+           "        jl b_find\n";
+    if (protected_mode) {
+        oss << "b_idle: jmp b_idle\n";
+    } else {
+        oss << "        mov #DONE, &P2OUT\n"
+               "        mov #start, r15\n"
+               "        br r15\n";
+    }
+    oss << "b_init: mov r10, r11\n"
+           "        rla r11\n"
+           "        rla r11\n"
+           "        add #2, r11\n"
+           "        mov #0x0c20, r12\n"
+           "        add r10, r12\n"
+        << mask12
+        << "        mov r11, 0(r12)\n"
+           "        inc r10\n"
+           "        mov r10, &BSPH\n";
+    if (protected_mode) {
+        oss << "        jmp bs_task\n";
+    } else {
+        oss << "        mov #start, r15\n"
+               "        br r15\n";
+    }
+    oss << "b_find: mov &P1IN, r4\n"
+           "        clr r5\n"
+           "        mov #16, r6\n"
+           "b_loop: cmp r6, r5\n"
+           "        jge b_done\n"
+           "        mov r5, r7\n"
+           "        add r6, r7\n"
+           "        rra r7\n"
+           "        mov #0x0c20, r8\n"
+           "        add r7, r8\n"
+           "        mov @r8, r9\n"
+           "        cmp r4, r9\n"
+           "        jge b_hi\n"
+           "        mov r7, r5\n"
+           "        inc r5\n"
+           "        jmp b_loop\n"
+           "b_hi:   mov r7, r6\n"
+           "        jmp b_loop\n"
+           "b_done: mov #0x0c40, r14\n"
+           "        add r4, r14\n"
+        << mask14
+        << "        mov r5, 0(r14)\n"
+           "        inc r10\n"
+           "        mov r10, &BSPH\n"
+           "        cmp #20, r10\n"
+           "        jl b_cont\n"
+           "        mov #DONE, &P2OUT\n"
+           "b_cont: ";
+    if (protected_mode) {
+        oss << "jmp bs_task\n";
+    } else {
+        oss << "mov #start, r15\n"
+               "        br r15\n";
+    }
+    return oss.str();
+}
+
+} // namespace
+
+MicroBenchmark
+rtosBaseline()
+{
+    MicroBenchmark mb;
+    mb.name = "rtos-baseline";
+    mb.description =
+        "cooperative scheduler, no protection: untrusted control "
+        "flow re-enters the scheduler";
+    mb.source = rtosSource(false, 0);
+    mb.policy = rtosPolicy();
+    return mb;
+}
+
+MicroBenchmark
+rtosProtected(unsigned interval_sel)
+{
+    MicroBenchmark mb;
+    mb.name = "rtos-protected";
+    mb.description =
+        "watchdog-sliced scheduler with masked untrusted stores";
+    mb.source = rtosSource(true, interval_sel);
+    mb.policy = rtosPolicy();
+    return mb;
+}
+
+RtosMeasurement
+measureRtos(const Soc &soc, const ProgramImage &image,
+            uint64_t max_cycles)
+{
+    RtosMeasurement m;
+    SocRunner runner(soc);
+    runner.load(image);
+    runner.setStimulus(measurementStimulus(0xBEEF));
+    runner.reset();
+    runner.simulator().resetCycleCount();
+
+    bool div_done = false;
+    bool bs_done = false;
+    while (runner.cycles() < max_cycles) {
+        runner.stepCycle();
+        div_done = div_done || runner.portOut(4) == kDoneMagic;
+        bs_done = bs_done || runner.portOut(2) == kDoneMagic;
+        if (div_done && bs_done)
+            break;
+    }
+    m.completed = div_done && bs_done;
+    m.cycles = runner.cycles();
+    return m;
+}
+
+} // namespace glifs

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * MiniRTOS (Section 7.3): a round-robin scheduler multiplexing a
+ * trusted div task and an untrusted binSearch task on the IoT430,
+ * standing in for the paper's FreeRTOS system.
+ *
+ * The protected variant arms the watchdog before dispatching each time
+ * slice; expiry fires a POR that lands back in the scheduler with an
+ * untainted PC (the paper's reset-vector-into-scheduler trick), and
+ * binSearch's stores are masked into its own partition. The baseline
+ * variant schedules cooperatively with no protection: the untrusted
+ * task's tainted control flow re-enters the scheduler directly.
+ */
+
+#ifndef GLIFS_WORKLOADS_RTOS_HH
+#define GLIFS_WORKLOADS_RTOS_HH
+
+#include "soc/soc.hh"
+#include "workloads/micro.hh"
+
+namespace glifs
+{
+
+/** Unprotected cooperative system (the "before" of Section 7.3). */
+MicroBenchmark rtosBaseline();
+
+/** Watchdog-scheduled, mask-protected system (the "after"). */
+MicroBenchmark rtosProtected(unsigned interval_sel = 1);
+
+/** Result of a concrete RTOS run. */
+struct RtosMeasurement
+{
+    bool completed = false;   ///< both tasks signalled done
+    uint64_t cycles = 0;      ///< first-dispatch to both-done
+};
+
+/**
+ * Run an RTOS image concretely until both the trusted task (P4OUT)
+ * and the untrusted task (P2OUT) have signalled completion.
+ */
+RtosMeasurement measureRtos(const Soc &soc, const ProgramImage &image,
+                            uint64_t max_cycles = 4'000'000);
+
+} // namespace glifs
+
+#endif // GLIFS_WORKLOADS_RTOS_HH

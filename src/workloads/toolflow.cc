@@ -1,0 +1,124 @@
+#include "workloads/toolflow.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+#include "xform/always_on.hh"
+
+namespace glifs
+{
+
+namespace
+{
+
+EngineResult
+analyzeImage(const Soc &soc, const Policy &policy,
+             const ProgramImage &image)
+{
+    IftEngine engine(soc, policy, EngineConfig{});
+    return engine.run(image);
+}
+
+} // namespace
+
+ToolflowResult
+secureWorkload(const Soc &soc, const Workload &workload,
+               unsigned interval_sel, unsigned max_mask_rounds)
+{
+    ToolflowResult res;
+    res.intervalSel = interval_sel;
+    const Policy policy = workload.policy();
+
+    // Stage 1: application-specific gate-level IFT on the unmodified
+    // binary (Figure 10).
+    res.securedProgram = workload.program(HarnessOptions{});
+    res.securedImage = workload.image(HarnessOptions{});
+    res.unmodified = analyzeImage(soc, policy, res.securedImage);
+    res.rootCause = analyzeRootCauses(res.unmodified, policy,
+                                     &res.securedImage);
+
+    if (!res.rootCause.needsModification()) {
+        res.secured = res.unmodified;
+        res.notes.push_back("no modification needed");
+        return res;
+    }
+
+    // Stage 2: watchdog protection, applied as the harness-level
+    // "#define" (Figure 11). The program changes shape, so analysis
+    // must run again before masks are placed.
+    EngineResult current = res.unmodified;
+    if (!res.rootCause.tasksNeedingWatchdog.empty()) {
+        res.watchdogApplied = true;
+        HarnessOptions opts;
+        opts.watchdog = true;
+        opts.intervalSel = interval_sel;
+        res.securedProgram = workload.program(opts);
+        res.securedImage = workload.image(opts);
+        res.notes.push_back(detail::concat(
+            "enabled watchdog protection (interval ",
+            iot430::wdtIntervals[interval_sel], " cycles)"));
+        current = analyzeImage(soc, policy, res.securedImage);
+    }
+
+    // Stage 3: iterate mask insertion until no violating stores remain
+    // (or the round budget runs out).
+    for (unsigned round = 0; round < max_mask_rounds; ++round) {
+        RootCauseReport rc = analyzeRootCauses(current, policy,
+                                               &res.securedImage);
+        if (rc.storesToMask.empty())
+            break;
+        ++res.maskingRounds;
+        MaskingResult mres = insertMasks(res.securedProgram,
+                                         res.securedImage,
+                                         rc.storesToMask);
+        res.masksInserted += mres.masksInserted;
+        for (const std::string &n : mres.notes)
+            res.notes.push_back(n);
+        if (!mres.unmaskable.empty()) {
+            res.notes.push_back(detail::concat(
+                "error: ", mres.unmaskable.size(),
+                " store(s) cannot be masked"));
+            break;
+        }
+        res.securedProgram = mres.program;
+        res.securedImage = assemble(res.securedProgram);
+        current = analyzeImage(soc, policy, res.securedImage);
+    }
+
+    // Stage 4: final verification.
+    res.secured = current;
+    return res;
+}
+
+std::string
+ToolflowResult::summary(const std::string &name) const
+{
+    std::ostringstream oss;
+    oss << name << ": ";
+    if (!modified()) {
+        oss << (verified() ? "secure as-is" : "NOT SECURE (unfixable)");
+        return oss.str();
+    }
+    oss << (watchdogApplied ? "watchdog" : "no-watchdog") << " + "
+        << masksInserted << " mask(s) in " << maskingRounds
+        << " round(s) -> "
+        << (verified() ? "verified secure" : "STILL INSECURE");
+    return oss.str();
+}
+
+AlwaysOnProgram
+alwaysOnWorkload(const Workload &workload, unsigned interval_sel)
+{
+    AlwaysOnProgram out;
+    HarnessOptions opts;
+    opts.watchdog = true;
+    opts.intervalSel = interval_sel;
+    AlwaysOnResult aor = transformAlwaysOn(workload.program(opts));
+    out.program = aor.program;
+    out.image = assemble(out.program);
+    out.masksInserted = aor.masksInserted;
+    return out;
+}
+
+} // namespace glifs

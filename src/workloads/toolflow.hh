@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The end-to-end software-refactoring toolflow of Figures 10 and 11:
+ * application-specific gate-level information flow tracking, root-cause
+ * identification, watchdog protection insertion (a harness "#define",
+ * which requires re-analysis before mask insertion, exactly as the
+ * paper notes), memory-address mask insertion, and final verification.
+ */
+
+#ifndef GLIFS_WORKLOADS_TOOLFLOW_HH
+#define GLIFS_WORKLOADS_TOOLFLOW_HH
+
+#include "ift/rootcause.hh"
+#include "workloads/workload.hh"
+#include "xform/masking.hh"
+
+namespace glifs
+{
+
+/** Everything the toolflow produced for one workload. */
+struct ToolflowResult
+{
+    /** Analysis of the unmodified program. */
+    EngineResult unmodified;
+    RootCauseReport rootCause;
+
+    bool watchdogApplied = false;
+    unsigned intervalSel = 1;
+    size_t masksInserted = 0;
+    size_t maskingRounds = 0;
+
+    /** The secured program (== the original when nothing was needed). */
+    AsmProgram securedProgram;
+    ProgramImage securedImage;
+
+    /** Analysis of the secured program. */
+    EngineResult secured;
+
+    std::vector<std::string> notes;
+
+    bool modified() const { return watchdogApplied || masksInserted; }
+
+    /** Final verification verdict (Section 5.4's T_S assurance). */
+    bool verified() const { return secured.secure(); }
+
+    std::string summary(const std::string &name) const;
+};
+
+/**
+ * Run the full toolflow on a workload.
+ * @param interval_sel watchdog interval used when protection is needed
+ * @param max_mask_rounds analysis/masking iterations before giving up
+ */
+ToolflowResult secureWorkload(const Soc &soc, const Workload &workload,
+                              unsigned interval_sel = 1,
+                              unsigned max_mask_rounds = 4);
+
+/**
+ * The "always on" counterpart for the Table-3 baseline: watchdog
+ * protection plus masking of every task store, with no analysis
+ * feedback.
+ */
+struct AlwaysOnProgram
+{
+    AsmProgram program;
+    ProgramImage image;
+    size_t masksInserted = 0;
+};
+
+AlwaysOnProgram alwaysOnWorkload(const Workload &workload,
+                                 unsigned interval_sel = 1);
+
+} // namespace glifs
+
+#endif // GLIFS_WORKLOADS_TOOLFLOW_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Benchmark workloads (Table 1 of the paper): the embedded sensor
+ * benchmarks (mult, binSearch, tea8, intFilt, tHold, div, inSort, rle,
+ * intAVG) and the EEMBC-style kernels (autocorr, FFT, ConvEn, Viterbi),
+ * written in IoT430 assembly with the same security-relevant structure
+ * as the paper's versions: the six benchmarks of Table 2 branch and/or
+ * store through tainted-input-derived values, the other seven have
+ * fixed (or predicated) control and bounded store addresses.
+ *
+ * Every workload runs inside a standard harness: untainted system code
+ * at the reset vector sets the stack pointer (and, when the watchdog
+ * transformation is applied, arms the watchdog) and transfers to the
+ * tainted task at kTaskBase. Tasks persist their progress in their
+ * tainted RAM partition so watchdog-sliced execution can resume after
+ * each POR, signal completion by writing kDoneMagic to the untrusted
+ * output port P2OUT, and either jump back to the system code
+ * (unprotected harness -- the control-flow escape the analysis must
+ * catch) or idle until the watchdog fires (protected harness).
+ */
+
+#ifndef GLIFS_WORKLOADS_WORKLOAD_HH
+#define GLIFS_WORKLOADS_WORKLOAD_HH
+
+#include <string>
+#include <vector>
+
+#include "assembler/assembler.hh"
+#include "ift/policy.hh"
+
+namespace glifs
+{
+
+/** First word address of the (tainted) task partition. */
+constexpr uint16_t kTaskBase = 0x0080;
+/** Last word address of the task partition. */
+constexpr uint16_t kTaskEnd = 0x0FFF;
+
+/** Harness configuration ("#define"-level knobs, Figure 11). */
+struct HarnessOptions
+{
+    /** Watchdog-protect the task (idle-until-POR instead of jumping
+     *  back to system code). */
+    bool watchdog = false;
+    /** Watchdog interval selector (0..3 -> 64/512/8192/32768). */
+    unsigned intervalSel = 1;
+};
+
+/** One benchmark. */
+struct Workload
+{
+    std::string name;
+    std::string description;
+    bool expectC1 = false;  ///< Table 2: violates condition 1
+    bool expectC2 = false;  ///< Table 2: violates condition 2
+    std::string body;       ///< task body assembly
+
+    /** Full program source with the standard harness. */
+    std::string source(const HarnessOptions &opts = {}) const;
+
+    /** Parsed program. */
+    AsmProgram program(const HarnessOptions &opts = {}) const;
+
+    /** Assembled image. */
+    ProgramImage image(const HarnessOptions &opts = {}) const;
+
+    /** The benchmark non-interference policy for this layout. */
+    Policy policy() const;
+};
+
+/** The harness wrapped around a task body (exposed for tests). */
+std::string harnessSource(const std::string &body,
+                          const HarnessOptions &opts);
+
+/** All 13 benchmarks, in Table 1 order. */
+const std::vector<Workload> &allWorkloads();
+
+/** Look up a benchmark by name (fatal if unknown). */
+const Workload &workloadByName(const std::string &name);
+
+} // namespace glifs
+
+#endif // GLIFS_WORKLOADS_WORKLOAD_HH

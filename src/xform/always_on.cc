@@ -1,0 +1,60 @@
+#include "xform/always_on.hh"
+
+#include "isa/isa.hh"
+
+namespace glifs
+{
+
+namespace
+{
+
+int
+maskableStoreReg(const AsmItem &item)
+{
+    if (item.kind != AsmItem::Kind::Instr)
+        return -1;
+    if (item.op == Op::Push || item.op == Op::Call)
+        return iot430::kSpReg;
+    if (!isTwoOp(item.op))
+        return -1;
+    if ((item.dst.kind == AsmOperand::Kind::Ind ||
+         item.dst.kind == AsmOperand::Kind::Idx) &&
+        item.dst.reg != 0)
+        return static_cast<int>(item.dst.reg);
+    return -1;
+}
+
+} // namespace
+
+AlwaysOnResult
+transformAlwaysOn(const AsmProgram &prog, const std::string &task_label,
+                  uint16_t and_mask, uint16_t or_mask)
+{
+    AlwaysOnResult res;
+    bool in_task = false;
+    for (const AsmItem &item : prog.items) {
+        if (item.kind == AsmItem::Kind::Label &&
+            item.name == task_label)
+            in_task = true;
+        if (in_task) {
+            int reg = maskableStoreReg(item);
+            if (reg > 0) {
+                res.program.items.push_back(
+                    makeInstr(Op::And, operandImm(and_mask),
+                              operandReg(static_cast<unsigned>(reg))));
+                res.program.items.push_back(
+                    makeInstr(Op::Bis, operandImm(or_mask),
+                              operandReg(static_cast<unsigned>(reg))));
+                ++res.masksInserted;
+            } else if (item.kind == AsmItem::Kind::Instr &&
+                       isTwoOp(item.op) &&
+                       item.dst.kind == AsmOperand::Kind::Abs) {
+                ++res.absoluteStoresRewritten;
+            }
+        }
+        res.program.items.push_back(item);
+    }
+    return res;
+}
+
+} // namespace glifs

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The "always on" baseline transformation (Section 7.2): with no
+ * application knowledge, every store in the task region must be masked
+ * and every task must be watchdog-bounded, because all sufficient
+ * conditions must be enforced unconditionally.
+ */
+
+#ifndef GLIFS_XFORM_ALWAYS_ON_HH
+#define GLIFS_XFORM_ALWAYS_ON_HH
+
+#include "assembler/parser.hh"
+#include "ift/policy.hh"
+
+namespace glifs
+{
+
+/** Outcome of the always-on transformation. */
+struct AlwaysOnResult
+{
+    AsmProgram program;
+    size_t masksInserted = 0;
+    size_t absoluteStoresRewritten = 0;
+};
+
+/**
+ * Mask *every* store at or after the label @p task_label (the task
+ * region), regardless of whether the analysis would flag it. Register
+ * based stores get AND/BIS mask pairs; absolute stores are left alone
+ * (their addresses are constants the linker already fixed).
+ */
+AlwaysOnResult transformAlwaysOn(
+    const AsmProgram &prog, const std::string &task_label = "task",
+    uint16_t and_mask = iot430::kTaintedMaskAnd,
+    uint16_t or_mask = iot430::kTaintedMaskOr);
+
+} // namespace glifs
+
+#endif // GLIFS_XFORM_ALWAYS_ON_HH

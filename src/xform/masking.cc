@@ -1,0 +1,112 @@
+#include "xform/masking.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace glifs
+{
+
+namespace
+{
+
+/** Which register carries the store address; -1 if none (absolute). */
+int
+storeAddrReg(const AsmItem &item)
+{
+    if (item.kind != AsmItem::Kind::Instr)
+        return -1;
+    if (item.op == Op::Push || item.op == Op::Call)
+        return iot430::kSpReg;
+    if (!isTwoOp(item.op))
+        return -1;
+    switch (item.dst.kind) {
+      case AsmOperand::Kind::Ind:
+      case AsmOperand::Kind::Idx:
+        return static_cast<int>(item.dst.reg);
+      default:
+        return -1;
+    }
+}
+
+bool
+isStoreItem(const AsmItem &item)
+{
+    if (item.kind != AsmItem::Kind::Instr)
+        return false;
+    if (item.op == Op::Push || item.op == Op::Call)
+        return true;
+    return isTwoOp(item.op) &&
+           (item.dst.kind == AsmOperand::Kind::Ind ||
+            item.dst.kind == AsmOperand::Kind::Idx ||
+            item.dst.kind == AsmOperand::Kind::Abs);
+}
+
+} // namespace
+
+std::vector<size_t>
+findStoreItems(const AsmProgram &prog)
+{
+    std::vector<size_t> out;
+    for (size_t i = 0; i < prog.items.size(); ++i) {
+        if (isStoreItem(prog.items[i]))
+            out.push_back(i);
+    }
+    return out;
+}
+
+MaskingResult
+insertMasks(const AsmProgram &prog, const ProgramImage &image,
+            const std::vector<uint16_t> &store_addrs, uint16_t and_mask,
+            uint16_t or_mask)
+{
+    MaskingResult res;
+
+    // Resolve violating addresses to item indices.
+    std::set<size_t> to_mask;
+    for (uint16_t addr : store_addrs) {
+        size_t idx = image.itemAt(addr);
+        if (idx == ProgramImage::npos) {
+            res.unmaskable.push_back(addr);
+            res.notes.push_back(detail::concat(
+                "error: violating address ", hex16(addr),
+                " does not map to an instruction"));
+            continue;
+        }
+        const AsmItem &item = prog.items[idx];
+        if (storeAddrReg(item) < 0 ||
+            storeAddrReg(item) == 0) {
+            res.unmaskable.push_back(addr);
+            res.notes.push_back(detail::concat(
+                "error: store at ", hex16(addr), " (line ", item.line,
+                ") uses a constant address and cannot be masked; fix "
+                "the program or the policy labels"));
+            continue;
+        }
+        to_mask.insert(idx);
+    }
+
+    // Rebuild the item list with AND/BIS pairs inserted before each
+    // flagged store.
+    for (size_t i = 0; i < prog.items.size(); ++i) {
+        if (to_mask.count(i) != 0) {
+            unsigned reg =
+                static_cast<unsigned>(storeAddrReg(prog.items[i]));
+            res.program.items.push_back(makeInstr(
+                Op::And, operandImm(and_mask), operandReg(reg)));
+            res.program.items.push_back(makeInstr(
+                Op::Bis, operandImm(or_mask), operandReg(reg)));
+            ++res.masksInserted;
+            res.notes.push_back(detail::concat(
+                "warning: masked store address register r", reg,
+                " at line ", prog.items[i].line,
+                " (store could taint an untainted partition)"));
+        }
+        res.program.items.push_back(prog.items[i]);
+    }
+    return res;
+}
+
+} // namespace glifs

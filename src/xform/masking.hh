@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Software memory-address masking (Section 5.2, Figure 9): insert
+ * AND/BIS instructions before flagged store instructions so the
+ * effective address provably stays inside the tainted partition.
+ */
+
+#ifndef GLIFS_XFORM_MASKING_HH
+#define GLIFS_XFORM_MASKING_HH
+
+#include "assembler/assembler.hh"
+#include "ift/policy.hh"
+
+namespace glifs
+{
+
+/** Outcome of a masking pass. */
+struct MaskingResult
+{
+    AsmProgram program;            ///< rewritten program
+    size_t masksInserted = 0;      ///< AND/BIS pairs added
+    std::vector<uint16_t> unmaskable;  ///< stores that cannot be masked
+    std::vector<std::string> notes;    ///< compiler-style messages
+};
+
+/**
+ * Insert `and #and_mask, rX` / `bis #or_mask, rX` before each store
+ * instruction listed in @p store_addrs (addresses from the analysis of
+ * @p image, which must have been assembled from @p prog).
+ *
+ * Indirect and indexed stores are masked through their address
+ * register; push/call (SP-relative) stores are masked through the
+ * stack pointer; absolute stores have constant addresses and cannot be
+ * redirected -- they are reported as unmaskable errors for the
+ * programmer (Section 6, footnote 6).
+ */
+MaskingResult insertMasks(const AsmProgram &prog,
+                          const ProgramImage &image,
+                          const std::vector<uint16_t> &store_addrs,
+                          uint16_t and_mask = iot430::kTaintedMaskAnd,
+                          uint16_t or_mask = iot430::kTaintedMaskOr);
+
+/** All store-instruction item indices of a program (for always-on). */
+std::vector<size_t> findStoreItems(const AsmProgram &prog);
+
+} // namespace glifs
+
+#endif // GLIFS_XFORM_MASKING_HH

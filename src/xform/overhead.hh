@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Concrete overhead measurement (Section 7.2): run original and
+ * modified binaries through input-based gate-level simulation and
+ * compare cycle counts and energy.
+ *
+ * Workloads signal completion by writing a magic value to their
+ * (untrusted) output port; watchdog-protected runs optionally keep
+ * simulating until the next POR so the idle padding of the final time
+ * slice is charged, as the paper does.
+ */
+
+#ifndef GLIFS_XFORM_OVERHEAD_HH
+#define GLIFS_XFORM_OVERHEAD_HH
+
+#include "assembler/program_image.hh"
+#include "power/energy_model.hh"
+#include "soc/runner.hh"
+
+namespace glifs
+{
+
+/** Magic "task finished" value written to the done port. */
+constexpr uint16_t kDoneMagic = 0xD07E;
+
+/** Measurement knobs. */
+struct MeasureConfig
+{
+    unsigned donePort = 2;          ///< P2OUT signals completion
+    uint16_t doneValue = kDoneMagic;
+    bool runToPorAfterDone = false; ///< charge final-slice idle padding
+    uint64_t maxCycles = 4'000'000;
+    uint32_t stimulusSeed = 0x1234; ///< deterministic port inputs
+    bool measureEnergy = true;
+};
+
+/** One measured concrete execution. */
+struct MeasuredRun
+{
+    bool completed = false;
+    uint64_t cycles = 0;
+    EnergyReport energy;
+};
+
+/** Deterministic pseudo-random stimulus for measurement runs. */
+SocRunner::Stimulus measurementStimulus(uint32_t seed);
+
+/** Run a binary to completion and measure cycles/energy. */
+MeasuredRun measureRun(const Soc &soc, const ProgramImage &image,
+                       const MeasureConfig &cfg = {});
+
+/** Base-vs-modified comparison. */
+struct OverheadComparison
+{
+    MeasuredRun base;
+    MeasuredRun modified;
+
+    double perfOverhead() const;    ///< (mod - base) / base
+    double energyOverhead() const;  ///< (modE - baseE) / baseE
+    std::string str() const;
+};
+
+} // namespace glifs
+
+#endif // GLIFS_XFORM_OVERHEAD_HH

@@ -1,0 +1,80 @@
+#include "xform/slicing.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "isa/isa.hh"
+
+namespace glifs
+{
+
+double
+WatchdogPlan::overhead() const
+{
+    if (taskCycles == 0)
+        return 0.0;
+    return static_cast<double>(totalCycles - taskCycles) /
+           static_cast<double>(taskCycles);
+}
+
+std::string
+WatchdogPlan::str() const
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(2);
+    oss << slices << " slice(s) of " << interval << " cycles (sel "
+        << intervalSel << "), task " << taskCycles << " -> total "
+        << totalCycles << " (+" << overhead() * 100.0 << "%)";
+    return oss.str();
+}
+
+WatchdogPlan
+planWatchdogForInterval(uint64_t task_cycles, unsigned sel,
+                        const SliceCosts &costs)
+{
+    GLIFS_ASSERT(sel < 4, "bad watchdog interval selector ", sel);
+    const uint64_t interval = iot430::wdtIntervals[sel];
+    const uint64_t per_slice_cost = costs.contextSwitch + costs.wdtSetup;
+
+    WatchdogPlan plan;
+    plan.intervalSel = sel;
+    plan.interval = interval;
+    plan.taskCycles = task_cycles;
+    if (interval <= per_slice_cost) {
+        // No useful work fits in a slice.
+        plan.slices = 0;
+        plan.totalCycles = 0;
+        return plan;
+    }
+    const uint64_t useful = interval - per_slice_cost;
+    plan.slices = (task_cycles + useful - 1) / useful;
+    if (plan.slices == 0)
+        plan.slices = 1;
+    plan.totalCycles = plan.slices * interval;
+    plan.idlePadding = plan.totalCycles - plan.slices * per_slice_cost -
+                       task_cycles;
+    return plan;
+}
+
+WatchdogPlan
+planWatchdog(uint64_t task_cycles, const SliceCosts &costs)
+{
+    WatchdogPlan best;
+    bool have = false;
+    for (unsigned sel = 0; sel < 4; ++sel) {
+        WatchdogPlan plan =
+            planWatchdogForInterval(task_cycles, sel, costs);
+        if (plan.slices == 0)
+            continue;
+        if (!have || plan.totalCycles < best.totalCycles) {
+            best = plan;
+            have = true;
+        }
+    }
+    if (!have)
+        GLIFS_FATAL("no watchdog interval can make progress");
+    return best;
+}
+
+} // namespace glifs

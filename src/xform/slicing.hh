@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Watchdog time-slice planning (Section 7.2).
+ *
+ * The MSP430-style watchdog offers four intervals (64, 512, 8192,
+ * 32768 cycles). A tainted task of measured length T is executed in n
+ * slices of interval I; each slice pays the context save/restore (20
+ * cycles) and watchdog setup (10 cycles) overheads, and the final
+ * slice is padded with an idle loop. The planner picks (I, n)
+ * minimizing total time, exactly as the paper's toolflow does.
+ */
+
+#ifndef GLIFS_XFORM_SLICING_HH
+#define GLIFS_XFORM_SLICING_HH
+
+#include <cstdint>
+#include <string>
+
+namespace glifs
+{
+
+/** Fixed per-slice costs on the IoT430/openMSP430 (Section 7.2). */
+struct SliceCosts
+{
+    uint64_t contextSwitch = 20;  ///< save + restore of task state
+    uint64_t wdtSetup = 10;       ///< watchdog initialization / reset
+};
+
+/** A chosen slicing. */
+struct WatchdogPlan
+{
+    unsigned intervalSel = 3;     ///< index into iot430::wdtIntervals
+    uint64_t interval = 32768;
+    uint64_t slices = 1;
+    uint64_t taskCycles = 0;      ///< useful work being bounded
+    uint64_t totalCycles = 0;     ///< slices * interval
+    uint64_t idlePadding = 0;     ///< wasted cycles in the last slice
+
+    /** (total - task) / task. */
+    double overhead() const;
+
+    std::string str() const;
+};
+
+/**
+ * Pick the interval and slice count minimizing total time for a task
+ * of @p task_cycles useful cycles.
+ * @throws FatalError if the task cannot make progress in any slice
+ *         (per-slice overhead exceeds every interval).
+ */
+WatchdogPlan planWatchdog(uint64_t task_cycles,
+                          const SliceCosts &costs = {});
+
+/**
+ * Overhead of a specific interval choice (used by sweeps/ablations).
+ */
+WatchdogPlan planWatchdogForInterval(uint64_t task_cycles, unsigned sel,
+                                     const SliceCosts &costs = {});
+
+} // namespace glifs
+
+#endif // GLIFS_XFORM_SLICING_HH

@@ -1,0 +1,61 @@
+#include "xform/watchdog_xform.hh"
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+#include "isa/isa.hh"
+
+namespace glifs
+{
+
+uint16_t
+wdtArmCommand(unsigned sel)
+{
+    GLIFS_ASSERT(sel < 4, "bad watchdog interval selector ", sel);
+    return static_cast<uint16_t>(sel);
+}
+
+uint16_t
+wdtHoldCommand()
+{
+    return iot430::kWdtHold;
+}
+
+WatchdogXformResult
+applyWatchdogProtection(const AsmProgram &prog, unsigned interval_sel)
+{
+    WatchdogXformResult res;
+    res.program = prog;
+    const uint16_t cmd = wdtArmCommand(interval_sel);
+
+    for (AsmItem &item : res.program.items) {
+        if (item.kind == AsmItem::Kind::Equ && item.name == "WDT_CMD") {
+            item.values[0] = AsmExpr{"", cmd};
+            res.applied = true;
+            res.notes.push_back(detail::concat(
+                "warning: enabled watchdog protection (interval ",
+                iot430::wdtIntervals[interval_sel],
+                " cycles) via WDT_CMD"));
+            return res;
+        }
+    }
+
+    // No harness hook: insert an arming store before the first
+    // instruction.
+    for (size_t i = 0; i < res.program.items.size(); ++i) {
+        if (res.program.items[i].kind != AsmItem::Kind::Instr)
+            continue;
+        AsmItem arm = makeInstr(Op::Mov, operandImm(cmd),
+                                operandAbs(iot430::kWdtCtl));
+        res.program.items.insert(res.program.items.begin() + i, arm);
+        res.applied = true;
+        res.notes.push_back(detail::concat(
+            "warning: inserted watchdog arming store (interval ",
+            iot430::wdtIntervals[interval_sel], " cycles)"));
+        return res;
+    }
+
+    res.notes.push_back("error: no instruction to protect");
+    return res;
+}
+
+} // namespace glifs

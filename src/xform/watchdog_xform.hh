@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Watchdog protection insertion (Section 5.2, Figure 8): make the
+ * untainted system code arm the watchdog timer before transferring
+ * control to a tainted task, so a power-on reset deterministically
+ * recovers an untainted PC.
+ */
+
+#ifndef GLIFS_XFORM_WATCHDOG_XFORM_HH
+#define GLIFS_XFORM_WATCHDOG_XFORM_HH
+
+#include "assembler/parser.hh"
+#include "xform/slicing.hh"
+
+namespace glifs
+{
+
+/** Outcome of the watchdog-insertion pass. */
+struct WatchdogXformResult
+{
+    AsmProgram program;
+    bool applied = false;
+    std::vector<std::string> notes;
+};
+
+/**
+ * Enable watchdog protection in a program.
+ *
+ * If the program defines the harness symbol `WDT_CMD` (the
+ * "#define"-style hook of Figure 11), its value is rewritten to the
+ * requested interval selector. Otherwise an arming store to WDTCTL is
+ * inserted at the start of the program (before the first instruction).
+ */
+WatchdogXformResult applyWatchdogProtection(const AsmProgram &prog,
+                                            unsigned interval_sel);
+
+/** The WDTCTL command word arming interval @p sel (hold bit clear). */
+uint16_t wdtArmCommand(unsigned sel);
+
+/** The WDTCTL command word that keeps the watchdog disabled. */
+uint16_t wdtHoldCommand();
+
+} // namespace glifs
+
+#endif // GLIFS_XFORM_WATCHDOG_XFORM_HH

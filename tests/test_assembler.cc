@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Assembler tests: lexing, parsing, symbol resolution, two-pass
+ * assembly, rendering round trips and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "base/logging.hh"
+#include "isa/disasm.hh"
+
+namespace glifs
+{
+namespace
+{
+
+TEST(Lexer, TokenKinds)
+{
+    auto toks = lex("mov #0x10, r5 ; comment\nloop: jnz loop");
+    ASSERT_GE(toks.size(), 8u);
+    EXPECT_EQ(toks[0].kind, TokKind::Ident);
+    EXPECT_EQ(toks[0].text, "mov");
+    EXPECT_EQ(toks[1].kind, TokKind::Hash);
+    EXPECT_EQ(toks[2].kind, TokKind::Number);
+    EXPECT_EQ(toks[2].value, 0x10);
+    EXPECT_EQ(toks[3].kind, TokKind::Comma);
+    EXPECT_EQ(toks[4].kind, TokKind::Reg);
+    EXPECT_EQ(toks[4].value, 5);
+    EXPECT_EQ(toks[5].kind, TokKind::Newline);
+}
+
+TEST(Lexer, RegisterRecognition)
+{
+    auto toks = lex("r0 r15 r16 rx");
+    EXPECT_EQ(toks[0].kind, TokKind::Reg);
+    EXPECT_EQ(toks[1].kind, TokKind::Reg);
+    EXPECT_EQ(toks[1].value, 15);
+    EXPECT_EQ(toks[2].kind, TokKind::Ident);  // r16 is not a register
+    EXPECT_EQ(toks[3].kind, TokKind::Ident);
+}
+
+TEST(Lexer, LineNumbersAndComments)
+{
+    auto toks = lex("nop\n; full comment line\nnop");
+    // Find the second nop.
+    int nops = 0;
+    for (const auto &t : toks) {
+        if (t.kind == TokKind::Ident && t.text == "nop") {
+            ++nops;
+            if (nops == 2) {
+                EXPECT_EQ(t.line, 3);
+            }
+        }
+    }
+    EXPECT_EQ(nops, 2);
+}
+
+TEST(Lexer, BadCharacterFails)
+{
+    EXPECT_THROW(lex("mov $5, r1"), FatalError);
+}
+
+TEST(Parser, OperandShapes)
+{
+    AsmProgram p = parseSource(
+        "mov #5, r4\n"
+        "mov @r6, r7\n"
+        "mov 2(r8), r9\n"
+        "mov &0x0010, r10\n"
+        "mov r4, 3(r5)\n");
+    ASSERT_EQ(p.items.size(), 5u);
+    EXPECT_EQ(p.items[0].src.kind, AsmOperand::Kind::Imm);
+    EXPECT_EQ(p.items[1].src.kind, AsmOperand::Kind::Ind);
+    EXPECT_EQ(p.items[2].src.kind, AsmOperand::Kind::Idx);
+    EXPECT_EQ(p.items[2].src.expr.offset, 2);
+    EXPECT_EQ(p.items[3].src.kind, AsmOperand::Kind::Abs);
+    EXPECT_EQ(p.items[4].dst.kind, AsmOperand::Kind::Idx);
+}
+
+TEST(Parser, LabelsAndDirectives)
+{
+    AsmProgram p = parseSource(
+        "        .equ BASE, 0x0800\n"
+        "start:  .org 4\n"
+        "        .word 1, 2, BASE+3\n"
+        "loop:   jmp loop\n");
+    ASSERT_EQ(p.items.size(), 6u);
+    EXPECT_EQ(p.items[0].kind, AsmItem::Kind::Equ);
+    EXPECT_EQ(p.items[1].kind, AsmItem::Kind::Label);
+    EXPECT_EQ(p.items[2].kind, AsmItem::Kind::Org);
+    EXPECT_EQ(p.items[3].values.size(), 3u);
+    EXPECT_EQ(p.items[3].values[2].symbol, "BASE");
+    EXPECT_EQ(p.items[3].values[2].offset, 3);
+}
+
+TEST(Parser, SyntaxErrorHasLineNumber)
+{
+    try {
+        parseSource("nop\nmov r1\n");
+        FAIL();
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos);
+    }
+}
+
+TEST(Assembler, SimpleProgram)
+{
+    ProgramImage img = assembleSource(
+        "start:  mov #100, r10\n"
+        "loop:   dec r10\n"
+        "        jnz loop\n"
+        "        halt\n");
+    EXPECT_EQ(img.symbol("start"), 0);
+    EXPECT_EQ(img.symbol("loop"), 2);
+    EXPECT_EQ(img.usedWords, 5u);
+
+    // Decode back and check the branch target.
+    auto j = decode(&img.words[3], 2);
+    ASSERT_TRUE(j.has_value());
+    EXPECT_EQ(j->op, Op::J);
+    EXPECT_EQ(j->cond, Cond::NZ);
+    EXPECT_EQ(3 + 1 + j->jumpOff, 2);  // lands on loop
+}
+
+TEST(Assembler, ForwardReferences)
+{
+    ProgramImage img = assembleSource(
+        "        jmp end\n"
+        "        nop\n"
+        "end:    halt\n");
+    auto j = decode(&img.words[0], 1);
+    ASSERT_TRUE(j.has_value());
+    EXPECT_EQ(0 + 1 + j->jumpOff, img.symbol("end"));
+}
+
+TEST(Assembler, OrgPlacesCode)
+{
+    ProgramImage img = assembleSource(
+        "        nop\n"
+        "        .org 0x100\n"
+        "task:   halt\n");
+    EXPECT_EQ(img.symbol("task"), 0x100);
+    auto h = decode(&img.words[0x100], 1);
+    ASSERT_TRUE(h.has_value());
+    EXPECT_EQ(h->op, Op::Halt);
+}
+
+TEST(Assembler, EquAndSymbolArithmetic)
+{
+    ProgramImage img = assembleSource(
+        "        .equ WDT, 0x0010\n"
+        "        mov #0x0003, &WDT\n"
+        "        mov &WDT+1, r5\n"
+        "        halt\n");
+    // First mov: imm word then abs word.
+    EXPECT_EQ(img.words[1], 0x0003);
+    EXPECT_EQ(img.words[2], 0x0010);
+    EXPECT_EQ(img.words[4], 0x0011);
+}
+
+TEST(Assembler, AddrToItemMapping)
+{
+    AsmProgram p = parseSource(
+        "        nop\n"
+        "        mov #1, r4\n"
+        "        halt\n");
+    ProgramImage img = assemble(p);
+    EXPECT_EQ(img.itemAt(0), 0u);
+    EXPECT_EQ(img.itemAt(1), 1u);
+    EXPECT_EQ(img.itemAt(3), 2u);
+    EXPECT_EQ(img.itemAt(2), ProgramImage::npos);  // mid-instruction
+}
+
+TEST(Assembler, UndefinedSymbolFails)
+{
+    EXPECT_THROW(assembleSource("jmp nowhere\n"), FatalError);
+}
+
+TEST(Assembler, JumpOutOfRangeFails)
+{
+    std::string src = "start: nop\n";
+    for (int i = 0; i < 300; ++i)
+        src += "        nop\n";
+    src += "        jmp start\n";
+    EXPECT_THROW(assembleSource(src), FatalError);
+}
+
+TEST(Assembler, RenderRoundTrip)
+{
+    const std::string src =
+        "        .equ BASE, 2048\n"
+        "start:  mov #5, r4\n"
+        "        mov r4, &0x0801\n"
+        "        push r4\n"
+        "        call #start\n"
+        "        ret\n"
+        "        halt\n";
+    AsmProgram p1 = parseSource(src);
+    ProgramImage i1 = assemble(p1);
+    // render -> reparse -> reassemble must produce identical words.
+    AsmProgram p2 = parseSource(render(p1));
+    ProgramImage i2 = assemble(p2);
+    EXPECT_EQ(i1.words, i2.words);
+}
+
+TEST(Assembler, StackAndFlowInstructions)
+{
+    ProgramImage img = assembleSource(
+        "        push r5\n"
+        "        pop r6\n"
+        "        br r7\n"
+        "        call #target\n"
+        "target: ret\n");
+    auto p0 = decode(&img.words[0], 1);
+    ASSERT_TRUE(p0);
+    EXPECT_EQ(p0->op, Op::Push);
+    EXPECT_EQ(p0->rd, 5u);
+    auto c = decode(&img.words[3], 2);
+    ASSERT_TRUE(c);
+    EXPECT_EQ(c->op, Op::Call);
+    EXPECT_EQ(c->srcWord, img.symbol("target"));
+}
+
+} // namespace
+} // namespace glifs

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Unit tests for src/base: logging, bit utilities, string utilities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/bitutil.hh"
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace glifs
+{
+namespace
+{
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(GLIFS_PANIC("boom ", 42), PanicError);
+}
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(GLIFS_FATAL("bad input ", "x"), FatalError);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(GLIFS_ASSERT(1 + 1 == 2, "math"));
+}
+
+TEST(Logging, AssertThrowsOnFalse)
+{
+    EXPECT_THROW(GLIFS_ASSERT(false, "nope"), PanicError);
+}
+
+TEST(Logging, MessageContainsText)
+{
+    try {
+        GLIFS_FATAL("alpha ", 7, " beta");
+        FAIL();
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("alpha 7 beta"),
+                  std::string::npos);
+    }
+}
+
+TEST(BitUtil, BitAndSetBit)
+{
+    EXPECT_TRUE(bit(0b100, 2));
+    EXPECT_FALSE(bit(0b100, 1));
+    EXPECT_EQ(setBit(0, 5, true), 32u);
+    EXPECT_EQ(setBit(0xFF, 0, false), 0xFEu);
+}
+
+TEST(BitUtil, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(4), 0xFu);
+    EXPECT_EQ(lowMask(64), ~0ULL);
+}
+
+TEST(BitUtil, BitsFor)
+{
+    EXPECT_EQ(bitsFor(2), 1u);
+    EXPECT_EQ(bitsFor(3), 2u);
+    EXPECT_EQ(bitsFor(4096), 12u);
+    EXPECT_EQ(bitsFor(4097), 13u);
+}
+
+TEST(BitUtil, SignExtend)
+{
+    EXPECT_EQ(signExtend(0x1FF, 9), -1);
+    EXPECT_EQ(signExtend(0x0FF, 9), 255);
+    EXPECT_EQ(signExtend(0x100, 9), -256);
+    EXPECT_EQ(signExtend(0x8000, 16), -32768);
+}
+
+TEST(BitPlane, SetGetCount)
+{
+    BitPlane p(130);
+    EXPECT_EQ(p.count(), 0u);
+    p.set(0, true);
+    p.set(64, true);
+    p.set(129, true);
+    EXPECT_TRUE(p.get(0));
+    EXPECT_TRUE(p.get(64));
+    EXPECT_TRUE(p.get(129));
+    EXPECT_FALSE(p.get(1));
+    EXPECT_EQ(p.count(), 3u);
+    p.set(64, false);
+    EXPECT_EQ(p.count(), 2u);
+}
+
+TEST(BitPlane, SetAllMasksTail)
+{
+    BitPlane p(70);
+    p.setAll();
+    EXPECT_EQ(p.count(), 70u);
+}
+
+TEST(BitPlane, OrAndSubset)
+{
+    BitPlane a(100);
+    BitPlane b(100);
+    a.set(3, true);
+    b.set(3, true);
+    b.set(70, true);
+    EXPECT_TRUE(a.subsetOf(b));
+    EXPECT_FALSE(b.subsetOf(a));
+    a.orWith(b);
+    EXPECT_TRUE(b.subsetOf(a));
+    EXPECT_EQ(a.count(), 2u);
+    a.andWith(b);
+    EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(BitPlane, EqualityAndClear)
+{
+    BitPlane a(10);
+    BitPlane b(10);
+    a.set(5, true);
+    EXPECT_FALSE(a == b);
+    a.clearAll();
+    EXPECT_TRUE(a == b);
+}
+
+TEST(BitPlane, OutOfRangePanics)
+{
+    BitPlane p(8);
+    EXPECT_THROW(p.get(8), PanicError);
+}
+
+TEST(StrUtil, Trim)
+{
+    EXPECT_EQ(trim("  hi \t"), "hi");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(StrUtil, Split)
+{
+    auto v = split("a,b,,c", ',');
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[2], "");
+    EXPECT_EQ(v[3], "c");
+}
+
+TEST(StrUtil, ToLowerStartsWith)
+{
+    EXPECT_EQ(toLower("MoV R5"), "mov r5");
+    EXPECT_TRUE(startsWith("hello", "he"));
+    EXPECT_FALSE(startsWith("he", "hello"));
+}
+
+TEST(StrUtil, ParseIntDecimal)
+{
+    EXPECT_EQ(parseInt("123").value(), 123);
+    EXPECT_EQ(parseInt("-45").value(), -45);
+    EXPECT_EQ(parseInt("+7").value(), 7);
+}
+
+TEST(StrUtil, ParseIntHexBin)
+{
+    EXPECT_EQ(parseInt("0x0FFF").value(), 0x0FFF);
+    EXPECT_EQ(parseInt("0b1010").value(), 10);
+    EXPECT_EQ(parseInt("-0x10").value(), -16);
+}
+
+TEST(StrUtil, ParseIntRejectsGarbage)
+{
+    EXPECT_FALSE(parseInt("").has_value());
+    EXPECT_FALSE(parseInt("12x").has_value());
+    EXPECT_FALSE(parseInt("0x").has_value());
+    EXPECT_FALSE(parseInt("zz").has_value());
+}
+
+TEST(StrUtil, Hex16AndPercent)
+{
+    EXPECT_EQ(hex16(0x0FFF), "0x0fff");
+    EXPECT_EQ(percent(0.15, 1), "15.0%");
+}
+
+} // namespace
+} // namespace glifs

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The dual policy of Section 2: the paper's tool analyzes *untrusted*
+ * and *secret* taints separately with the same machinery ("no secret
+ * input can affect a non-secret output"). These tests run the engine
+ * under a confidentiality policy -- a secret sensor on P3IN, a
+ * non-secret telemetry port on P2OUT, a secret-cleared partition for
+ * the crypto task -- and check leak detection and its software fix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "ift/engine.hh"
+#include "soc/soc.hh"
+
+namespace glifs
+{
+namespace
+{
+
+/**
+ * Confidentiality policy: P3IN delivers secret data; P4OUT is the only
+ * port cleared for secret-derived values; P2OUT is public telemetry
+ * and must stay untainted. RAM 0x0C00+ is the secret-cleared
+ * partition.
+ */
+Policy
+confidentialityPolicy(uint16_t task_lo, uint16_t task_hi)
+{
+    Policy p;
+    p.name = "confidentiality (secret taint)";
+    p.taintedInPort = {false, false, true, false};   // P3IN secret
+    // "Trusted" here means "must remain non-secret".
+    p.trustedOutPort = {true, true, true, false};    // P4OUT may carry
+    p.addCode("public", 0, static_cast<uint16_t>(task_lo - 1), false);
+    p.addCode("crypto", task_lo, task_hi, true);
+    p.addMem("public_ram", 0x0800, 0x0BFF, false);
+    p.addMem("secret_ram", 0x0C00, 0x0FFF, true);
+    return p;
+}
+
+class Confidentiality : public ::testing::Test
+{
+  protected:
+    static void SetUpTestSuite() { soc = new Soc(); }
+    static void TearDownTestSuite() { delete soc; soc = nullptr; }
+
+    static EngineResult
+    analyze(const std::string &src, const Policy &p)
+    {
+        IftEngine engine(*soc, p, EngineConfig{});
+        return engine.run(assembleSource(src));
+    }
+
+    static bool
+    has(const EngineResult &r, ViolationKind kind)
+    {
+        for (const Violation &v : r.violations) {
+            if (v.kind == kind)
+                return true;
+        }
+        return false;
+    }
+
+    static Soc *soc;
+};
+
+Soc *Confidentiality::soc = nullptr;
+
+TEST_F(Confidentiality, SecretStaysInClearedChannels)
+{
+    // The crypto task whitens the secret and emits it on the cleared
+    // port only; public telemetry reports a constant heartbeat.
+    Policy p = confidentialityPolicy(0x80, 0xFFF);
+    EngineResult r = analyze(
+        "start:  mov #1, &0x0003\n"     // public heartbeat on P2OUT
+        "        jmp task\n"
+        "        .org 0x80\n"
+        "task:   mov &0x0004, r4\n"     // secret sample (P3IN)
+        "        xor #0x5a5a, r4\n"
+        "        mov r4, &0x0c20\n"     // secret partition: fine
+        "        mov r4, &0x0007\n"     // cleared output P4OUT: fine
+        "        halt\n",
+        p);
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.secure()) << r.summary();
+}
+
+TEST_F(Confidentiality, SecretLeakToPublicPortFlagged)
+{
+    Policy p = confidentialityPolicy(0x80, 0xFFF);
+    EngineResult r = analyze(
+        "start:  jmp task\n"
+        "        .org 0x80\n"
+        "task:   mov &0x0004, r4\n"
+        "        mov r4, &0x0003\n"     // secret -> public P2OUT!
+        "        halt\n",
+        p);
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(has(r, ViolationKind::TaintedWriteTrustedPort));
+    EXPECT_TRUE(has(r, ViolationKind::TrustedOutputTainted));
+    EXPECT_FALSE(r.secure());
+}
+
+TEST_F(Confidentiality, ImplicitLeakThroughPublicMemoryFlagged)
+{
+    // The classic implicit flow: a secret-dependent branch decides
+    // which public cell gets written.
+    Policy p = confidentialityPolicy(0x80, 0xFFF);
+    EngineResult r = analyze(
+        "start:  jmp task\n"
+        "        .org 0x80\n"
+        "task:   mov &0x0004, r4\n"
+        "        tst r4\n"
+        "        jn neg\n"              // secret-dependent branch
+        "        mov #1, &0x0900\n"     // public RAM, path A
+        "        halt\n"
+        "neg:    mov #2, &0x0900\n"     // public RAM, path B
+        "        halt\n",
+        p);
+    EXPECT_TRUE(r.completed);
+    // The secret taints the PC; both paths store to public memory
+    // under secret-controlled flow: flagged.
+    EXPECT_TRUE(has(r, ViolationKind::TaintedControlFlow));
+    EXPECT_TRUE(has(r, ViolationKind::StoreUntaintedPartition));
+    EXPECT_FALSE(r.secure());
+}
+
+TEST_F(Confidentiality, MaskedSecretIndexIsClean)
+{
+    // Secret-indexed table access bounded to the secret partition:
+    // the Figure-9 fix applied to the confidentiality taint.
+    Policy p = confidentialityPolicy(0x80, 0xFFF);
+    EngineResult r = analyze(
+        "start:  jmp task\n"
+        "        .org 0x80\n"
+        "task:   mov &0x0004, r4\n"
+        "        mov #0x0c00, r5\n"
+        "        add r4, r5\n"
+        "        and #0x03ff, r5\n"
+        "        bis #0x0c00, r5\n"
+        "        mov #1, 0(r5)\n"
+        "        halt\n",
+        p);
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.secure()) << r.summary();
+}
+
+TEST_F(Confidentiality, BothTaintsAnalyzedSeparately)
+{
+    // The same binary under the integrity policy and the
+    // confidentiality policy: each flags its own flow, as the paper's
+    // "analyzed separately" setup does.
+    const char *src =
+        "start:  jmp task\n"
+        "        .org 0x80\n"
+        "task:   mov &0x0000, r4\n"   // untrusted input (P1IN)
+        "        mov &0x0004, r5\n"   // secret input (P3IN)
+        "        mov r4, &0x0007\n"   // untrusted -> trusted P4OUT
+        "        mov r5, &0x0003\n"   // secret -> public P2OUT
+        "        halt\n";
+
+    Policy integrity = benchmarkPolicy(0x80, 0xFFF);
+    EngineResult ri = analyze(src, integrity);
+    EXPECT_TRUE(has(ri, ViolationKind::TaintedWriteTrustedPort));
+
+    Policy secrecy = confidentialityPolicy(0x80, 0xFFF);
+    EngineResult rs = analyze(src, secrecy);
+    EXPECT_TRUE(has(rs, ViolationKind::TaintedWriteTrustedPort));
+    // Under secrecy, P4OUT is cleared; the P2OUT write is the leak.
+    bool p2_flagged = false;
+    for (const Violation &v : rs.violations) {
+        p2_flagged |= v.kind == ViolationKind::TrustedOutputTainted &&
+                      v.detail.find("P2OUT") != std::string::npos;
+    }
+    EXPECT_TRUE(p2_flagged);
+}
+
+} // namespace
+} // namespace glifs

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Property-based tests of the GLIFT propagation rules, swept over every
+ * gate kind and every input combination with parameterized gtest.
+ *
+ * The central soundness property: if flipping the values of the tainted
+ * inputs (holding untainted-known inputs fixed) can change the gate
+ * output for some assignment of the unknown untainted inputs, the
+ * output MUST be tainted. The precision property: table lookup and
+ * reference evaluation agree exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "logic/glift.hh"
+
+namespace glifs
+{
+namespace
+{
+
+const GateKind kAllKinds[] = {
+    GateKind::Buf, GateKind::Not, GateKind::And, GateKind::Nand,
+    GateKind::Or, GateKind::Nor, GateKind::Xor, GateKind::Xnor,
+    GateKind::Mux,
+};
+
+/** Decode an input-combination index into signals (6 states per input). */
+std::vector<Signal>
+decodeCombo(GateKind kind, unsigned combo)
+{
+    const unsigned arity = gateArity(kind);
+    std::vector<Signal> in(arity);
+    for (unsigned i = 0; i < arity; ++i) {
+        unsigned code = combo % 6;
+        combo /= 6;
+        in[i].value = static_cast<Tern>(code % 3);
+        in[i].taint = code >= 3;
+    }
+    return in;
+}
+
+unsigned
+numCombos(GateKind kind)
+{
+    unsigned n = 1;
+    for (unsigned i = 0; i < gateArity(kind); ++i)
+        n *= 6;
+    return n;
+}
+
+/**
+ * Brute-force soundness oracle: output must be tainted if the tainted
+ * inputs can influence it for ANY assignment of all X inputs.
+ */
+bool
+oracleMustTaint(GateKind kind, const std::vector<Signal> &in)
+{
+    const unsigned arity = gateArity(kind);
+    std::vector<unsigned> tainted;
+    std::vector<unsigned> free_x;
+    bool fixed[3] = {false, false, false};
+    for (unsigned i = 0; i < arity; ++i) {
+        if (in[i].taint)
+            tainted.push_back(i);
+        else if (!in[i].known())
+            free_x.push_back(i);
+        else
+            fixed[i] = in[i].asBool();
+    }
+    if (tainted.empty())
+        return false;
+    for (unsigned f = 0; f < (1u << free_x.size()); ++f) {
+        bool any0 = false;
+        bool any1 = false;
+        for (unsigned t = 0; t < (1u << tainted.size()); ++t) {
+            bool v[3] = {fixed[0], fixed[1], fixed[2]};
+            for (size_t k = 0; k < free_x.size(); ++k)
+                v[free_x[k]] = (f >> k) & 1u;
+            for (size_t k = 0; k < tainted.size(); ++k)
+                v[tainted[k]] = (t >> k) & 1u;
+            (gateEval(kind, v) ? any1 : any0) = true;
+        }
+        if (any0 && any1)
+            return true;
+    }
+    return false;
+}
+
+class GliftSweep : public ::testing::TestWithParam<GateKind>
+{
+};
+
+TEST_P(GliftSweep, TaintSoundnessAndExactness)
+{
+    const GateKind kind = GetParam();
+    for (unsigned combo = 0; combo < numCombos(kind); ++combo) {
+        std::vector<Signal> in = decodeCombo(kind, combo);
+        Signal out = gliftEval(kind, in.data());
+        // Soundness AND precision: our rule is exactly the oracle.
+        EXPECT_EQ(out.taint, oracleMustTaint(kind, in))
+            << gateKindName(kind) << " combo " << combo;
+    }
+}
+
+TEST_P(GliftSweep, ValueAbstractionSound)
+{
+    // The ternary output value must subsume every concrete outcome
+    // reachable by assigning the X inputs.
+    const GateKind kind = GetParam();
+    const unsigned arity = gateArity(kind);
+    for (unsigned combo = 0; combo < numCombos(kind); ++combo) {
+        std::vector<Signal> in = decodeCombo(kind, combo);
+        Signal out = gliftEval(kind, in.data());
+
+        std::vector<unsigned> xs;
+        bool fixed[3] = {false, false, false};
+        for (unsigned i = 0; i < arity; ++i) {
+            if (!in[i].known())
+                xs.push_back(i);
+            else
+                fixed[i] = in[i].asBool();
+        }
+        for (unsigned c = 0; c < (1u << xs.size()); ++c) {
+            bool v[3] = {fixed[0], fixed[1], fixed[2]};
+            for (size_t k = 0; k < xs.size(); ++k)
+                v[xs[k]] = (c >> k) & 1u;
+            bool concrete = gateEval(kind, v);
+            EXPECT_TRUE(ternSubsumes(ternBool(concrete), out.value))
+                << gateKindName(kind) << " combo " << combo;
+        }
+    }
+}
+
+TEST_P(GliftSweep, TableAgreesWithReference)
+{
+    const GateKind kind = GetParam();
+    for (unsigned combo = 0; combo < numCombos(kind); ++combo) {
+        std::vector<Signal> in = decodeCombo(kind, combo);
+        EXPECT_EQ(GliftTables::instance().eval(kind, in.data()),
+                  GliftTables::evalReference(kind, in.data()))
+            << gateKindName(kind) << " combo " << combo;
+    }
+}
+
+TEST_P(GliftSweep, NoTaintInNoTaintOut)
+{
+    // With no tainted input, the output must be untainted.
+    const GateKind kind = GetParam();
+    for (unsigned combo = 0; combo < numCombos(kind); ++combo) {
+        std::vector<Signal> in = decodeCombo(kind, combo);
+        bool any_taint = false;
+        for (const Signal &s : in)
+            any_taint |= s.taint;
+        if (any_taint)
+            continue;
+        EXPECT_FALSE(gliftEval(kind, in.data()).taint);
+    }
+}
+
+TEST_P(GliftSweep, AllTaintedKnownInputsConcreteEval)
+{
+    // With all inputs known, the ternary value must equal the concrete
+    // boolean function regardless of taint.
+    const GateKind kind = GetParam();
+    const unsigned arity = gateArity(kind);
+    for (unsigned combo = 0; combo < numCombos(kind); ++combo) {
+        std::vector<Signal> in = decodeCombo(kind, combo);
+        bool all_known = true;
+        bool v[3] = {false, false, false};
+        for (unsigned i = 0; i < arity; ++i) {
+            all_known &= in[i].known();
+            if (in[i].known())
+                v[i] = in[i].asBool();
+        }
+        if (!all_known)
+            continue;
+        Signal out = gliftEval(kind, in.data());
+        EXPECT_EQ(out.value, ternBool(gateEval(kind, v)));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGateKinds, GliftSweep,
+                         ::testing::ValuesIn(kAllKinds),
+                         [](const auto &info) {
+                             return gateKindName(info.param);
+                         });
+
+// ---- dffNext property sweep ------------------------------------------
+
+class DffSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DffSweep, ResetDominatesAndTaintSound)
+{
+    // Sweep all (d, rst, en, q, rstVal) combinations: 6^4 * 2.
+    const bool rst_val = GetParam() != 0;
+    for (unsigned combo = 0; combo < 6 * 6 * 6 * 6; ++combo) {
+        unsigned c = combo;
+        auto dec = [&c]() {
+            Signal s;
+            s.value = static_cast<Tern>((c % 6) % 3);
+            s.taint = (c % 6) >= 3;
+            c /= 6;
+            return s;
+        };
+        Signal d = dec();
+        Signal rst = dec();
+        Signal en = dec();
+        Signal q = dec();
+        Signal next = dffNext(d, rst, en, q, rst_val);
+
+        // Asserted known reset: value is the reset value and taint is
+        // exactly the reset line's taint (Figure 7).
+        if (rst.known() && rst.asBool()) {
+            EXPECT_EQ(next.value, ternBool(rst_val));
+            EXPECT_EQ(next.taint, rst.taint);
+        }
+
+        // No taint anywhere -> no taint out.
+        if (!d.taint && !rst.taint && !en.taint && !q.taint) {
+            EXPECT_FALSE(next.taint);
+        }
+
+        // Concrete, untainted hold: q preserved exactly.
+        if (rst == sigZero() && en == sigZero()) {
+            EXPECT_EQ(next, q);
+        }
+
+        // Concrete, untainted load: d latched exactly.
+        if (rst == sigZero() && en == sigOne()) {
+            EXPECT_EQ(next.value, d.value);
+            EXPECT_EQ(next.taint, d.taint);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RstVals, DffSweep, ::testing::Values(0, 1));
+
+} // namespace
+} // namespace glifs

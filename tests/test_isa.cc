@@ -1,0 +1,228 @@
+/**
+ * @file
+ * ISA tests: encode/decode round trips (parameterized property sweep),
+ * size computation, classification predicates and the disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "isa/disasm.hh"
+#include "isa/isa.hh"
+
+namespace glifs
+{
+namespace
+{
+
+Instr
+twoOp(Op op, unsigned rd, unsigned rs, Mode sm, Mode dm,
+      uint16_t sw = 0, uint16_t dw = 0)
+{
+    Instr i;
+    i.op = op;
+    i.rd = rd;
+    i.rs = rs;
+    i.smode = sm;
+    i.dmode = dm;
+    i.srcWord = sw;
+    i.dstWord = dw;
+    return i;
+}
+
+TEST(Isa, Classification)
+{
+    EXPECT_TRUE(isTwoOp(Op::Mov));
+    EXPECT_TRUE(isTwoOp(Op::Bic));
+    EXPECT_FALSE(isTwoOp(Op::Clr));
+    EXPECT_TRUE(isOneOp(Op::Tst));
+    EXPECT_FALSE(isOneOp(Op::J));
+}
+
+TEST(Isa, InstructionSizes)
+{
+    EXPECT_EQ(twoOp(Op::Mov, 5, 6, Mode::Reg, Mode::Reg).words(), 1u);
+    EXPECT_EQ(twoOp(Op::Mov, 5, 6, Mode::Imm, Mode::Reg).words(), 2u);
+    EXPECT_EQ(twoOp(Op::Mov, 5, 6, Mode::Imm, Mode::Idx).words(), 3u);
+    Instr call;
+    call.op = Op::Call;
+    EXPECT_EQ(call.words(), 2u);
+    Instr j;
+    j.op = Op::J;
+    EXPECT_EQ(j.words(), 1u);
+}
+
+TEST(Isa, MemAccessPredicates)
+{
+    EXPECT_TRUE(twoOp(Op::Mov, 5, 6, Mode::Ind, Mode::Reg).readsMem());
+    EXPECT_TRUE(twoOp(Op::Mov, 5, 6, Mode::Reg, Mode::Idx).writesMem());
+    EXPECT_FALSE(twoOp(Op::Add, 5, 6, Mode::Imm, Mode::Reg).readsMem());
+    Instr push;
+    push.op = Op::Push;
+    EXPECT_TRUE(push.writesMem());
+    Instr pop;
+    pop.op = Op::Pop;
+    EXPECT_TRUE(pop.readsMem());
+    Instr ret;
+    ret.op = Op::Ret;
+    EXPECT_TRUE(ret.readsMem());
+    EXPECT_TRUE(ret.isControlFlow());
+    Instr j;
+    j.op = Op::J;
+    EXPECT_TRUE(j.isControlFlow());
+    EXPECT_FALSE(twoOp(Op::Mov, 1, 2, Mode::Reg, Mode::Reg)
+                     .isControlFlow());
+}
+
+TEST(Isa, IllegalEncodingsRejected)
+{
+    // Memory-destination ADD is illegal.
+    EXPECT_THROW(encode(twoOp(Op::Add, 5, 6, Mode::Reg, Mode::Ind)),
+                 FatalError);
+    // Memory-to-memory MOV is illegal.
+    EXPECT_THROW(encode(twoOp(Op::Mov, 5, 6, Mode::Ind, Mode::Ind)),
+                 FatalError);
+    // Out-of-range jump offset.
+    Instr j;
+    j.op = Op::J;
+    j.jumpOff = 300;
+    EXPECT_THROW(encode(j), FatalError);
+}
+
+TEST(Isa, DecodeRejectsIllegalWords)
+{
+    // dmode == 1 is illegal for two-operand instructions.
+    uint16_t w = 0x0001;
+    EXPECT_FALSE(decode(&w, 1).has_value());
+    // Truncated immediate instruction.
+    uint16_t imm = static_cast<uint16_t>((0u << 12) | (5u << 8) |
+                                         (1u << 2));
+    EXPECT_FALSE(decode(&imm, 1).has_value());
+    // Unknown stack subop.
+    uint16_t stk = static_cast<uint16_t>((0xAu << 12) | (9u << 4));
+    EXPECT_FALSE(decode(&stk, 1).has_value());
+}
+
+// ---- round-trip property sweep -----------------------------------------
+
+class RoundTrip : public ::testing::TestWithParam<Instr>
+{
+};
+
+TEST_P(RoundTrip, EncodeDecodeIdentity)
+{
+    const Instr &ins = GetParam();
+    std::vector<uint16_t> words = encode(ins);
+    ASSERT_EQ(words.size(), ins.words());
+    auto back = decode(words.data(), words.size());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, ins);
+}
+
+std::vector<Instr>
+roundTripCases()
+{
+    std::vector<Instr> cases;
+    // All two-op opcodes, register-register.
+    for (unsigned o = 0; o < 8; ++o) {
+        cases.push_back(twoOp(static_cast<Op>(o), o + 1, 15 - o,
+                              Mode::Reg, Mode::Reg));
+    }
+    // All source modes.
+    cases.push_back(twoOp(Op::Add, 4, 5, Mode::Imm, Mode::Reg, 0xBEEF));
+    cases.push_back(twoOp(Op::Mov, 4, 5, Mode::Ind, Mode::Reg));
+    cases.push_back(twoOp(Op::Mov, 4, 5, Mode::Idx, Mode::Reg, 0x10));
+    // Memory destinations for MOV.
+    cases.push_back(twoOp(Op::Mov, 4, 5, Mode::Reg, Mode::Ind));
+    cases.push_back(twoOp(Op::Mov, 4, 5, Mode::Reg, Mode::Idx, 0, 0x20));
+    cases.push_back(twoOp(Op::Mov, 4, 5, Mode::Imm, Mode::Idx, 0xAA,
+                          0x30));
+    // One-op ops.
+    for (unsigned s = 0; s <= 10; ++s) {
+        Instr i;
+        i.op = static_cast<Op>(static_cast<unsigned>(Op::Clr) + s);
+        i.rd = (s % 14) + 2;
+        cases.push_back(i);
+    }
+    // All jump conditions, positive and negative offsets.
+    for (unsigned c = 0; c < 8; ++c) {
+        Instr j;
+        j.op = Op::J;
+        j.cond = static_cast<Cond>(c);
+        j.jumpOff = static_cast<int16_t>(c * 17) - 64;
+        cases.push_back(j);
+    }
+    // Extreme offsets.
+    {
+        Instr j;
+        j.op = Op::J;
+        j.jumpOff = 255;
+        cases.push_back(j);
+        j.jumpOff = -256;
+        cases.push_back(j);
+    }
+    // Stack ops.
+    for (Op op : {Op::Push, Op::Pop, Op::Br}) {
+        Instr i;
+        i.op = op;
+        i.rd = 7;
+        cases.push_back(i);
+    }
+    {
+        Instr c;
+        c.op = Op::Call;
+        c.srcWord = 0x0123;
+        cases.push_back(c);
+        Instr r;
+        r.op = Op::Ret;
+        cases.push_back(r);
+        Instr n;
+        n.op = Op::Nop;
+        cases.push_back(n);
+        Instr h;
+        h.op = Op::Halt;
+        cases.push_back(h);
+    }
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, RoundTrip,
+                         ::testing::ValuesIn(roundTripCases()));
+
+TEST(Disasm, BasicRendering)
+{
+    Instr mov = twoOp(Op::Mov, 5, 0, Mode::Idx, Mode::Reg, 0x10);
+    EXPECT_EQ(disassemble(mov), "mov &0x0010, r5");
+
+    Instr add = twoOp(Op::Add, 4, 6, Mode::Imm, Mode::Reg, 0x64);
+    EXPECT_EQ(disassemble(add), "add #0x0064, r4");
+
+    Instr j;
+    j.op = Op::J;
+    j.cond = Cond::NZ;
+    j.jumpOff = -3;
+    EXPECT_EQ(disassemble(j, 0x10), "jnz 0x000e");
+
+    Instr h;
+    h.op = Op::Halt;
+    EXPECT_EQ(disassemble(h), "halt");
+}
+
+TEST(Disasm, ImageListing)
+{
+    std::vector<uint16_t> words;
+    auto push_ins = [&](const Instr &i) {
+        for (uint16_t w : encode(i))
+            words.push_back(w);
+    };
+    push_ins(twoOp(Op::Mov, 5, 6, Mode::Reg, Mode::Reg));
+    Instr h;
+    h.op = Op::Halt;
+    push_ins(h);
+    std::string listing = disassembleImage(words);
+    EXPECT_NE(listing.find("0x0000:  mov r6, r5"), std::string::npos);
+    EXPECT_NE(listing.find("0x0001:  halt"), std::string::npos);
+}
+
+} // namespace
+} // namespace glifs

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Unit tests for ternary logic, GLIFT propagation (Figure 1 semantics)
+ * and the Figure-7 flip-flop reset-taint rules.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "logic/glift.hh"
+#include "logic/ternary.hh"
+
+namespace glifs
+{
+namespace
+{
+
+TEST(Ternary, Basics)
+{
+    EXPECT_TRUE(sigOne().known());
+    EXPECT_FALSE(sigX().known());
+    EXPECT_TRUE(sigOne().asBool());
+    EXPECT_FALSE(sigZero().asBool());
+    EXPECT_EQ(sigBool(true, true).str(), "1'");
+    EXPECT_EQ(sigX().str(), "X");
+}
+
+TEST(Ternary, MergeAndSubsume)
+{
+    EXPECT_EQ(ternMerge(Tern::One, Tern::One), Tern::One);
+    EXPECT_EQ(ternMerge(Tern::One, Tern::Zero), Tern::X);
+    EXPECT_EQ(ternMerge(Tern::X, Tern::One), Tern::X);
+    EXPECT_TRUE(ternSubsumes(Tern::One, Tern::X));
+    EXPECT_TRUE(ternSubsumes(Tern::One, Tern::One));
+    EXPECT_FALSE(ternSubsumes(Tern::One, Tern::Zero));
+}
+
+TEST(Glift, NandFigure1MaskingRows)
+{
+    // Figure 1 of the paper: A=1,AT=1,B=0,BT=0 -> O=1, OT=0 (the
+    // untainted 0 masks the tainted input).
+    Signal out = gliftEval2(GateKind::Nand, sigBool(1, true),
+                            sigBool(0, false));
+    EXPECT_EQ(out.value, Tern::One);
+    EXPECT_FALSE(out.taint);
+
+    // A=0,AT=1,B=1,BT=0 -> tainted input can affect -> OT=1.
+    out = gliftEval2(GateKind::Nand, sigBool(0, true), sigBool(1, false));
+    EXPECT_EQ(out.value, Tern::One);
+    EXPECT_TRUE(out.taint);
+
+    // A=1,AT=1,B=1,BT=0 -> O=0, OT=1.
+    out = gliftEval2(GateKind::Nand, sigBool(1, true), sigBool(1, false));
+    EXPECT_EQ(out.value, Tern::Zero);
+    EXPECT_TRUE(out.taint);
+}
+
+TEST(Glift, NandFullFigure1Table)
+{
+    // The complete 16-row truth table from Figure 1.
+    // Rows: A AT B BT -> O OT.
+    const int expect[16][2] = {
+        {1, 0}, {1, 0}, {1, 0}, {1, 0},  // A=0 AT=0
+        {1, 0}, {1, 1}, {1, 1}, {1, 1},  // A=0 AT=1
+        {1, 0}, {1, 1}, {0, 0}, {0, 1},  // A=1 AT=0
+        {1, 0}, {1, 1}, {0, 1}, {0, 1},  // A=1 AT=1
+    };
+    int row = 0;
+    for (int a = 0; a <= 1; ++a) {
+        for (int at = 0; at <= 1; ++at) {
+            for (int b = 0; b <= 1; ++b) {
+                for (int bt = 0; bt <= 1; ++bt, ++row) {
+                    Signal out = gliftEval2(GateKind::Nand,
+                                            sigBool(a, at),
+                                            sigBool(b, bt));
+                    EXPECT_EQ(out.value,
+                              expect[row][0] ? Tern::One : Tern::Zero)
+                        << "row " << row;
+                    EXPECT_EQ(out.taint, expect[row][1] == 1)
+                        << "row " << row;
+                }
+            }
+        }
+    }
+}
+
+TEST(Glift, AndMasking)
+{
+    // AND with an untainted 0 masks a tainted input.
+    Signal out = gliftEval2(GateKind::And, sigBool(0, false),
+                            sigBool(1, true));
+    EXPECT_FALSE(out.taint);
+    // AND with an untainted 1 propagates taint.
+    out = gliftEval2(GateKind::And, sigBool(1, false), sigBool(1, true));
+    EXPECT_TRUE(out.taint);
+}
+
+TEST(Glift, OrMasking)
+{
+    // OR with an untainted 1 masks a tainted input.
+    Signal out = gliftEval2(GateKind::Or, sigBool(1, false),
+                            sigBool(0, true));
+    EXPECT_FALSE(out.taint);
+    EXPECT_EQ(out.value, Tern::One);
+}
+
+TEST(Glift, XorNeverMasks)
+{
+    // XOR cannot mask: any tainted input always taints the output.
+    for (int a = 0; a <= 1; ++a) {
+        for (int b = 0; b <= 1; ++b) {
+            Signal out = gliftEval2(GateKind::Xor, sigBool(a, true),
+                                    sigBool(b, false));
+            EXPECT_TRUE(out.taint);
+        }
+    }
+}
+
+TEST(Glift, UnknownValuePropagation)
+{
+    // X AND 0 = 0 (known); X AND 1 = X.
+    Signal out = gliftEval2(GateKind::And, sigX(), sigBool(0));
+    EXPECT_EQ(out.value, Tern::Zero);
+    out = gliftEval2(GateKind::And, sigX(), sigBool(1));
+    EXPECT_EQ(out.value, Tern::X);
+    // X XOR X = X.
+    out = gliftEval2(GateKind::Xor, sigX(), sigX());
+    EXPECT_EQ(out.value, Tern::X);
+}
+
+TEST(Glift, UntaintedXMasksConservatively)
+{
+    // Tainted 1 AND untainted X: the X input might be 0 (masking) or 1
+    // (propagating); conservative GLIFT must report tainted.
+    Signal out = gliftEval2(GateKind::And, sigBool(1, true), sigX());
+    EXPECT_TRUE(out.taint);
+}
+
+TEST(Glift, MuxSelectTaint)
+{
+    // Tainted select with different data values taints the output.
+    Signal in[3] = {sigBool(0, true), sigBool(0), sigBool(1)};
+    Signal out = gliftEval(GateKind::Mux, in);
+    EXPECT_TRUE(out.taint);
+
+    // Tainted select with equal untainted data is masked.
+    Signal in2[3] = {sigBool(0, true), sigBool(1), sigBool(1)};
+    out = gliftEval(GateKind::Mux, in2);
+    EXPECT_FALSE(out.taint);
+    EXPECT_EQ(out.value, Tern::One);
+}
+
+TEST(Glift, BufNotPropagate)
+{
+    Signal in = sigBool(1, true);
+    EXPECT_TRUE(gliftEval(GateKind::Buf, &in).taint);
+    EXPECT_TRUE(gliftEval(GateKind::Not, &in).taint);
+    EXPECT_EQ(gliftEval(GateKind::Not, &in).value, Tern::Zero);
+}
+
+TEST(Glift, TableMatchesReference)
+{
+    // The precomputed tables must agree with the reference
+    // implementation everywhere (spot-check beyond the property test).
+    Signal in[2] = {Signal{Tern::X, true}, sigBool(0, false)};
+    EXPECT_EQ(GliftTables::instance().eval(GateKind::Nand, in),
+              GliftTables::evalReference(GateKind::Nand, in));
+}
+
+TEST(Glift, TruthTableRendering)
+{
+    std::string t = GliftTables::truthTable(GateKind::Nand);
+    EXPECT_NE(t.find("NAND"), std::string::npos);
+    // 16 data rows.
+    EXPECT_EQ(std::count(t.begin(), t.end(), '\n'), 3 + 16);
+}
+
+// ---- Figure 7 flip-flop reset semantics --------------------------------
+
+TEST(DffNext, UntaintedResetClearsTaint)
+{
+    // Cycle 4->5 right-hand path of Figure 7: tainted data, untainted
+    // asserted reset -> known untainted 0.
+    Signal q = dffNext(Signal{Tern::X, true}, sigBool(1, false),
+                       sigOne(), Signal{Tern::X, true}, false);
+    EXPECT_EQ(q.value, Tern::Zero);
+    EXPECT_FALSE(q.taint);
+}
+
+TEST(DffNext, TaintedResetKeepsTaint)
+{
+    // Cycle 4->5 left-hand path of Figure 7: tainted reset asserted ->
+    // value 0 but still tainted.
+    Signal q = dffNext(Signal{Tern::X, true}, sigBool(1, true), sigOne(),
+                       Signal{Tern::X, true}, false);
+    EXPECT_EQ(q.value, Tern::Zero);
+    EXPECT_TRUE(q.taint);
+}
+
+TEST(DffNext, NormalLatch)
+{
+    Signal q = dffNext(sigBool(1, true), sigBool(0, false), sigOne(),
+                       sigZero(), false);
+    EXPECT_EQ(q.value, Tern::One);
+    EXPECT_TRUE(q.taint);
+}
+
+TEST(DffNext, DisabledHoldsValue)
+{
+    Signal q = dffNext(sigBool(1, true), sigBool(0, false), sigZero(),
+                       sigBool(0, false), false);
+    EXPECT_EQ(q.value, Tern::Zero);
+    EXPECT_FALSE(q.taint);
+}
+
+TEST(DffNext, TaintedEnableTaintsWhenValuesDiffer)
+{
+    Signal q = dffNext(sigBool(1, false), sigBool(0, false),
+                       Signal{Tern::One, true}, sigBool(0, false), false);
+    EXPECT_TRUE(q.taint);
+    EXPECT_EQ(q.value, Tern::One);
+}
+
+TEST(DffNext, TaintedEnableMaskedWhenValuesEqual)
+{
+    Signal q = dffNext(sigBool(1, false), sigBool(0, false),
+                       Signal{Tern::One, true}, sigBool(1, false), false);
+    EXPECT_FALSE(q.taint);
+}
+
+TEST(DffNext, UnknownEnableMergesValues)
+{
+    Signal q = dffNext(sigBool(1, false), sigBool(0, false), sigX(),
+                       sigBool(0, false), false);
+    EXPECT_EQ(q.value, Tern::X);
+    EXPECT_FALSE(q.taint);
+}
+
+TEST(DffNext, DeassertedTaintedResetTaintsNonResetValue)
+{
+    // rst=0 but tainted: the attacker could have reset; output value 1
+    // != rstVal 0, so taint must propagate.
+    Signal q = dffNext(sigBool(1, false), Signal{Tern::Zero, true},
+                       sigOne(), sigZero(), false);
+    EXPECT_TRUE(q.taint);
+
+    // If the latched value equals the reset value, a tainted deasserted
+    // reset cannot affect the output.
+    q = dffNext(sigBool(0, false), Signal{Tern::Zero, true}, sigOne(),
+                sigOne(), false);
+    EXPECT_FALSE(q.taint);
+}
+
+TEST(DffNext, UnknownResetMerges)
+{
+    Signal q = dffNext(sigBool(1, false), sigX(), sigOne(),
+                       sigBool(1, false), false);
+    EXPECT_EQ(q.value, Tern::X);
+    EXPECT_FALSE(q.taint);
+}
+
+} // namespace
+} // namespace glifs

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests of the gate-level simulator: combinational settling, flip-flop
+ * edges, taint propagation through sequential logic, toggle statistics
+ * and tracing. Includes the Figure-7 state-machine scenario.
+ */
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.hh"
+#include "rtl/bus.hh"
+#include "sim/simulator.hh"
+#include "sim/trace.hh"
+
+namespace glifs
+{
+namespace
+{
+
+TEST(Simulator, CombinationalSettling)
+{
+    Netlist nl;
+    NetBuilder nb(nl);
+    NetId a = nl.addInput("a");
+    NetId b = nl.addInput("b");
+    NetId o = nb.bXor(nb.bAnd(a, b), nb.bOr(a, b));
+    Simulator sim(nl);
+    sim.setInput(a, sigOne());
+    sim.setInput(b, sigZero());
+    sim.evalComb();
+    EXPECT_EQ(sim.netValue(o).value, Tern::One);
+}
+
+TEST(Simulator, InitialStateAllX)
+{
+    Netlist nl;
+    NetBuilder nb(nl);
+    NetId a = nl.addInput("a");
+    NetId o = nb.bBuf(a);
+    Simulator sim(nl);
+    // Inputs start unknown and untainted (Algorithm 1 line 2).
+    sim.evalComb();
+    EXPECT_EQ(sim.netValue(o).value, Tern::X);
+    EXPECT_FALSE(sim.netValue(o).taint);
+}
+
+TEST(Simulator, DffLatchesOnEdge)
+{
+    Netlist nl;
+    NetId d = nl.addInput("d");
+    NetId rst = nl.addInput("rst");
+    DffHandle ff = nl.addDff("q");
+    nl.connectDff(ff.gate, d, rst, nl.constNet(true));
+    Simulator sim(nl);
+
+    sim.setInput(d, sigOne());
+    sim.setInput(rst, sigZero());
+    sim.evalComb();
+    // Before the edge the flop still holds X.
+    EXPECT_EQ(sim.netValue(ff.q).value, Tern::X);
+    sim.clockEdge();
+    EXPECT_EQ(sim.netValue(ff.q).value, Tern::One);
+}
+
+/**
+ * Build the Figure-7 circuit: S' = S XOR In, latched in a DFF with an
+ * (externally supplied) reset.
+ */
+struct Fig7
+{
+    Netlist nl;
+    NetId in = kNoNet;
+    NetId rst = kNoNet;
+    NetId q = kNoNet;
+
+    Fig7()
+    {
+        NetBuilder nb(nl);
+        in = nl.addInput("In");
+        rst = nl.addInput("rst");
+        DffHandle ff = nl.addDff("S");
+        NetId s_next = nb.bXor(ff.q, in);
+        nl.connectDff(ff.gate, s_next, rst, nl.constNet(true));
+        q = ff.q;
+    }
+};
+
+TEST(Simulator, Figure7LeftPathTaintedResetKeepsTaint)
+{
+    Fig7 c;
+    Simulator sim(c.nl);
+
+    // Cycle 0: unknown untainted state, untainted reset asserted.
+    sim.setInput(c.rst, sigBool(1, false));
+    sim.setInput(c.in, sigX());
+    sim.step();
+    EXPECT_EQ(sim.netValue(c.q), sigBool(0, false));
+
+    // Cycle 1: In = untainted 1 -> S becomes 1.
+    sim.setInput(c.rst, sigZero());
+    sim.setInput(c.in, sigBool(1, false));
+    sim.step();
+    EXPECT_EQ(sim.netValue(c.q), sigBool(1, false));
+
+    // Cycle 2: In = tainted 0 -> S stays 1 but becomes tainted.
+    sim.setInput(c.in, sigBool(0, true));
+    sim.step();
+    EXPECT_EQ(sim.netValue(c.q).value, Tern::One);
+    EXPECT_TRUE(sim.netValue(c.q).taint);
+
+    // Cycle 3 (left path): In = untainted X -> S unknown, tainted.
+    sim.setInput(c.in, sigX());
+    sim.step();
+    EXPECT_EQ(sim.netValue(c.q).value, Tern::X);
+    EXPECT_TRUE(sim.netValue(c.q).taint);
+
+    // Cycle 4 (left path): tainted reset -> S = 0 but still tainted.
+    sim.setInput(c.rst, sigBool(1, true));
+    sim.setInput(c.in, sigX());
+    sim.step();
+    EXPECT_EQ(sim.netValue(c.q).value, Tern::Zero);
+    EXPECT_TRUE(sim.netValue(c.q).taint);
+}
+
+TEST(Simulator, Figure7RightPathUntaintedResetClears)
+{
+    Fig7 c;
+    Simulator sim(c.nl);
+
+    sim.setInput(c.rst, sigBool(1, false));
+    sim.setInput(c.in, sigX());
+    sim.step();
+    sim.setInput(c.rst, sigZero());
+    sim.setInput(c.in, sigBool(1, false));
+    sim.step();
+    sim.setInput(c.in, sigBool(0, true));
+    sim.step();
+    // Cycle 3 (right path): In = tainted 1 -> S = 0 tainted.
+    sim.setInput(c.in, sigBool(1, true));
+    sim.step();
+    EXPECT_EQ(sim.netValue(c.q).value, Tern::Zero);
+    EXPECT_TRUE(sim.netValue(c.q).taint);
+
+    // Cycle 4 (right path): untainted reset -> S = 0, untainted again.
+    sim.setInput(c.rst, sigBool(1, false));
+    sim.step();
+    EXPECT_EQ(sim.netValue(c.q), sigBool(0, false));
+}
+
+TEST(Simulator, MemoryReadWriteThroughNetlist)
+{
+    Netlist nl;
+    // 4-word, 8-bit memory with input-driven ports.
+    std::vector<NetId> raddr, waddr, wdata, rdata;
+    for (int i = 0; i < 2; ++i) {
+        raddr.push_back(nl.addInput("ra" + std::to_string(i)));
+        waddr.push_back(nl.addInput("wa" + std::to_string(i)));
+    }
+    for (int i = 0; i < 8; ++i) {
+        wdata.push_back(nl.addInput("wd" + std::to_string(i)));
+        rdata.push_back(nl.addNet("rd" + std::to_string(i)));
+    }
+    NetId we = nl.addInput("we");
+    MemoryDecl mem;
+    mem.name = "m";
+    mem.width = 8;
+    mem.words = 4;
+    mem.readAddr = raddr;
+    mem.readData = rdata;
+    mem.writeAddr = waddr;
+    mem.writeData = wdata;
+    mem.writeEn = we;
+    nl.addMemory(mem);
+
+    Simulator sim(nl);
+    auto drive = [&](const std::vector<NetId> &bus, uint64_t v) {
+        for (size_t i = 0; i < bus.size(); ++i)
+            sim.setInput(bus[i], sigBool((v >> i) & 1));
+    };
+
+    drive(waddr, 2);
+    drive(wdata, 0xA5);
+    sim.setInput(we, sigOne());
+    drive(raddr, 2);
+    sim.step();
+    sim.setInput(we, sigZero());
+    sim.evalComb();
+    uint64_t v = 0;
+    for (size_t i = 0; i < rdata.size(); ++i) {
+        if (sim.netValue(rdata[i]).asBool())
+            v |= 1ULL << i;
+    }
+    EXPECT_EQ(v, 0xA5u);
+}
+
+TEST(Simulator, ToggleStatsCount)
+{
+    Netlist nl;
+    NetBuilder nb(nl);
+    NetId a = nl.addInput("a");
+    nb.bNot(a);
+    Simulator sim(nl);
+    sim.enableToggleStats(true);
+
+    sim.setInput(a, sigZero());
+    sim.step();
+    sim.setInput(a, sigOne());
+    sim.step();
+    sim.setInput(a, sigZero());
+    sim.step();
+    // The NOT output toggled at least twice (X->1, 1->0, 0->1).
+    EXPECT_GE(sim.toggleStats()
+                  .combToggles[static_cast<size_t>(GateKind::Not)],
+              2u);
+    EXPECT_EQ(sim.toggleStats().cycles, 3u);
+}
+
+TEST(Trace, RecordsAndRenders)
+{
+    Netlist nl;
+    NetBuilder nb(nl);
+    NetId a = nl.addInput("a");
+    NetId o = nb.bNot(a);
+    Simulator sim(nl);
+
+    TraceRecorder trace;
+    trace.watch("a", a);
+    trace.watch("o", o);
+    sim.setInput(a, sigBool(1, true));
+    sim.evalComb();
+    trace.capture(0, sim.state());
+    sim.setInput(a, sigZero());
+    sim.evalComb();
+    trace.capture(1, sim.state());
+
+    std::string t = trace.str();
+    EXPECT_NE(t.find("cycle"), std::string::npos);
+    EXPECT_NE(t.find("1'"), std::string::npos);  // tainted 1 rendering
+    EXPECT_EQ(trace.numRows(), 2u);
+}
+
+TEST(Trace, BusRendering)
+{
+    Netlist nl;
+    RtlBuilder rb(nl);
+    Bus a = rb.busInput("a", 4);
+    Simulator sim(nl);
+    TraceRecorder trace;
+    trace.watchBus("a", a);
+    for (size_t i = 0; i < 4; ++i)
+        sim.setInput(a[i], sigBool(i == 1));
+    trace.capture(0, sim.state());
+    EXPECT_NE(trace.str().find("0010"), std::string::npos);
+}
+
+} // namespace
+} // namespace glifs

@@ -1,0 +1,395 @@
+/**
+ * @file
+ * Concrete gate-level execution tests of the IoT430 SoC: every
+ * instruction class, memory-mapped GPIO, the watchdog POR mechanism
+ * and the multi-cycle FSM timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "netlist/stats.hh"
+#include "soc/runner.hh"
+
+namespace glifs
+{
+namespace
+{
+
+/** One shared SoC for the whole suite: construction is not free. */
+class SocTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        soc = new Soc();
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete soc;
+        soc = nullptr;
+    }
+
+    /** Assemble, load, reset and run to HALT; returns cycle count. */
+    uint64_t
+    runProgram(const std::string &src, SocRunner &runner,
+               uint64_t max_cycles = 200000)
+    {
+        ProgramImage img = assembleSource(src);
+        runner.load(img);
+        runner.reset();
+        return runner.runToHalt(max_cycles);
+    }
+
+    static Soc *soc;
+};
+
+Soc *SocTest::soc = nullptr;
+
+TEST_F(SocTest, NetlistIsRealGates)
+{
+    NetlistStats s = computeStats(soc->netlist());
+    // A genuine gate-level MCU: thousands of gates, hundreds of flops.
+    EXPECT_GT(s.combGates, 2000u);
+    EXPECT_GT(s.dffs, 300u);
+    EXPECT_EQ(s.memories, 2u);
+}
+
+TEST_F(SocTest, MovImmediateAndRegister)
+{
+    SocRunner r(*soc);
+    runProgram(
+        "        mov #0x1234, r4\n"
+        "        mov r4, r5\n"
+        "        halt\n",
+        r);
+    EXPECT_EQ(r.reg(4), 0x1234);
+    EXPECT_EQ(r.reg(5), 0x1234);
+}
+
+TEST_F(SocTest, RegisterZeroReadsZero)
+{
+    SocRunner r(*soc);
+    runProgram(
+        "        mov #0x5555, r4\n"
+        "        mov r0, r4\n"
+        "        halt\n",
+        r);
+    EXPECT_EQ(r.reg(4), 0);
+}
+
+TEST_F(SocTest, ArithmeticOps)
+{
+    SocRunner r(*soc);
+    runProgram(
+        "        mov #100, r4\n"
+        "        mov #38, r5\n"
+        "        add r5, r4\n"   // r4 = 138
+        "        mov #500, r6\n"
+        "        sub #100, r6\n" // r6 = 400
+        "        mov #0x0F0F, r7\n"
+        "        and #0x00FF, r7\n"  // r7 = 0x000F
+        "        mov #0x0F00, r8\n"
+        "        bis #0x00F0, r8\n"  // r8 = 0x0FF0
+        "        mov #0xFFFF, r9\n"
+        "        xor #0x0F0F, r9\n"  // r9 = 0xF0F0
+        "        mov #0x00FF, r10\n"
+        "        bic #0x000F, r10\n" // r10 = 0x00F0
+        "        halt\n",
+        r);
+    EXPECT_EQ(r.reg(4), 138);
+    EXPECT_EQ(r.reg(6), 400);
+    EXPECT_EQ(r.reg(7), 0x000F);
+    EXPECT_EQ(r.reg(8), 0x0FF0);
+    EXPECT_EQ(r.reg(9), 0xF0F0);
+    EXPECT_EQ(r.reg(10), 0x00F0);
+}
+
+TEST_F(SocTest, OneOperandOps)
+{
+    SocRunner r(*soc);
+    runProgram(
+        "        mov #7, r4\n"
+        "        inc r4\n"        // 8
+        "        mov #7, r5\n"
+        "        dec r5\n"        // 6
+        "        mov #0x00FF, r6\n"
+        "        inv r6\n"        // 0xFF00
+        "        mov #0x0004, r7\n"
+        "        rra r7\n"        // 2
+        "        mov #0x0001, r8\n"
+        "        rla r8\n"        // 2
+        "        mov #0xABCD, r9\n"
+        "        swpb r9\n"       // 0xCDAB
+        "        mov #0x0080, r10\n"
+        "        sxt r10\n"       // 0xFF80
+        "        mov #5, r11\n"
+        "        clr r11\n"       // 0
+        "        halt\n",
+        r);
+    EXPECT_EQ(r.reg(4), 8);
+    EXPECT_EQ(r.reg(5), 6);
+    EXPECT_EQ(r.reg(6), 0xFF00);
+    EXPECT_EQ(r.reg(7), 2);
+    EXPECT_EQ(r.reg(8), 2);
+    EXPECT_EQ(r.reg(9), 0xCDAB);
+    EXPECT_EQ(r.reg(10), 0xFF80);
+    EXPECT_EQ(r.reg(11), 0);
+}
+
+TEST_F(SocTest, RotateThroughCarry)
+{
+    SocRunner r(*soc);
+    runProgram(
+        "        mov #0x0001, r4\n"
+        "        rra r4\n"    // r4=0, C=1
+        "        mov #0x0000, r5\n"
+        "        rrc r5\n"    // r5 = 0x8000 (carry rotated into MSB)
+        "        halt\n",
+        r);
+    EXPECT_EQ(r.reg(4), 0);
+    EXPECT_EQ(r.reg(5), 0x8000);
+}
+
+TEST_F(SocTest, MemoryStoreLoad)
+{
+    SocRunner r(*soc);
+    runProgram(
+        "        mov #0xBEEF, r4\n"
+        "        mov r4, &0x0900\n"
+        "        mov &0x0900, r5\n"
+        "        mov #0x0900, r6\n"
+        "        mov @r6, r7\n"
+        "        mov #0x08FE, r8\n"
+        "        mov r4, 2(r8)\n"  // stores to 0x0900
+        "        mov 2(r8), r9\n"
+        "        halt\n",
+        r);
+    EXPECT_EQ(r.ram(0x0900), 0xBEEF);
+    EXPECT_EQ(r.reg(5), 0xBEEF);
+    EXPECT_EQ(r.reg(7), 0xBEEF);
+    EXPECT_EQ(r.reg(9), 0xBEEF);
+}
+
+TEST_F(SocTest, StoreImmediateToMemory)
+{
+    SocRunner r(*soc);
+    runProgram(
+        "        mov #4096, &0x0950\n"
+        "        halt\n",
+        r);
+    EXPECT_EQ(r.ram(0x0950), 4096);
+}
+
+TEST_F(SocTest, LoopWithConditionalBranch)
+{
+    SocRunner r(*soc);
+    runProgram(
+        "        mov #10, r4\n"
+        "        clr r5\n"
+        "loop:   add #3, r5\n"
+        "        dec r4\n"
+        "        jnz loop\n"
+        "        halt\n",
+        r);
+    EXPECT_EQ(r.reg(4), 0);
+    EXPECT_EQ(r.reg(5), 30);
+}
+
+TEST_F(SocTest, ConditionalBranches)
+{
+    SocRunner r(*soc);
+    runProgram(
+        "        clr r10\n"
+        "        mov #5, r4\n"
+        "        cmp #5, r4\n"      // equal -> Z
+        "        jz l1\n"
+        "        bis #1, r10\n"
+        "l1:     cmp #6, r4\n"      // 5-6 borrows -> C clear, N set
+        "        jl l2\n"
+        "        bis #2, r10\n"
+        "l2:     cmp #3, r4\n"      // 5-3 -> no borrow, C set
+        "        jc l3\n"
+        "        bis #4, r10\n"
+        "l3:     mov #0xFFFF, r5\n"
+        "        tst r5\n"          // negative
+        "        jn l4\n"
+        "        bis #8, r10\n"
+        "l4:     cmp #1, r5\n"      // -1 < 1 signed
+        "        jge bad\n"
+        "        jmp done\n"
+        "bad:    bis #16, r10\n"
+        "done:   halt\n",
+        r);
+    EXPECT_EQ(r.reg(10), 0);
+}
+
+TEST_F(SocTest, CallRetAndStack)
+{
+    SocRunner r(*soc);
+    runProgram(
+        "        mov #0x0FF0, r1\n"   // set SP
+        "        mov #5, r4\n"
+        "        call #double\n"
+        "        call #double\n"
+        "        halt\n"
+        "double: add r4, r4\n"
+        "        ret\n",
+        r);
+    EXPECT_EQ(r.reg(4), 20);
+    EXPECT_EQ(r.reg(1), 0x0FF0);  // SP balanced
+}
+
+TEST_F(SocTest, PushPop)
+{
+    SocRunner r(*soc);
+    runProgram(
+        "        mov #0x0FF0, r1\n"
+        "        mov #111, r4\n"
+        "        mov #222, r5\n"
+        "        push r4\n"
+        "        push r5\n"
+        "        pop r6\n"
+        "        pop r7\n"
+        "        halt\n",
+        r);
+    EXPECT_EQ(r.reg(6), 222);
+    EXPECT_EQ(r.reg(7), 111);
+    EXPECT_EQ(r.reg(1), 0x0FF0);
+}
+
+TEST_F(SocTest, BranchRegister)
+{
+    SocRunner r(*soc);
+    runProgram(
+        "        mov #target, r4\n"
+        "        br r4\n"
+        "        mov #1, r5\n"     // skipped
+        "target: mov #2, r6\n"
+        "        halt\n",
+        r);
+    EXPECT_EQ(r.reg(5), 0);
+    EXPECT_EQ(r.reg(6), 2);
+}
+
+TEST_F(SocTest, GpioOutputPort)
+{
+    SocRunner r(*soc);
+    runProgram(
+        "        mov #0xA5A5, &0x0001\n"  // P1OUT
+        "        mov #0x5A5A, &0x0007\n"  // P4OUT
+        "        halt\n",
+        r);
+    EXPECT_EQ(r.portOut(1), 0xA5A5);
+    EXPECT_EQ(r.portOut(4), 0x5A5A);
+    EXPECT_EQ(r.portOut(2), 0);
+}
+
+TEST_F(SocTest, GpioInputPort)
+{
+    SocRunner r(*soc);
+    r.setPortInput(1, 0x1234);
+    r.setPortInput(3, 0x00FF);
+    runProgram(
+        "        mov &0x0000, r4\n"   // P1IN
+        "        mov &0x0004, r5\n"   // P3IN
+        "        halt\n",
+        r);
+    EXPECT_EQ(r.reg(4), 0x1234);
+    EXPECT_EQ(r.reg(5), 0x00FF);
+}
+
+TEST_F(SocTest, WatchdogFiresPorAndRestartsAtZero)
+{
+    SocRunner r(*soc);
+    // Program: set a flag in RAM on the first pass, arm the watchdog
+    // with the 64-cycle interval, then spin. After POR, execution
+    // restarts at 0 where the flag makes it take the halt path.
+    ProgramImage img = assembleSource(
+        "        mov &0x0A00, r4\n"
+        "        cmp #0x55AA, r4\n"
+        "        jz second\n"
+        "        mov #0x55AA, &0x0A00\n"
+        "        mov #0x0000, &0x0010\n"  // WDT: interval 64, run
+        "spin:   jmp spin\n"
+        "second: mov #1, r5\n"
+        "        halt\n");
+    r.load(img);
+    r.reset();
+    uint64_t cycles = r.runToHalt(2000);
+    EXPECT_EQ(r.reg(5), 1);
+    // The watchdog interval bounds the spin segment.
+    EXPECT_LT(cycles, 64 + 100);
+    EXPECT_GT(cycles, 60u);
+}
+
+TEST_F(SocTest, WatchdogHoldBitStopsCounting)
+{
+    SocRunner r(*soc);
+    // Arm then immediately hold: must never fire.
+    runProgram(
+        "        mov #0x0000, &0x0010\n"
+        "        mov #0x0080, &0x0010\n"  // hold
+        "        mov #200, r4\n"
+        "loop:   dec r4\n"
+        "        jnz loop\n"
+        "        mov #7, r5\n"
+        "        halt\n",
+        r, 5000);
+    EXPECT_EQ(r.reg(5), 7);
+}
+
+TEST_F(SocTest, PorPreservesMemoryButClearsRegisters)
+{
+    SocRunner r(*soc);
+    ProgramImage img = assembleSource(
+        "        mov &0x0A10, r4\n"
+        "        cmp #0x1111, r4\n"
+        "        jz after\n"
+        "        mov #0x1111, &0x0A10\n"
+        "        mov #0xDEAD, r8\n"
+        "        mov #0x0000, &0x0010\n"
+        "spin:   jmp spin\n"
+        "after:  halt\n");
+    r.load(img);
+    r.reset();
+    r.runToHalt(2000);
+    // RAM survived the POR; r8 was wiped by it.
+    EXPECT_EQ(r.ram(0x0A10), 0x1111);
+    EXPECT_EQ(r.reg(8), 0);
+}
+
+TEST_F(SocTest, InstructionTiming)
+{
+    // reg-reg mov: FETCH+EXEC = 2 cycles; imm mov adds a SRCIMM cycle;
+    // halt becomes visible one cycle after its fetch.
+    SocRunner r(*soc);
+    uint64_t c = runProgram(
+        "        mov r4, r5\n"
+        "        halt\n",
+        r);
+    EXPECT_EQ(c, 2u + 1u);
+
+    SocRunner r2(*soc);
+    c = runProgram(
+        "        mov #1, r5\n"
+        "        halt\n",
+        r2);
+    EXPECT_EQ(c, 3u + 1u);
+}
+
+TEST_F(SocTest, HaltStaysHalted)
+{
+    SocRunner r(*soc);
+    runProgram("        halt\n", r);
+    EXPECT_TRUE(r.halted());
+    r.run(5);
+    EXPECT_TRUE(r.halted());
+    EXPECT_EQ(r.pc(), 1);
+}
+
+} // namespace
+} // namespace glifs

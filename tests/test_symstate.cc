@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests of the packed symbolic state: capture/restore round trips,
+ * substate ordering and conservative merging (the lattice operations
+ * Algorithm 1's termination argument rests on).
+ */
+
+#include <gtest/gtest.h>
+
+#include "ift/state_table.hh"
+#include "ift/symstate.hh"
+#include "netlist/builder.hh"
+#include "sim/simulator.hh"
+
+namespace glifs
+{
+namespace
+{
+
+/** A tiny netlist: 4 flops and one 4x4 memory. */
+struct Fixture
+{
+    Netlist nl;
+    std::vector<DffHandle> flops;
+
+    Fixture()
+    {
+        NetId d = nl.addInput("d");
+        NetId rst = nl.addInput("rst");
+        for (int i = 0; i < 4; ++i) {
+            DffHandle ff = nl.addDff("q" + std::to_string(i));
+            nl.connectDff(ff.gate, d, rst, nl.constNet(true));
+            flops.push_back(ff);
+        }
+        MemoryDecl mem;
+        mem.name = "m";
+        mem.width = 4;
+        mem.words = 4;
+        mem.readAddr = {nl.addInput("a0"), nl.addInput("a1")};
+        for (int i = 0; i < 4; ++i)
+            mem.readData.push_back(nl.addNet("rd" + std::to_string(i)));
+        mem.writeAddr = mem.readAddr;
+        mem.writeData = {d, d, d, d};
+        mem.writeEn = nl.addInput("we");
+        nl.addMemory(mem);
+    }
+};
+
+TEST(SymState, LayoutCountsSlots)
+{
+    Fixture f;
+    SymLayout layout(f.nl);
+    EXPECT_EQ(layout.dffNets().size(), 4u);
+    EXPECT_EQ(layout.slots(), 4u + 16u);
+}
+
+TEST(SymState, RomExcludedFromLayout)
+{
+    Netlist nl;
+    MemoryDecl rom;
+    rom.name = "rom";
+    rom.width = 4;
+    rom.words = 4;
+    rom.writable = false;
+    rom.readAddr = {nl.addInput("a0"), nl.addInput("a1")};
+    for (int i = 0; i < 4; ++i)
+        rom.readData.push_back(nl.addNet("rd" + std::to_string(i)));
+    nl.addMemory(rom);
+    SymLayout layout(nl);
+    EXPECT_EQ(layout.slots(), 0u);
+}
+
+TEST(SymState, CaptureRestoreRoundTrip)
+{
+    Fixture f;
+    SymLayout layout(f.nl);
+    SignalState sigs(f.nl);
+    sigs.setNet(f.flops[0].q, sigBool(1, true));
+    sigs.setNet(f.flops[1].q, sigX());
+    sigs.setNet(f.flops[2].q, sigBool(0, false));
+    sigs.memCells(0)[5] = Signal{Tern::One, true};
+
+    SymState s(layout);
+    s.capture(layout, sigs);
+
+    SignalState other(f.nl);
+    s.restore(layout, other);
+    EXPECT_EQ(other.net(f.flops[0].q), sigBool(1, true));
+    EXPECT_EQ(other.net(f.flops[1].q), sigX());
+    EXPECT_EQ(other.net(f.flops[2].q), sigBool(0, false));
+    EXPECT_EQ(other.memCells(0)[5], (Signal{Tern::One, true}));
+
+    SymState s2(layout);
+    s2.capture(layout, other);
+    EXPECT_EQ(s, s2);
+}
+
+TEST(SymState, SubsumptionOrdering)
+{
+    Fixture f;
+    SymLayout layout(f.nl);
+    SymState concrete(layout);
+    SymState abstract(layout);
+    for (size_t i = 0; i < layout.slots(); ++i) {
+        concrete.setSlot(i, sigBool(i % 2 == 0));
+        abstract.setSlot(i, sigX());
+    }
+    EXPECT_TRUE(concrete.subsumedBy(abstract));
+    EXPECT_FALSE(abstract.subsumedBy(concrete));
+    EXPECT_TRUE(concrete.subsumedBy(concrete));
+
+    // Differing known values are not subsumed either way.
+    SymState other = concrete;
+    other.setSlot(0, sigBool(0));  // concrete has slot 0 == 1
+    EXPECT_FALSE(other.subsumedBy(concrete));
+    EXPECT_FALSE(concrete.subsumedBy(other));
+}
+
+TEST(SymState, TaintContainmentInSubsumption)
+{
+    Fixture f;
+    SymLayout layout(f.nl);
+    SymState clean(layout);
+    SymState tainted(layout);
+    for (size_t i = 0; i < layout.slots(); ++i) {
+        clean.setSlot(i, sigBool(0));
+        tainted.setSlot(i, sigBool(0, true));
+    }
+    // Same values, but the tainted state is NOT covered by the clean
+    // one; the clean one IS covered by the tainted one.
+    EXPECT_FALSE(tainted.subsumedBy(clean));
+    EXPECT_TRUE(clean.subsumedBy(tainted));
+}
+
+TEST(SymState, MergeProducesJoin)
+{
+    Fixture f;
+    SymLayout layout(f.nl);
+    SymState a(layout);
+    SymState b(layout);
+    for (size_t i = 0; i < layout.slots(); ++i) {
+        a.setSlot(i, sigBool(0));
+        b.setSlot(i, sigBool(0));
+    }
+    a.setSlot(0, sigBool(0));
+    b.setSlot(0, sigBool(1));              // differing value -> X
+    a.setSlot(1, sigBool(1, true));        // taint unions...
+    b.setSlot(1, sigBool(1));              // ...over the same value
+    b.setSlot(2, sigX());                  // unknown stays unknown
+
+    SymState merged = a;
+    merged.mergeWith(b);
+    EXPECT_EQ(merged.slot(0).value, Tern::X);
+    EXPECT_TRUE(merged.slot(1).taint);
+    EXPECT_EQ(merged.slot(1).value, Tern::One);
+    EXPECT_EQ(merged.slot(2).value, Tern::X);
+
+    // Both inputs are subsumed by the join.
+    EXPECT_TRUE(a.subsumedBy(merged));
+    EXPECT_TRUE(b.subsumedBy(merged));
+}
+
+TEST(SymState, MergeTaintDiffsFlag)
+{
+    Fixture f;
+    SymLayout layout(f.nl);
+    SymState a(layout);
+    SymState b(layout);
+    for (size_t i = 0; i < layout.slots(); ++i) {
+        a.setSlot(i, sigBool(0));
+        b.setSlot(i, sigBool(0));
+    }
+    b.setSlot(3, sigBool(1));
+    SymState m = a;
+    m.mergeWith(b, true);
+    EXPECT_TRUE(m.slot(3).taint);          // differing slot tainted
+    EXPECT_FALSE(m.slot(2).taint);         // equal slot untouched
+}
+
+TEST(SymState, MergeIsMonotone)
+{
+    // Repeated merging converges (finite lattice): merging the merge
+    // with either input changes nothing.
+    Fixture f;
+    SymLayout layout(f.nl);
+    SymState a(layout);
+    SymState b(layout);
+    for (size_t i = 0; i < layout.slots(); ++i) {
+        a.setSlot(i, sigBool(i % 2));
+        b.setSlot(i, sigBool(i % 3 == 0));
+    }
+    SymState m = a;
+    m.mergeWith(b);
+    SymState m2 = m;
+    m2.mergeWith(a);
+    EXPECT_EQ(m, m2);
+    m2.mergeWith(b);
+    EXPECT_EQ(m, m2);
+}
+
+TEST(StateTable, VisitLifecycle)
+{
+    Fixture f;
+    SymLayout layout(f.nl);
+    SymState s(layout);
+    for (size_t i = 0; i < layout.slots(); ++i)
+        s.setSlot(i, sigBool(0));
+
+    StateTable table;
+    EXPECT_EQ(table.visit(0x100, s), StateTable::Visit::New);
+    // Identical state: subsumed.
+    SymState s2 = s;
+    EXPECT_EQ(table.visit(0x100, s2), StateTable::Visit::Subsumed);
+    // Different value: merged, and s3 becomes the conservative state.
+    SymState s3 = s;
+    s3.setSlot(0, sigBool(1));
+    EXPECT_EQ(table.visit(0x100, s3), StateTable::Visit::Merged);
+    EXPECT_EQ(s3.slot(0).value, Tern::X);
+    // Now anything with slot 0 in {0,1} is subsumed.
+    SymState s4 = s;
+    EXPECT_EQ(table.visit(0x100, s4), StateTable::Visit::Subsumed);
+    // A different key is independent.
+    SymState s5 = s;
+    EXPECT_EQ(table.visit(0x200, s5), StateTable::Visit::New);
+    EXPECT_EQ(table.size(), 2u);
+    EXPECT_EQ(table.merges(), 1u);
+    EXPECT_EQ(table.subsumptions(), 2u);
+    EXPECT_NE(table.lookup(0x100), nullptr);
+    EXPECT_EQ(table.lookup(0x300), nullptr);
+}
+
+} // namespace
+} // namespace glifs

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * End-to-end toolflow tests: Table 2 of the paper, reproduced through
+ * the full analyze -> root-cause -> transform -> verify pipeline for
+ * every benchmark (parameterized), plus the always-on baseline shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/toolflow.hh"
+
+namespace glifs
+{
+namespace
+{
+
+class Table2 : public ::testing::TestWithParam<std::string>
+{
+  protected:
+    static void SetUpTestSuite() { soc = new Soc(); }
+    static void TearDownTestSuite() { delete soc; soc = nullptr; }
+    static Soc *soc;
+};
+
+Soc *Table2::soc = nullptr;
+
+TEST_P(Table2, ViolationsMatchAndFixesVerify)
+{
+    const Workload &w = workloadByName(GetParam());
+    ToolflowResult r = secureWorkload(*soc, w);
+
+    // Before modification: the benchmark violates conditions 1 and 2
+    // exactly when Table 2 says it does.
+    bool c1 = false;
+    bool c2 = false;
+    for (const Violation &v : r.unmodified.violations) {
+        c1 |= v.kind == ViolationKind::UntaintedCodeTaintedPc;
+        c2 |= v.kind == ViolationKind::StoreUntaintedPartition;
+    }
+    EXPECT_TRUE(r.unmodified.completed);
+    EXPECT_EQ(c1, w.expectC1) << "condition 1";
+    EXPECT_EQ(c2, w.expectC2) << "condition 2";
+    // None of the benchmarks violate conditions 3, 4 or 5 directly
+    // (footnote 7 of the paper).
+    for (const Violation &v : r.unmodified.violations) {
+        EXPECT_NE(v.kind, ViolationKind::LoadTaintedData);
+        EXPECT_NE(v.kind, ViolationKind::UntaintedReadTaintedPort);
+    }
+
+    // Clean benchmarks need no modification; violators get the
+    // watchdog and at least one mask.
+    EXPECT_EQ(r.modified(), w.expectC1 || w.expectC2);
+    if (w.expectC1) {
+        EXPECT_TRUE(r.watchdogApplied);
+    }
+    if (w.expectC2) {
+        EXPECT_GE(r.masksInserted, 1u);
+    }
+
+    // After modification: verified secure (all condition violations
+    // eliminated -- the "Modified" columns of Table 2).
+    EXPECT_TRUE(r.verified()) << r.summary(w.name);
+    for (const Violation &v : r.secured.violations) {
+        EXPECT_NE(v.kind, ViolationKind::UntaintedCodeTaintedPc);
+        EXPECT_NE(v.kind, ViolationKind::StoreUntaintedPartition);
+        EXPECT_NE(v.kind, ViolationKind::WatchdogTainted);
+        EXPECT_NE(v.kind, ViolationKind::TrustedOutputTainted);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, Table2,
+    ::testing::Values("mult", "binSearch", "tea8", "intFilt", "tHold",
+                      "div", "inSort", "rle", "intAVG", "autocorr",
+                      "FFT", "ConvEn", "Viterbi"),
+    [](const auto &info) { return info.param; });
+
+TEST(AlwaysOn, MasksEveryStoreOfEveryBenchmark)
+{
+    // The no-knowledge baseline must mask at least as many stores as
+    // the analysis-guided flow and always applies the watchdog.
+    Soc soc;
+    for (const std::string name : {"mult", "tHold"}) {
+        const Workload &w = workloadByName(name);
+        AlwaysOnProgram ao = alwaysOnWorkload(w);
+        ToolflowResult tf = secureWorkload(soc, w);
+        EXPECT_GE(ao.masksInserted, tf.masksInserted) << name;
+        EXPECT_NE(w.source(HarnessOptions{true, 1}).find("WDT_CMD"),
+                  std::string::npos);
+    }
+}
+
+TEST(Toolflow, SummaryStrings)
+{
+    Soc soc;
+    ToolflowResult clean = secureWorkload(soc, workloadByName("mult"));
+    EXPECT_NE(clean.summary("mult").find("secure as-is"),
+              std::string::npos);
+    ToolflowResult fixed = secureWorkload(soc, workloadByName("div"));
+    EXPECT_NE(fixed.summary("div").find("verified secure"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace glifs

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Tests for the VCD waveform writer and the textual policy-file
+ * parser (the developer-facing inputs/outputs of the toolflow).
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "ift/policy_file.hh"
+#include "netlist/builder.hh"
+#include "sim/simulator.hh"
+#include "sim/vcd.hh"
+
+namespace glifs
+{
+namespace
+{
+
+TEST(Vcd, HeaderDeclaresSignalsAndTaintShadows)
+{
+    Netlist nl;
+    NetBuilder nb(nl);
+    NetId a = nl.addInput("a");
+    NetId o = nb.bNot(a);
+    Simulator sim(nl);
+
+    VcdWriter vcd;
+    vcd.watch("a", a);
+    vcd.watch("o", o);
+    sim.setInput(a, sigOne());
+    sim.evalComb();
+    vcd.sample(0, sim.state());
+
+    std::string doc = vcd.str();
+    EXPECT_NE(doc.find("$var wire 1"), std::string::npos);
+    EXPECT_NE(doc.find(" a $end"), std::string::npos);
+    EXPECT_NE(doc.find(" a_taint $end"), std::string::npos);
+    EXPECT_NE(doc.find("$enddefinitions"), std::string::npos);
+    EXPECT_NE(doc.find("#0"), std::string::npos);
+}
+
+TEST(Vcd, EmitsOnlyChanges)
+{
+    Netlist nl;
+    NetId a = nl.addInput("a");
+    Simulator sim(nl);
+    VcdWriter vcd;
+    vcd.watch("a", a);
+
+    sim.setInput(a, sigZero());
+    vcd.sample(0, sim.state());
+    vcd.sample(1, sim.state());          // unchanged
+    sim.setInput(a, sigBool(1, true));   // value + taint change
+    vcd.sample(2, sim.state());
+
+    std::string doc = vcd.str();
+    // The value line "0<id>" appears once (t=0), "1<id>" once (t=2).
+    size_t first = doc.find("#0\n0");
+    ASSERT_NE(first, std::string::npos);
+    size_t second = doc.find("#1");
+    ASSERT_NE(second, std::string::npos);
+    // Nothing between #1 and #2 (no change emitted).
+    size_t third = doc.find("#2");
+    EXPECT_EQ(doc.substr(second, third - second), "#1\n");
+}
+
+TEST(Vcd, BusesUseVectorNotation)
+{
+    Netlist nl;
+    NetBuilder nb(nl);
+    std::vector<NetId> bus = {nl.addInput("b0"), nl.addInput("b1"),
+                              nl.addInput("b2")};
+    Simulator sim(nl);
+    VcdWriter vcd;
+    vcd.watchBus("bus", bus);
+    sim.setInput(bus[0], sigOne());
+    sim.setInput(bus[1], sigZero());
+    sim.setInput(bus[2], sigX());
+    vcd.sample(0, sim.state());
+    // MSB-first rendering: x01.
+    EXPECT_NE(vcd.str().find("bx01 "), std::string::npos);
+}
+
+TEST(PolicyFile, ParsesFullDocument)
+{
+    Policy p = parsePolicy(
+        "# sensor node labels\n"
+        "policy sensor integrity\n"
+        "port in 1 tainted\n"
+        "port in 3 untainted\n"
+        "port out 2 untrusted\n"
+        "port out 4 trusted\n"
+        "code system 0 0x7f untainted\n"
+        "code task 0x80 0xfff tainted\n"
+        "mem sys_ram 0x0800 0x0bff untainted\n"
+        "mem task_ram 0x0c00 0x0fff tainted\n");
+    EXPECT_EQ(p.name, "sensor integrity");
+    EXPECT_TRUE(p.taintedInPort[0]);
+    EXPECT_FALSE(p.taintedInPort[2]);
+    EXPECT_FALSE(p.trustedOutPort[1]);
+    EXPECT_TRUE(p.trustedOutPort[3]);
+    EXPECT_TRUE(p.codeTainted(0x100));
+    EXPECT_FALSE(p.codeTainted(0x10));
+    ASSERT_NE(p.memPartitionOf(0x0C10), nullptr);
+    EXPECT_TRUE(p.memPartitionOf(0x0C10)->tainted);
+    EXPECT_FALSE(p.taintCodeInProgMem);
+}
+
+TEST(PolicyFile, SecretSynonymsAndTaintCode)
+{
+    Policy p = parsePolicy(
+        "port in 3 secret\n"
+        "port out 2 non-secret\n"
+        "taint-code\n");
+    EXPECT_TRUE(p.taintedInPort[2]);
+    EXPECT_TRUE(p.trustedOutPort[1]);
+    EXPECT_TRUE(p.taintCodeInProgMem);
+}
+
+TEST(PolicyFile, RoundTripsThroughRender)
+{
+    Policy p = benchmarkPolicy(0x80, 0xFFF);
+    Policy q = parsePolicy(renderPolicy(p));
+    EXPECT_EQ(q.name, p.name);
+    EXPECT_EQ(q.taintedInPort, p.taintedInPort);
+    EXPECT_EQ(q.trustedOutPort, p.trustedOutPort);
+    ASSERT_EQ(q.code.size(), p.code.size());
+    for (size_t i = 0; i < p.code.size(); ++i) {
+        EXPECT_EQ(q.code[i].name, p.code[i].name);
+        EXPECT_EQ(q.code[i].lo, p.code[i].lo);
+        EXPECT_EQ(q.code[i].hi, p.code[i].hi);
+        EXPECT_EQ(q.code[i].tainted, p.code[i].tainted);
+    }
+    ASSERT_EQ(q.mem.size(), p.mem.size());
+}
+
+TEST(PolicyFile, ErrorsCarryLineNumbers)
+{
+    try {
+        parsePolicy("port in 1 tainted\nwibble wobble\n");
+        FAIL();
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos);
+    }
+    EXPECT_THROW(parsePolicy("port in 9 tainted\n"), FatalError);
+    EXPECT_THROW(parsePolicy("code a 0x80 tainted\n"), FatalError);
+    EXPECT_THROW(parsePolicy("port in 1 sideways\n"), FatalError);
+}
+
+} // namespace
+} // namespace glifs

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Benchmark workload tests: every kernel's gate-level execution is
+ * checked against a C++ reference model (with the IoT430's arithmetic-
+ * shift semantics), and the harness/registry plumbing is validated.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/logging.hh"
+#include "soc/runner.hh"
+#include "workloads/workload.hh"
+
+namespace glifs
+{
+namespace
+{
+
+uint16_t
+rra16(uint16_t v)
+{
+    return static_cast<uint16_t>(static_cast<int16_t>(v) >> 1);
+}
+
+class WorkloadRun : public ::testing::TestWithParam<uint16_t>
+{
+  protected:
+    static void SetUpTestSuite() { soc = new Soc(); }
+    static void TearDownTestSuite() { delete soc; soc = nullptr; }
+
+    /** Run a workload with a constant P1 input until it signals done. */
+    SocRunner
+    run(const std::string &name, uint16_t input)
+    {
+        SocRunner r(*soc);
+        r.load(workloadByName(name).image());
+        r.setPortInput(1, input);
+        r.reset();
+        uint64_t budget = 100000;
+        while (r.portOut(2) != 0xD07E && budget > 0) {
+            --budget;
+            r.stepCycle();
+        }
+        EXPECT_GT(budget, 0u) << name << " did not finish";
+        return r;
+    }
+
+    static Soc *soc;
+};
+
+Soc *WorkloadRun::soc = nullptr;
+
+TEST_P(WorkloadRun, Mult)
+{
+    const uint16_t v = GetParam();
+    SocRunner r = run("mult", v);
+    EXPECT_EQ(r.ram(0x0C10),
+              static_cast<uint16_t>(static_cast<uint32_t>(v) * v));
+}
+
+TEST_P(WorkloadRun, BinSearch)
+{
+    const uint16_t v = GetParam();
+    SocRunner r = run("binSearch", v);
+    // Reference lower-bound over t[i] = 4i+2 with signed compares.
+    int lo = 0;
+    int hi = 16;
+    while (lo < hi) {
+        int mid = (lo + hi) >> 1;
+        if (static_cast<int16_t>(4 * mid + 2) >=
+            static_cast<int16_t>(v))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    EXPECT_EQ(r.ram(0x0C10), lo);
+}
+
+TEST_P(WorkloadRun, Tea8)
+{
+    const uint16_t v = GetParam();
+    SocRunner r = run("tea8", v);
+    uint16_t v0 = v;
+    uint16_t v1 = v;
+    uint16_t sum = 0;
+    for (int i = 0; i < 8; ++i) {
+        sum = static_cast<uint16_t>(sum + 0x9E37);
+        uint16_t a = static_cast<uint16_t>(
+            static_cast<uint16_t>(v1 << 4) + 0x3C6E);
+        uint16_t b = static_cast<uint16_t>(v1 + sum);
+        uint16_t c = static_cast<uint16_t>(
+            static_cast<uint16_t>(static_cast<int16_t>(v1) >> 5) +
+            0x7A9B);
+        v0 = static_cast<uint16_t>(v0 + (a ^ b ^ c));
+        a = static_cast<uint16_t>(static_cast<uint16_t>(v0 << 4) +
+                                  0x1B58);
+        b = static_cast<uint16_t>(v0 + sum);
+        c = static_cast<uint16_t>(
+            static_cast<uint16_t>(static_cast<int16_t>(v0) >> 5) +
+            0x4D2C);
+        v1 = static_cast<uint16_t>(v1 + (a ^ b ^ c));
+    }
+    EXPECT_EQ(r.ram(0x0C10), v0);
+    EXPECT_EQ(r.ram(0x0C11), v1);
+}
+
+TEST_P(WorkloadRun, IntFilt)
+{
+    const uint16_t v = GetParam();
+    SocRunner r = run("intFilt", v);
+    uint16_t x1 = 0;
+    uint16_t x2 = 0;
+    uint16_t x3 = 0;
+    for (int i = 0; i < 8; ++i) {
+        uint16_t s = static_cast<uint16_t>(
+            v + x3 + static_cast<uint16_t>(x1 << 1) +
+            static_cast<uint16_t>(x2 << 1));
+        uint16_t y = rra16(rra16(s));
+        EXPECT_EQ(r.ram(static_cast<uint16_t>(0x0C30 + i)), y)
+            << "sample " << i;
+        x3 = x2;
+        x2 = x1;
+        x1 = v;
+    }
+}
+
+TEST_P(WorkloadRun, THold)
+{
+    const uint16_t v = GetParam();
+    SocRunner r = run("tHold", v);
+    EXPECT_EQ(r.ram(0x0FC2), v >= 0x4000 ? 8 : 0);
+}
+
+TEST_P(WorkloadRun, Div)
+{
+    const uint16_t v = GetParam();
+    SocRunner r = run("div", v);
+    uint16_t divisor = v | 1;
+    EXPECT_EQ(r.ram(0x0C10), v / divisor);
+    EXPECT_EQ(r.ram(0x0C11), v % divisor);
+}
+
+TEST_P(WorkloadRun, InSort)
+{
+    const uint16_t v = GetParam();
+    SocRunner r = run("inSort", v);
+    // All samples equal: the array is trivially sorted.
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(r.ram(static_cast<uint16_t>(0x0C20 + i)), v);
+}
+
+TEST_P(WorkloadRun, Rle)
+{
+    const uint16_t v = GetParam();
+    if (v == 0)
+        GTEST_SKIP();
+    SocRunner r = run("rle", v);
+    // prev starts at 0, so the first sample begins a run of 1; all
+    // later equal samples extend it.
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(r.ram(static_cast<uint16_t>(0x0C20 + 2 * i)), v);
+        EXPECT_EQ(r.ram(static_cast<uint16_t>(0x0C21 + 2 * i)), i + 1);
+    }
+}
+
+TEST_P(WorkloadRun, IntAvg)
+{
+    const uint16_t v = GetParam();
+    SocRunner r = run("intAVG", v);
+    uint16_t acc = v < 0x7000 ? static_cast<uint16_t>(8 * v) : 0;
+    uint16_t avg = rra16(rra16(rra16(acc)));
+    EXPECT_EQ(r.ram(0x0C10), avg);
+}
+
+TEST_P(WorkloadRun, Autocorr)
+{
+    const uint16_t v = GetParam();
+    SocRunner r = run("autocorr", v);
+    uint16_t x = v & 0x00FF;
+    uint16_t expect =
+        static_cast<uint16_t>(6u * static_cast<uint32_t>(x) * x);
+    for (int lag = 0; lag < 3; ++lag)
+        EXPECT_EQ(r.ram(static_cast<uint16_t>(0x0C30 + lag)), expect);
+}
+
+TEST_P(WorkloadRun, Fft)
+{
+    const uint16_t v = GetParam();
+    SocRunner r = run("FFT", v);
+    // Butterfly transform of a constant vector: all energy lands in
+    // bin 0.
+    uint16_t x = v & 0x00FF;
+    EXPECT_EQ(r.ram(0x0C20), static_cast<uint16_t>(8 * x));
+    for (int i = 1; i < 8; ++i)
+        EXPECT_EQ(r.ram(static_cast<uint16_t>(0x0C20 + i)), 0);
+}
+
+TEST_P(WorkloadRun, ConvEn)
+{
+    const uint16_t v = GetParam();
+    SocRunner r = run("ConvEn", v);
+    uint16_t s0 = 0;
+    uint16_t s1 = 0;
+    uint16_t g0 = 0;
+    uint16_t g1 = 0;
+    uint16_t in = v;
+    for (int i = 0; i < 16; ++i) {
+        uint16_t b = in & 1;
+        g0 = static_cast<uint16_t>((g0 << 1) | (b ^ s0 ^ s1));
+        g1 = static_cast<uint16_t>((g1 << 1) | (b ^ s1));
+        s1 = s0;
+        s0 = b;
+        in = static_cast<uint16_t>(static_cast<int16_t>(in) >> 1);
+    }
+    EXPECT_EQ(r.ram(0x0C10), g0);
+    EXPECT_EQ(r.ram(0x0C11), g1);
+}
+
+TEST_P(WorkloadRun, Viterbi)
+{
+    const uint16_t v = GetParam();
+    SocRunner r = run("Viterbi", v);
+    uint16_t sym = v & 3;
+    uint16_t c0 = static_cast<uint16_t>((sym & 1) + ((sym >> 1) & 1));
+    uint16_t c1 = static_cast<uint16_t>(2 - c0);
+    int16_t m0 = 0;
+    int16_t m1 = 0;
+    for (int i = 0; i < 8; ++i) {
+        int16_t n0 = std::min<int16_t>(m0 + c0, m1 + c1);
+        int16_t n1 = std::min<int16_t>(m0 + c1, m1 + c0);
+        m0 = n0;
+        m1 = n1;
+    }
+    EXPECT_EQ(r.ram(0x0C10), static_cast<uint16_t>(m0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Inputs, WorkloadRun,
+                         ::testing::Values<uint16_t>(0x0005, 0x1234,
+                                                     0x8001));
+
+// ---- registry / harness ---------------------------------------------------
+
+TEST(WorkloadRegistry, ThirteenBenchmarks)
+{
+    EXPECT_EQ(allWorkloads().size(), 13u);
+    size_t violators = 0;
+    for (const Workload &w : allWorkloads()) {
+        EXPECT_EQ(w.expectC1, w.expectC2) << w.name;
+        violators += w.expectC1;
+    }
+    // Table 2: exactly six benchmarks violate conditions 1 and 2.
+    EXPECT_EQ(violators, 6u);
+    EXPECT_THROW(workloadByName("nonesuch"), FatalError);
+}
+
+TEST(WorkloadRegistry, HarnessShapes)
+{
+    const Workload &w = workloadByName("mult");
+    std::string plain = w.source(HarnessOptions{});
+    std::string wdt = w.source(HarnessOptions{true, 2});
+    // The unprotected harness restarts by jumping back to system code;
+    // the protected one idles until the POR and arms the watchdog.
+    EXPECT_NE(plain.find("jmp start"), std::string::npos);
+    EXPECT_EQ(plain.find("WDT_CMD"), std::string::npos);
+    EXPECT_NE(wdt.find("task_idle"), std::string::npos);
+    EXPECT_NE(wdt.find("WDT_CMD"), std::string::npos);
+}
+
+TEST(WorkloadRegistry, ImagesAssembleAndFit)
+{
+    for (const Workload &w : allWorkloads()) {
+        ProgramImage img = w.image(HarnessOptions{true, 1});
+        EXPECT_GT(img.usedWords, static_cast<size_t>(kTaskBase))
+            << w.name;
+        EXPECT_LT(img.usedWords, iot430::kProgWords) << w.name;
+        Policy p = w.policy();
+        EXPECT_TRUE(p.codeTainted(kTaskBase));
+        EXPECT_FALSE(p.codeTainted(0));
+    }
+}
+
+} // namespace
+} // namespace glifs

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Tests of the software transformations: mask insertion, watchdog
+ * protection, the always-on baseline, time-slice planning and the
+ * overhead measurement helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "assembler/assembler.hh"
+#include "base/logging.hh"
+#include "soc/runner.hh"
+#include "xform/always_on.hh"
+#include "xform/masking.hh"
+#include "xform/overhead.hh"
+#include "xform/slicing.hh"
+#include "xform/watchdog_xform.hh"
+
+namespace glifs
+{
+namespace
+{
+
+TEST(Masking, InsertsAndBisBeforeStore)
+{
+    AsmProgram prog = parseSource(
+        "        mov #0x0c00, r5\n"
+        "        add r4, r5\n"
+        "        mov #1, 0(r5)\n"
+        "        halt\n");
+    ProgramImage img = assemble(prog);
+    // Layout: mov #imm (2 words), add (1 word), store at word 3.
+    MaskingResult res = insertMasks(prog, img, {3});
+    EXPECT_EQ(res.masksInserted, 1u);
+    EXPECT_TRUE(res.unmaskable.empty());
+
+    ProgramImage img2 = assemble(res.program);
+    // Re-decode: and #mask, r5 / bis #mask, r5 precede the store.
+    auto a = decode(&img2.words[3], 2);
+    ASSERT_TRUE(a);
+    EXPECT_EQ(a->op, Op::And);
+    EXPECT_EQ(a->srcWord, iot430::kTaintedMaskAnd);
+    EXPECT_EQ(a->rd, 5u);
+    auto b = decode(&img2.words[5], 2);
+    ASSERT_TRUE(b);
+    EXPECT_EQ(b->op, Op::Bis);
+    EXPECT_EQ(b->srcWord, iot430::kTaintedMaskOr);
+}
+
+TEST(Masking, MaskedProgramStillRuns)
+{
+    Soc soc;
+    AsmProgram prog = parseSource(
+        "        mov #0x0c05, r5\n"
+        "        mov #42, 0(r5)\n"
+        "        halt\n");
+    ProgramImage img = assemble(prog);
+    MaskingResult res = insertMasks(prog, img, {2});
+    SocRunner r(soc);
+    r.load(assemble(res.program));
+    r.reset();
+    r.runToHalt(100);
+    // 0x0c05 is inside the tainted partition: the mask is the identity.
+    EXPECT_EQ(r.ram(0x0c05), 42);
+}
+
+TEST(Masking, AbsoluteStoreUnmaskable)
+{
+    AsmProgram prog = parseSource(
+        "        mov #1, &0x0900\n"
+        "        halt\n");
+    ProgramImage img = assemble(prog);
+    MaskingResult res = insertMasks(prog, img, {0});
+    EXPECT_EQ(res.masksInserted, 0u);
+    ASSERT_EQ(res.unmaskable.size(), 1u);
+    EXPECT_EQ(res.unmaskable[0], 0);
+}
+
+TEST(Masking, PushMasksStackPointer)
+{
+    AsmProgram prog = parseSource(
+        "        push r5\n"
+        "        halt\n");
+    ProgramImage img = assemble(prog);
+    MaskingResult res = insertMasks(prog, img, {0});
+    EXPECT_EQ(res.masksInserted, 1u);
+    ProgramImage img2 = assemble(res.program);
+    auto a = decode(&img2.words[0], 2);
+    ASSERT_TRUE(a);
+    EXPECT_EQ(a->op, Op::And);
+    EXPECT_EQ(a->rd, iot430::kSpReg);
+}
+
+TEST(Masking, FindStoreItems)
+{
+    AsmProgram prog = parseSource(
+        "        mov r4, r5\n"       // not a store
+        "        mov r4, @r6\n"      // store
+        "        mov r4, 2(r6)\n"    // store
+        "        mov r4, &0x0c00\n"  // store (absolute)
+        "        push r4\n"          // store
+        "        halt\n");
+    EXPECT_EQ(findStoreItems(prog).size(), 4u);
+}
+
+TEST(WatchdogXform, RewritesHarnessHook)
+{
+    AsmProgram prog = parseSource(
+        "        .equ WDT_CMD, 0x0080\n"
+        "start:  mov #WDT_CMD, &0x0010\n"
+        "        halt\n");
+    WatchdogXformResult res = applyWatchdogProtection(prog, 2);
+    EXPECT_TRUE(res.applied);
+    ProgramImage img = assemble(res.program);
+    EXPECT_EQ(img.symbol("WDT_CMD"), wdtArmCommand(2));
+}
+
+TEST(WatchdogXform, InsertsArmingStoreWithoutHook)
+{
+    AsmProgram prog = parseSource(
+        "start:  nop\n"
+        "        halt\n");
+    WatchdogXformResult res = applyWatchdogProtection(prog, 0);
+    EXPECT_TRUE(res.applied);
+    ProgramImage img = assemble(res.program);
+    auto first = decode(&img.words[0], 3);
+    ASSERT_TRUE(first);
+    EXPECT_EQ(first->op, Op::Mov);
+    EXPECT_EQ(first->dstWord, iot430::kWdtCtl);
+}
+
+TEST(WatchdogXform, Commands)
+{
+    EXPECT_EQ(wdtArmCommand(3), 3);
+    EXPECT_EQ(wdtHoldCommand() & iot430::kWdtHold, iot430::kWdtHold);
+    EXPECT_THROW(wdtArmCommand(4), PanicError);
+}
+
+TEST(AlwaysOn, MasksEveryTaskStore)
+{
+    AsmProgram prog = parseSource(
+        "start:  mov r4, @r5\n"      // system store: untouched
+        "        jmp task\n"
+        "task:   mov r4, @r6\n"
+        "        mov r4, 2(r7)\n"
+        "        push r4\n"
+        "        mov r4, &0x0c00\n"  // absolute: cannot be masked
+        "        halt\n");
+    AlwaysOnResult res = transformAlwaysOn(prog);
+    EXPECT_EQ(res.masksInserted, 3u);
+    EXPECT_EQ(res.absoluteStoresRewritten, 1u);
+    // 3 mask pairs = 6 extra items.
+    EXPECT_EQ(res.program.items.size(), prog.items.size() + 6);
+}
+
+// ---- time-slice planning (Section 7.2) ---------------------------------
+
+TEST(Slicing, SingleSliceWhenItFits)
+{
+    WatchdogPlan p = planWatchdogForInterval(400, 1);  // 512 interval
+    EXPECT_EQ(p.slices, 1u);
+    EXPECT_EQ(p.totalCycles, 512u);
+}
+
+TEST(Slicing, MultipleSlicesWhenNeeded)
+{
+    WatchdogPlan p = planWatchdogForInterval(100, 0);  // 64 interval
+    // 64 - 30 = 34 useful cycles per slice -> 3 slices.
+    EXPECT_EQ(p.slices, 3u);
+    EXPECT_EQ(p.totalCycles, 192u);
+}
+
+TEST(Slicing, PlannerPicksMinimumTotal)
+{
+    // For a 100-cycle task, 3x64=192 beats 1x512.
+    WatchdogPlan p = planWatchdog(100);
+    EXPECT_EQ(p.intervalSel, 0u);
+    EXPECT_EQ(p.totalCycles, 192u);
+
+    // For a 30000-cycle task a single 32768 slice wins over many
+    // 8192 slices (4x8192 = 32768 ties; planner takes the earlier one).
+    // 63 slices of 512 (63 * 482 useful >= 30000) total 32256, beating
+    // one 32768 slice.
+    WatchdogPlan q = planWatchdog(30000);
+    EXPECT_EQ(q.intervalSel, 1u);
+    EXPECT_EQ(q.totalCycles, 32256u);
+}
+
+TEST(Slicing, OverheadMath)
+{
+    WatchdogPlan p = planWatchdogForInterval(482, 1);
+    EXPECT_EQ(p.slices, 1u);
+    EXPECT_NEAR(p.overhead(), (512.0 - 482.0) / 482.0, 1e-9);
+    EXPECT_NE(p.str().find("slice"), std::string::npos);
+}
+
+TEST(Slicing, SweepIsMonotoneInTaskLength)
+{
+    // Property: total time never decreases as the task grows.
+    uint64_t prev = 0;
+    for (uint64_t t = 10; t < 5000; t += 37) {
+        WatchdogPlan p = planWatchdog(t);
+        EXPECT_GE(p.totalCycles, prev) << "task " << t;
+        EXPECT_GE(p.totalCycles, t);
+        prev = p.totalCycles;
+    }
+}
+
+// ---- measurement ----------------------------------------------------------
+
+TEST(Overhead, MeasureRunStopsAtDoneMagic)
+{
+    Soc soc;
+    ProgramImage img = assembleSource(
+        "        mov #10, r4\n"
+        "l:      dec r4\n"
+        "        jnz l\n"
+        "        mov #0xd07e, &0x0003\n"
+        "spin:   jmp spin\n");
+    MeasureConfig cfg;
+    cfg.maxCycles = 1000;
+    MeasuredRun run = measureRun(soc, img, cfg);
+    EXPECT_TRUE(run.completed);
+    EXPECT_GT(run.cycles, 30u);
+    EXPECT_LT(run.cycles, 200u);
+    EXPECT_GT(run.energy.totalFj(), 0.0);
+}
+
+TEST(Overhead, IncompleteRunReported)
+{
+    Soc soc;
+    ProgramImage img = assembleSource("spin: jmp spin\n");
+    MeasureConfig cfg;
+    cfg.maxCycles = 200;
+    MeasuredRun run = measureRun(soc, img, cfg);
+    EXPECT_FALSE(run.completed);
+}
+
+TEST(Overhead, ComparisonMath)
+{
+    OverheadComparison cmp;
+    cmp.base.cycles = 1000;
+    cmp.modified.cycles = 1150;
+    cmp.base.energy.switchingFj = 100.0;
+    cmp.modified.energy.switchingFj = 120.0;
+    EXPECT_NEAR(cmp.perfOverhead(), 0.15, 1e-9);
+    EXPECT_NEAR(cmp.energyOverhead(), 0.20, 1e-9);
+    EXPECT_NE(cmp.str().find("15.0"), std::string::npos);
+}
+
+TEST(Overhead, StimulusIsDeterministic)
+{
+    auto s1 = measurementStimulus(7);
+    auto s2 = measurementStimulus(7);
+    auto s3 = measurementStimulus(8);
+    EXPECT_EQ(s1(1, 100), s2(1, 100));
+    bool any_diff = false;
+    for (uint64_t c = 0; c < 32; ++c)
+        any_diff |= s1(1, c) != s3(1, c);
+    EXPECT_TRUE(any_diff);
+}
+
+} // namespace
+} // namespace glifs

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * glifs-audit: command-line front end to the toolflow (Figure 10).
+ *
+ * Usage:
+ *   glifs_audit <firmware.s> [options]
+ *
+ * Options:
+ *   --policy FILE      load labels from a policy file (see
+ *                      src/ift/policy_file.hh for the format);
+ *                      overrides --task-base/--task-end
+ *   --task-base ADDR   first word address of the tainted task
+ *                      partition (default 0x80; system code below it)
+ *   --task-end ADDR    last word address of the partition (default
+ *                      0xfff)
+ *   --fix              apply watchdog + masking fixes and re-verify;
+ *                      writes <firmware>.secured.s next to the input
+ *   --interval SEL     watchdog interval selector 0..3 (default 1)
+ *   --star             also run the *-logic baseline for comparison
+ *   --taint-code       mark the task's instructions tainted in program
+ *                      memory (paper footnote 3)
+ *
+ * Exit code: 0 if (after fixing, when --fix) the system verifies
+ * secure, 1 otherwise, 2 on usage errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "assembler/assembler.hh"
+#include "base/logging.hh"
+#include "base/strutil.hh"
+#include "ift/policy_file.hh"
+#include "ift/rootcause.hh"
+#include "starlogic/starlogic.hh"
+#include "xform/masking.hh"
+#include "xform/watchdog_xform.hh"
+
+using namespace glifs;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: glifs_audit <firmware.s> [--policy FILE] "
+                 "[--task-base A] [--task-end A]\n"
+                 "                   [--fix] [--interval 0..3] [--star] "
+                 "[--taint-code]\n");
+    std::exit(2);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        GLIFS_FATAL("cannot open ", path);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    std::string policy_path;
+    uint16_t task_base = 0x80;
+    uint16_t task_end = 0xFFF;
+    bool fix = false;
+    bool star = false;
+    bool taint_code = false;
+    unsigned interval = 1;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (arg == "--policy")
+            policy_path = next();
+        else if (arg == "--task-base")
+            task_base = static_cast<uint16_t>(
+                parseInt(next()).value_or(0x80));
+        else if (arg == "--task-end")
+            task_end = static_cast<uint16_t>(
+                parseInt(next()).value_or(0xFFF));
+        else if (arg == "--fix")
+            fix = true;
+        else if (arg == "--star")
+            star = true;
+        else if (arg == "--taint-code")
+            taint_code = true;
+        else if (arg == "--interval")
+            interval = static_cast<unsigned>(
+                parseInt(next()).value_or(1)) & 3;
+        else if (!arg.empty() && arg[0] == '-')
+            usage();
+        else if (path.empty())
+            path = arg;
+        else
+            usage();
+    }
+    if (path.empty())
+        usage();
+
+    try {
+        Soc soc;
+        Policy policy = policy_path.empty()
+                            ? benchmarkPolicy(task_base, task_end)
+                            : loadPolicyFile(policy_path);
+        policy.taintCodeInProgMem =
+            policy.taintCodeInProgMem || taint_code;
+        std::printf("%s\n", policy.str().c_str());
+
+        AsmProgram prog = parseSource(readFile(path));
+        ProgramImage img = assemble(prog);
+        std::printf("assembled %s: %zu words\n\n", path.c_str(),
+                    img.usedWords);
+
+        IftEngine engine(soc, policy, EngineConfig{});
+        EngineResult result = engine.run(img);
+        std::printf("analysis: %s\n\n", result.summary().c_str());
+        RootCauseReport rc = analyzeRootCauses(result, policy, &img);
+        std::printf("%s\n", rc.str(&img).c_str());
+
+        if (star) {
+            StarLogicResult sl = runStarLogic(soc, policy, img);
+            std::printf("%s\n\n", sl.str().c_str());
+        }
+
+        if (!fix || !rc.needsModification()) {
+            std::printf("verdict: %s\n",
+                        result.secure() ? "SECURE" : "INSECURE");
+            return result.secure() ? 0 : 1;
+        }
+
+        // Apply fixes: watchdog first (re-analyze before masking, as
+        // Figure 11 requires), then iterate masks.
+        AsmProgram cur = prog;
+        if (!rc.tasksNeedingWatchdog.empty()) {
+            WatchdogXformResult wd =
+                applyWatchdogProtection(cur, interval);
+            for (const std::string &n : wd.notes)
+                std::printf("%s\n", n.c_str());
+            cur = wd.program;
+        }
+        ProgramImage cur_img = assemble(cur);
+        for (int round = 0; round < 4; ++round) {
+            EngineResult r =
+                IftEngine(soc, policy, EngineConfig{}).run(cur_img);
+            RootCauseReport rcr = analyzeRootCauses(r, policy, &cur_img);
+            if (rcr.storesToMask.empty()) {
+                result = r;
+                break;
+            }
+            MaskingResult mr =
+                insertMasks(cur, cur_img, rcr.storesToMask);
+            for (const std::string &n : mr.notes)
+                std::printf("%s\n", n.c_str());
+            if (!mr.unmaskable.empty()) {
+                std::printf("unfixable stores remain\n");
+                return 1;
+            }
+            cur = mr.program;
+            cur_img = assemble(cur);
+            result = IftEngine(soc, policy, EngineConfig{}).run(cur_img);
+        }
+
+        std::string out_path = path + ".secured.s";
+        std::ofstream out(out_path);
+        out << render(cur);
+        std::printf("\nwrote %s\n", out_path.c_str());
+        std::printf("re-verification: %s\n", result.summary().c_str());
+        std::printf("verdict: %s\n",
+                    result.secure() ? "SECURE after software fixes"
+                                    : "STILL INSECURE");
+        return result.secure() ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+    }
+}
