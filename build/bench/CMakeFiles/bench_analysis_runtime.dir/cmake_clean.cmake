@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_analysis_runtime.dir/bench_analysis_runtime.cc.o"
+  "CMakeFiles/bench_analysis_runtime.dir/bench_analysis_runtime.cc.o.d"
+  "bench_analysis_runtime"
+  "bench_analysis_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_analysis_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_footnote8_starlogic.dir/bench_footnote8_starlogic.cc.o"
+  "CMakeFiles/bench_footnote8_starlogic.dir/bench_footnote8_starlogic.cc.o.d"
+  "bench_footnote8_starlogic"
+  "bench_footnote8_starlogic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_footnote8_starlogic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec53_verification.dir/bench_sec53_verification.cc.o"
+  "CMakeFiles/bench_sec53_verification.dir/bench_sec53_verification.cc.o.d"
+  "bench_sec53_verification"
+  "bench_sec53_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec53_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

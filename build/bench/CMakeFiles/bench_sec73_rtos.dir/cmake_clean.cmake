@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec73_rtos.dir/bench_sec73_rtos.cc.o"
+  "CMakeFiles/bench_sec73_rtos.dir/bench_sec73_rtos.cc.o.d"
+  "bench_sec73_rtos"
+  "bench_sec73_rtos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec73_rtos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

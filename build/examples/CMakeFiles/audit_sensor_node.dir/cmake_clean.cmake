@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_sensor_node.dir/audit_sensor_node.cpp.o"
+  "CMakeFiles/audit_sensor_node.dir/audit_sensor_node.cpp.o.d"
+  "audit_sensor_node"
+  "audit_sensor_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_sensor_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

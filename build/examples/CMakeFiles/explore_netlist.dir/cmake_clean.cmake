@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_netlist.dir/explore_netlist.cpp.o"
+  "CMakeFiles/explore_netlist.dir/explore_netlist.cpp.o.d"
+  "explore_netlist"
+  "explore_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

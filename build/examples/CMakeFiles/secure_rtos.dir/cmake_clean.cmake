@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_rtos.dir/secure_rtos.cpp.o"
+  "CMakeFiles/secure_rtos.dir/secure_rtos.cpp.o.d"
+  "secure_rtos"
+  "secure_rtos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_rtos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,76 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assembler/assembler.cc" "src/CMakeFiles/glifs.dir/assembler/assembler.cc.o" "gcc" "src/CMakeFiles/glifs.dir/assembler/assembler.cc.o.d"
+  "/root/repo/src/assembler/lexer.cc" "src/CMakeFiles/glifs.dir/assembler/lexer.cc.o" "gcc" "src/CMakeFiles/glifs.dir/assembler/lexer.cc.o.d"
+  "/root/repo/src/assembler/parser.cc" "src/CMakeFiles/glifs.dir/assembler/parser.cc.o" "gcc" "src/CMakeFiles/glifs.dir/assembler/parser.cc.o.d"
+  "/root/repo/src/assembler/program_image.cc" "src/CMakeFiles/glifs.dir/assembler/program_image.cc.o" "gcc" "src/CMakeFiles/glifs.dir/assembler/program_image.cc.o.d"
+  "/root/repo/src/base/bitutil.cc" "src/CMakeFiles/glifs.dir/base/bitutil.cc.o" "gcc" "src/CMakeFiles/glifs.dir/base/bitutil.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/glifs.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/glifs.dir/base/logging.cc.o.d"
+  "/root/repo/src/base/strutil.cc" "src/CMakeFiles/glifs.dir/base/strutil.cc.o" "gcc" "src/CMakeFiles/glifs.dir/base/strutil.cc.o.d"
+  "/root/repo/src/ift/checker.cc" "src/CMakeFiles/glifs.dir/ift/checker.cc.o" "gcc" "src/CMakeFiles/glifs.dir/ift/checker.cc.o.d"
+  "/root/repo/src/ift/engine.cc" "src/CMakeFiles/glifs.dir/ift/engine.cc.o" "gcc" "src/CMakeFiles/glifs.dir/ift/engine.cc.o.d"
+  "/root/repo/src/ift/exec_tree.cc" "src/CMakeFiles/glifs.dir/ift/exec_tree.cc.o" "gcc" "src/CMakeFiles/glifs.dir/ift/exec_tree.cc.o.d"
+  "/root/repo/src/ift/policy.cc" "src/CMakeFiles/glifs.dir/ift/policy.cc.o" "gcc" "src/CMakeFiles/glifs.dir/ift/policy.cc.o.d"
+  "/root/repo/src/ift/policy_file.cc" "src/CMakeFiles/glifs.dir/ift/policy_file.cc.o" "gcc" "src/CMakeFiles/glifs.dir/ift/policy_file.cc.o.d"
+  "/root/repo/src/ift/rootcause.cc" "src/CMakeFiles/glifs.dir/ift/rootcause.cc.o" "gcc" "src/CMakeFiles/glifs.dir/ift/rootcause.cc.o.d"
+  "/root/repo/src/ift/state_table.cc" "src/CMakeFiles/glifs.dir/ift/state_table.cc.o" "gcc" "src/CMakeFiles/glifs.dir/ift/state_table.cc.o.d"
+  "/root/repo/src/ift/symstate.cc" "src/CMakeFiles/glifs.dir/ift/symstate.cc.o" "gcc" "src/CMakeFiles/glifs.dir/ift/symstate.cc.o.d"
+  "/root/repo/src/isa/disasm.cc" "src/CMakeFiles/glifs.dir/isa/disasm.cc.o" "gcc" "src/CMakeFiles/glifs.dir/isa/disasm.cc.o.d"
+  "/root/repo/src/isa/isa.cc" "src/CMakeFiles/glifs.dir/isa/isa.cc.o" "gcc" "src/CMakeFiles/glifs.dir/isa/isa.cc.o.d"
+  "/root/repo/src/isa/iss.cc" "src/CMakeFiles/glifs.dir/isa/iss.cc.o" "gcc" "src/CMakeFiles/glifs.dir/isa/iss.cc.o.d"
+  "/root/repo/src/logic/glift.cc" "src/CMakeFiles/glifs.dir/logic/glift.cc.o" "gcc" "src/CMakeFiles/glifs.dir/logic/glift.cc.o.d"
+  "/root/repo/src/logic/ternary.cc" "src/CMakeFiles/glifs.dir/logic/ternary.cc.o" "gcc" "src/CMakeFiles/glifs.dir/logic/ternary.cc.o.d"
+  "/root/repo/src/netlist/builder.cc" "src/CMakeFiles/glifs.dir/netlist/builder.cc.o" "gcc" "src/CMakeFiles/glifs.dir/netlist/builder.cc.o.d"
+  "/root/repo/src/netlist/dot_export.cc" "src/CMakeFiles/glifs.dir/netlist/dot_export.cc.o" "gcc" "src/CMakeFiles/glifs.dir/netlist/dot_export.cc.o.d"
+  "/root/repo/src/netlist/levelize.cc" "src/CMakeFiles/glifs.dir/netlist/levelize.cc.o" "gcc" "src/CMakeFiles/glifs.dir/netlist/levelize.cc.o.d"
+  "/root/repo/src/netlist/memory_array.cc" "src/CMakeFiles/glifs.dir/netlist/memory_array.cc.o" "gcc" "src/CMakeFiles/glifs.dir/netlist/memory_array.cc.o.d"
+  "/root/repo/src/netlist/netlist.cc" "src/CMakeFiles/glifs.dir/netlist/netlist.cc.o" "gcc" "src/CMakeFiles/glifs.dir/netlist/netlist.cc.o.d"
+  "/root/repo/src/netlist/stats.cc" "src/CMakeFiles/glifs.dir/netlist/stats.cc.o" "gcc" "src/CMakeFiles/glifs.dir/netlist/stats.cc.o.d"
+  "/root/repo/src/netlist/validate.cc" "src/CMakeFiles/glifs.dir/netlist/validate.cc.o" "gcc" "src/CMakeFiles/glifs.dir/netlist/validate.cc.o.d"
+  "/root/repo/src/power/energy_model.cc" "src/CMakeFiles/glifs.dir/power/energy_model.cc.o" "gcc" "src/CMakeFiles/glifs.dir/power/energy_model.cc.o.d"
+  "/root/repo/src/rtl/arith.cc" "src/CMakeFiles/glifs.dir/rtl/arith.cc.o" "gcc" "src/CMakeFiles/glifs.dir/rtl/arith.cc.o.d"
+  "/root/repo/src/rtl/bus.cc" "src/CMakeFiles/glifs.dir/rtl/bus.cc.o" "gcc" "src/CMakeFiles/glifs.dir/rtl/bus.cc.o.d"
+  "/root/repo/src/rtl/components.cc" "src/CMakeFiles/glifs.dir/rtl/components.cc.o" "gcc" "src/CMakeFiles/glifs.dir/rtl/components.cc.o.d"
+  "/root/repo/src/rtl/lut.cc" "src/CMakeFiles/glifs.dir/rtl/lut.cc.o" "gcc" "src/CMakeFiles/glifs.dir/rtl/lut.cc.o.d"
+  "/root/repo/src/rtl/regfile.cc" "src/CMakeFiles/glifs.dir/rtl/regfile.cc.o" "gcc" "src/CMakeFiles/glifs.dir/rtl/regfile.cc.o.d"
+  "/root/repo/src/sim/signal_state.cc" "src/CMakeFiles/glifs.dir/sim/signal_state.cc.o" "gcc" "src/CMakeFiles/glifs.dir/sim/signal_state.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/glifs.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/glifs.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/toggle_stats.cc" "src/CMakeFiles/glifs.dir/sim/toggle_stats.cc.o" "gcc" "src/CMakeFiles/glifs.dir/sim/toggle_stats.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/glifs.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/glifs.dir/sim/trace.cc.o.d"
+  "/root/repo/src/sim/vcd.cc" "src/CMakeFiles/glifs.dir/sim/vcd.cc.o" "gcc" "src/CMakeFiles/glifs.dir/sim/vcd.cc.o.d"
+  "/root/repo/src/soc/address_map.cc" "src/CMakeFiles/glifs.dir/soc/address_map.cc.o" "gcc" "src/CMakeFiles/glifs.dir/soc/address_map.cc.o.d"
+  "/root/repo/src/soc/alu.cc" "src/CMakeFiles/glifs.dir/soc/alu.cc.o" "gcc" "src/CMakeFiles/glifs.dir/soc/alu.cc.o.d"
+  "/root/repo/src/soc/control.cc" "src/CMakeFiles/glifs.dir/soc/control.cc.o" "gcc" "src/CMakeFiles/glifs.dir/soc/control.cc.o.d"
+  "/root/repo/src/soc/datapath.cc" "src/CMakeFiles/glifs.dir/soc/datapath.cc.o" "gcc" "src/CMakeFiles/glifs.dir/soc/datapath.cc.o.d"
+  "/root/repo/src/soc/gpio.cc" "src/CMakeFiles/glifs.dir/soc/gpio.cc.o" "gcc" "src/CMakeFiles/glifs.dir/soc/gpio.cc.o.d"
+  "/root/repo/src/soc/runner.cc" "src/CMakeFiles/glifs.dir/soc/runner.cc.o" "gcc" "src/CMakeFiles/glifs.dir/soc/runner.cc.o.d"
+  "/root/repo/src/soc/soc.cc" "src/CMakeFiles/glifs.dir/soc/soc.cc.o" "gcc" "src/CMakeFiles/glifs.dir/soc/soc.cc.o.d"
+  "/root/repo/src/soc/watchdog.cc" "src/CMakeFiles/glifs.dir/soc/watchdog.cc.o" "gcc" "src/CMakeFiles/glifs.dir/soc/watchdog.cc.o.d"
+  "/root/repo/src/starlogic/starlogic.cc" "src/CMakeFiles/glifs.dir/starlogic/starlogic.cc.o" "gcc" "src/CMakeFiles/glifs.dir/starlogic/starlogic.cc.o.d"
+  "/root/repo/src/workloads/benchmarks.cc" "src/CMakeFiles/glifs.dir/workloads/benchmarks.cc.o" "gcc" "src/CMakeFiles/glifs.dir/workloads/benchmarks.cc.o.d"
+  "/root/repo/src/workloads/micro.cc" "src/CMakeFiles/glifs.dir/workloads/micro.cc.o" "gcc" "src/CMakeFiles/glifs.dir/workloads/micro.cc.o.d"
+  "/root/repo/src/workloads/motivation.cc" "src/CMakeFiles/glifs.dir/workloads/motivation.cc.o" "gcc" "src/CMakeFiles/glifs.dir/workloads/motivation.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/CMakeFiles/glifs.dir/workloads/registry.cc.o" "gcc" "src/CMakeFiles/glifs.dir/workloads/registry.cc.o.d"
+  "/root/repo/src/workloads/rtos.cc" "src/CMakeFiles/glifs.dir/workloads/rtos.cc.o" "gcc" "src/CMakeFiles/glifs.dir/workloads/rtos.cc.o.d"
+  "/root/repo/src/workloads/toolflow.cc" "src/CMakeFiles/glifs.dir/workloads/toolflow.cc.o" "gcc" "src/CMakeFiles/glifs.dir/workloads/toolflow.cc.o.d"
+  "/root/repo/src/xform/always_on.cc" "src/CMakeFiles/glifs.dir/xform/always_on.cc.o" "gcc" "src/CMakeFiles/glifs.dir/xform/always_on.cc.o.d"
+  "/root/repo/src/xform/masking.cc" "src/CMakeFiles/glifs.dir/xform/masking.cc.o" "gcc" "src/CMakeFiles/glifs.dir/xform/masking.cc.o.d"
+  "/root/repo/src/xform/overhead.cc" "src/CMakeFiles/glifs.dir/xform/overhead.cc.o" "gcc" "src/CMakeFiles/glifs.dir/xform/overhead.cc.o.d"
+  "/root/repo/src/xform/slicing.cc" "src/CMakeFiles/glifs.dir/xform/slicing.cc.o" "gcc" "src/CMakeFiles/glifs.dir/xform/slicing.cc.o.d"
+  "/root/repo/src/xform/watchdog_xform.cc" "src/CMakeFiles/glifs.dir/xform/watchdog_xform.cc.o" "gcc" "src/CMakeFiles/glifs.dir/xform/watchdog_xform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_confidentiality.dir/test_confidentiality.cc.o"
+  "CMakeFiles/test_confidentiality.dir/test_confidentiality.cc.o.d"
+  "test_confidentiality"
+  "test_confidentiality.pdb"
+  "test_confidentiality[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_confidentiality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ift_engine.dir/test_ift_engine.cc.o"
+  "CMakeFiles/test_ift_engine.dir/test_ift_engine.cc.o.d"
+  "test_ift_engine"
+  "test_ift_engine.pdb"
+  "test_ift_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ift_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

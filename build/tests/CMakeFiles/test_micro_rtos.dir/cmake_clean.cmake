@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_micro_rtos.dir/test_micro_rtos.cc.o"
+  "CMakeFiles/test_micro_rtos.dir/test_micro_rtos.cc.o.d"
+  "test_micro_rtos"
+  "test_micro_rtos.pdb"
+  "test_micro_rtos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_micro_rtos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netlist_property.dir/test_netlist_property.cc.o"
+  "CMakeFiles/test_netlist_property.dir/test_netlist_property.cc.o.d"
+  "test_netlist_property"
+  "test_netlist_property.pdb"
+  "test_netlist_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netlist_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

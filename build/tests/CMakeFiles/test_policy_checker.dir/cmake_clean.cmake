@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_policy_checker.dir/test_policy_checker.cc.o"
+  "CMakeFiles/test_policy_checker.dir/test_policy_checker.cc.o.d"
+  "test_policy_checker"
+  "test_policy_checker.pdb"
+  "test_policy_checker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_policy_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symstate.dir/test_symstate.cc.o"
+  "CMakeFiles/test_symstate.dir/test_symstate.cc.o.d"
+  "test_symstate"
+  "test_symstate.pdb"
+  "test_symstate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vcd_policyfile.dir/test_vcd_policyfile.cc.o"
+  "CMakeFiles/test_vcd_policyfile.dir/test_vcd_policyfile.cc.o.d"
+  "test_vcd_policyfile"
+  "test_vcd_policyfile.pdb"
+  "test_vcd_policyfile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vcd_policyfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

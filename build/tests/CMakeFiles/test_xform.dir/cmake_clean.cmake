@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xform.dir/test_xform.cc.o"
+  "CMakeFiles/test_xform.dir/test_xform.cc.o.d"
+  "test_xform"
+  "test_xform.pdb"
+  "test_xform[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

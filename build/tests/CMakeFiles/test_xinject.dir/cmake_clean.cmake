@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xinject.dir/test_xinject.cc.o"
+  "CMakeFiles/test_xinject.dir/test_xinject.cc.o.d"
+  "test_xinject"
+  "test_xinject.pdb"
+  "test_xinject[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xinject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

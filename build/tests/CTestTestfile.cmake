@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_base[1]_include.cmake")
+include("/root/repo/build/tests/test_logic[1]_include.cmake")
+include("/root/repo/build/tests/test_glift_property[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist[1]_include.cmake")
+include("/root/repo/build/tests/test_rtl[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_assembler[1]_include.cmake")
+include("/root/repo/build/tests/test_soc[1]_include.cmake")
+include("/root/repo/build/tests/test_ift_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_symstate[1]_include.cmake")
+include("/root/repo/build/tests/test_policy_checker[1]_include.cmake")
+include("/root/repo/build/tests/test_xform[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_toolflow[1]_include.cmake")
+include("/root/repo/build/tests/test_micro_rtos[1]_include.cmake")
+include("/root/repo/build/tests/test_cosim[1]_include.cmake")
+include("/root/repo/build/tests/test_netlist_property[1]_include.cmake")
+include("/root/repo/build/tests/test_noninterference[1]_include.cmake")
+include("/root/repo/build/tests/test_ablation[1]_include.cmake")
+include("/root/repo/build/tests/test_confidentiality[1]_include.cmake")
+include("/root/repo/build/tests/test_vcd_policyfile[1]_include.cmake")
+include("/root/repo/build/tests/test_xinject[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_injection[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glifs_audit.dir/glifs_audit.cc.o"
+  "CMakeFiles/glifs_audit.dir/glifs_audit.cc.o.d"
+  "glifs_audit"
+  "glifs_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glifs_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
