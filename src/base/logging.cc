@@ -40,6 +40,12 @@ fatalImpl(const std::string &msg)
 }
 
 void
+recoverableImpl(const std::string &msg)
+{
+    throw RecoverableError(msg);
+}
+
+void
 warnImpl(const std::string &msg)
 {
     if (g_verbose)

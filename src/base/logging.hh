@@ -2,10 +2,13 @@
  * @file
  * Status/error reporting helpers in the spirit of gem5's logging.hh.
  *
- * panic()  -- internal invariant broken (a glifs bug); aborts.
- * fatal()  -- unrecoverable user error (bad input, bad config); exits.
- * warn()   -- something suspicious but survivable.
- * inform() -- plain status output.
+ * panic()       -- internal invariant broken (a glifs bug); aborts.
+ * fatal()       -- unrecoverable user error (bad input, bad config); exits.
+ * recoverable() -- a resource/degraded-mode condition the caller is
+ *                  expected to catch and handle (retry, degrade,
+ *                  resume); part of the structured failure taxonomy.
+ * warn()        -- something suspicious but survivable.
+ * inform()      -- plain status output.
  */
 
 #ifndef GLIFS_BASE_LOGGING_HH
@@ -37,6 +40,21 @@ class PanicError : public std::logic_error
     {}
 };
 
+/**
+ * A condition the caller can recover from without losing the analysis:
+ * budget exhaustion, an unusable checkpoint, a degraded-mode handoff.
+ * Unlike FatalError (give up on the input) and PanicError (give up on
+ * the program), catching this and retrying with a different
+ * configuration is the expected behaviour.
+ */
+class RecoverableError : public std::runtime_error
+{
+  public:
+    explicit RecoverableError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
 namespace detail
 {
 
@@ -53,6 +71,7 @@ concat(Args &&...args)
 [[noreturn]] void panicImpl(const char *file, int line,
                             const std::string &msg);
 [[noreturn]] void fatalImpl(const std::string &msg);
+[[noreturn]] void recoverableImpl(const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
 
@@ -68,6 +87,9 @@ bool verbose();
 
 #define GLIFS_FATAL(...)                                                     \
     ::glifs::detail::fatalImpl(::glifs::detail::concat(__VA_ARGS__))
+
+#define GLIFS_RECOVERABLE(...)                                               \
+    ::glifs::detail::recoverableImpl(::glifs::detail::concat(__VA_ARGS__))
 
 #define GLIFS_WARN(...)                                                      \
     ::glifs::detail::warnImpl(::glifs::detail::concat(__VA_ARGS__))

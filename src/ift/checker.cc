@@ -82,6 +82,13 @@ ViolationLog::record(ViolationKind kind, uint16_t instr_addr,
     }
 }
 
+void
+ViolationLog::restore(const Violation &v)
+{
+    entries.insert_or_assign(
+        std::make_pair(static_cast<uint8_t>(v.kind), v.instrAddr), v);
+}
+
 std::vector<Violation>
 ViolationLog::list() const
 {

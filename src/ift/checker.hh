@@ -71,6 +71,9 @@ class ViolationLog
     void record(ViolationKind kind, uint16_t instr_addr, uint64_t cycle,
                 const std::string &detail, bool maskable = false);
 
+    /** Checkpoint restore: re-insert an aggregated entry verbatim. */
+    void restore(const Violation &v);
+
     std::vector<Violation> list() const;
     bool empty() const { return entries.empty(); }
     size_t distinct() const { return entries.size(); }

@@ -1,0 +1,332 @@
+#include "ift/checkpoint.hh"
+
+#include <fstream>
+
+#include "base/logging.hh"
+
+namespace glifs
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'G', 'L', 'F', 'S', 'C', 'K', 'P', 'T'};
+
+/** Little-endian primitive writer over an output stream. */
+class Writer
+{
+  public:
+    explicit Writer(std::ostream &o) : out(o) {}
+
+    void
+    u8(uint8_t v)
+    {
+        out.put(static_cast<char>(v));
+    }
+
+    void
+    u16(uint16_t v)
+    {
+        u8(v & 0xFF);
+        u8(v >> 8);
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        u16(v & 0xFFFF);
+        u16(v >> 16);
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        u32(static_cast<uint32_t>(v));
+        u32(static_cast<uint32_t>(v >> 32));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<uint32_t>(s.size()));
+        out.write(s.data(), static_cast<std::streamsize>(s.size()));
+    }
+
+    void
+    plane(const BitPlane &p)
+    {
+        u64(p.size());
+        for (uint64_t w : p.words())
+            u64(w);
+    }
+
+    void
+    symstate(const SymState &s)
+    {
+        plane(s.knownPlane());
+        plane(s.valuePlane());
+        plane(s.taintPlane());
+    }
+
+  private:
+    std::ostream &out;
+};
+
+/** Little-endian primitive reader; RecoverableError on short reads. */
+class Reader
+{
+  public:
+    explicit Reader(std::istream &i) : in(i) {}
+
+    uint8_t
+    u8()
+    {
+        int c = in.get();
+        if (c == std::char_traits<char>::eof())
+            GLIFS_RECOVERABLE("checkpoint: truncated file");
+        return static_cast<uint8_t>(c);
+    }
+
+    uint16_t u16() { return u8() | (uint16_t{u8()} << 8); }
+    uint32_t u32() { return u16() | (uint32_t{u16()} << 16); }
+    uint64_t u64() { return u32() | (uint64_t{u32()} << 32); }
+
+    std::string
+    str()
+    {
+        uint32_t n = u32();
+        if (n > kMaxSection)
+            GLIFS_RECOVERABLE("checkpoint: implausible string length ",
+                              n);
+        std::string s(n, '\0');
+        in.read(s.data(), n);
+        if (static_cast<uint32_t>(in.gcount()) != n)
+            GLIFS_RECOVERABLE("checkpoint: truncated file");
+        return s;
+    }
+
+    BitPlane
+    plane()
+    {
+        uint64_t nbits = u64();
+        if (nbits > kMaxBits)
+            GLIFS_RECOVERABLE("checkpoint: implausible plane size ",
+                              nbits);
+        BitPlane p(static_cast<size_t>(nbits));
+        for (uint64_t &w : p.words())
+            w = u64();
+        return p;
+    }
+
+    SymState
+    symstate()
+    {
+        BitPlane k = plane();
+        BitPlane v = plane();
+        BitPlane t = plane();
+        if (k.size() != v.size() || v.size() != t.size())
+            GLIFS_RECOVERABLE("checkpoint: state plane size mismatch");
+        SymState s;
+        s.setPlanes(std::move(k), std::move(v), std::move(t));
+        return s;
+    }
+
+    static constexpr uint32_t kMaxSection = 1u << 26;
+    static constexpr uint64_t kMaxBits = 1ull << 36;
+
+  private:
+    std::istream &in;
+};
+
+} // namespace
+
+uint64_t
+checkpointFingerprint(const ProgramImage &image, size_t slots,
+                      size_t nets)
+{
+    // FNV-1a over the image words, then the layout geometry.
+    uint64_t h = 14695981039346656037ULL;
+    auto mix = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xFF;
+            h *= 1099511628211ULL;
+        }
+    };
+    for (uint16_t w : image.words)
+        mix(w);
+    mix(image.usedWords);
+    mix(slots);
+    mix(nets);
+    return h;
+}
+
+void
+EngineCheckpoint::save(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        GLIFS_RECOVERABLE("checkpoint: cannot write ", path);
+    Writer w(out);
+    out.write(kMagic, sizeof(kMagic));
+    w.u32(kVersion);
+    w.u64(fingerprint);
+    w.u64(totalCycles);
+    w.u64(pathsExplored);
+    w.u64(branchPoints);
+    w.u64(merges);
+    w.u64(subsumptions);
+    w.u8(static_cast<uint8_t>(level));
+
+    w.u32(static_cast<uint32_t>(degradations.size()));
+    for (const Degradation &d : degradations) {
+        w.u8(static_cast<uint8_t>(d.level));
+        w.u8(static_cast<uint8_t>(d.trigger));
+        w.u8(static_cast<uint8_t>(d.severity));
+        w.u64(d.cycle);
+        w.u16(d.instrAddr);
+        w.str(d.detail);
+    }
+
+    w.u32(static_cast<uint32_t>(violations.size()));
+    for (const Violation &v : violations) {
+        w.u8(static_cast<uint8_t>(v.kind));
+        w.u16(v.instrAddr);
+        w.u64(v.firstCycle);
+        w.u32(v.count);
+        w.u8(v.maskable ? 1 : 0);
+        w.str(v.detail);
+    }
+
+    w.plane(everTainted);
+
+    w.u32(static_cast<uint32_t>(table.size()));
+    for (const auto &[key, state] : table) {
+        w.u32(key);
+        w.symstate(state);
+    }
+
+    w.u32(static_cast<uint32_t>(frontier.size()));
+    for (const auto &[state, node] : frontier) {
+        w.symstate(state);
+        w.u32(node);
+    }
+
+    w.u32(static_cast<uint32_t>(tree.size()));
+    for (const ExecNode &n : tree) {
+        w.u32(n.id);
+        w.u32(static_cast<uint32_t>(n.parent));
+        w.u16(n.startPc);
+        w.u64(n.cycles);
+        w.u16(n.endInstr);
+        w.u8(static_cast<uint8_t>(n.end));
+    }
+
+    out.flush();
+    if (!out)
+        GLIFS_RECOVERABLE("checkpoint: write to ", path, " failed");
+}
+
+EngineCheckpoint
+EngineCheckpoint::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        GLIFS_RECOVERABLE("checkpoint: cannot open ", path);
+    char magic[8] = {};
+    in.read(magic, sizeof(magic));
+    if (in.gcount() != sizeof(magic) ||
+        !std::equal(magic, magic + sizeof(magic), kMagic)) {
+        GLIFS_RECOVERABLE("checkpoint: ", path,
+                          " is not a glifs checkpoint");
+    }
+    Reader r(in);
+    uint32_t version = r.u32();
+    if (version != kVersion) {
+        GLIFS_RECOVERABLE("checkpoint: version ", version,
+                          " unsupported (expected ", kVersion, ")");
+    }
+
+    EngineCheckpoint c;
+    c.fingerprint = r.u64();
+    c.totalCycles = r.u64();
+    c.pathsExplored = r.u64();
+    c.branchPoints = r.u64();
+    c.merges = r.u64();
+    c.subsumptions = r.u64();
+    uint8_t level = r.u8();
+    if (level > static_cast<uint8_t>(DegradeLevel::PartialStop))
+        GLIFS_RECOVERABLE("checkpoint: bad degrade level ", level);
+    c.level = static_cast<DegradeLevel>(level);
+
+    uint32_t ndeg = r.u32();
+    if (ndeg > Reader::kMaxSection)
+        GLIFS_RECOVERABLE("checkpoint: implausible section size");
+    c.degradations.reserve(ndeg);
+    for (uint32_t i = 0; i < ndeg; ++i) {
+        Degradation d;
+        d.level = static_cast<DegradeLevel>(r.u8());
+        d.trigger = static_cast<ResourceKind>(r.u8());
+        d.severity = static_cast<BudgetSeverity>(r.u8());
+        d.cycle = r.u64();
+        d.instrAddr = r.u16();
+        d.detail = r.str();
+        c.degradations.push_back(std::move(d));
+    }
+
+    uint32_t nviol = r.u32();
+    if (nviol > Reader::kMaxSection)
+        GLIFS_RECOVERABLE("checkpoint: implausible section size");
+    c.violations.reserve(nviol);
+    for (uint32_t i = 0; i < nviol; ++i) {
+        Violation v;
+        v.kind = static_cast<ViolationKind>(r.u8());
+        v.instrAddr = r.u16();
+        v.firstCycle = r.u64();
+        v.count = r.u32();
+        v.maskable = r.u8() != 0;
+        v.detail = r.str();
+        c.violations.push_back(std::move(v));
+    }
+
+    c.everTainted = r.plane();
+
+    uint32_t ntable = r.u32();
+    if (ntable > Reader::kMaxSection)
+        GLIFS_RECOVERABLE("checkpoint: implausible section size");
+    c.table.reserve(ntable);
+    for (uint32_t i = 0; i < ntable; ++i) {
+        uint32_t key = r.u32();
+        c.table.emplace_back(key, r.symstate());
+    }
+
+    uint32_t nfront = r.u32();
+    if (nfront > Reader::kMaxSection)
+        GLIFS_RECOVERABLE("checkpoint: implausible section size");
+    c.frontier.reserve(nfront);
+    for (uint32_t i = 0; i < nfront; ++i) {
+        SymState s = r.symstate();
+        uint32_t node = r.u32();
+        c.frontier.emplace_back(std::move(s), node);
+    }
+
+    uint32_t ntree = r.u32();
+    if (ntree > Reader::kMaxSection)
+        GLIFS_RECOVERABLE("checkpoint: implausible section size");
+    c.tree.reserve(ntree);
+    for (uint32_t i = 0; i < ntree; ++i) {
+        ExecNode n;
+        n.id = r.u32();
+        n.parent = static_cast<int32_t>(r.u32());
+        n.startPc = r.u16();
+        n.cycles = r.u64();
+        n.endInstr = r.u16();
+        uint8_t end = r.u8();
+        if (end > static_cast<uint8_t>(PathEnd::Degraded))
+            GLIFS_RECOVERABLE("checkpoint: bad path end ", end);
+        n.end = static_cast<PathEnd>(end);
+        c.tree.push_back(n);
+    }
+    return c;
+}
+
+} // namespace glifs

@@ -6,6 +6,7 @@
 
 #include "base/logging.hh"
 #include "base/strutil.hh"
+#include "ift/checkpoint.hh"
 #include "ift/symstate.hh"
 #include "sim/simulator.hh"
 
@@ -13,15 +14,39 @@ namespace glifs
 {
 
 bool
+EngineResult::degradedUnsound() const
+{
+    for (const Degradation &d : degradations) {
+        if (d.level == DegradeLevel::StarLogicPath ||
+            d.level == DegradeLevel::PartialStop) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
 EngineResult::secure() const
 {
-    if (!completed || starAborted)
+    if (!completed || starAborted || degradedUnsound())
         return false;
     for (const Violation &v : violations) {
         if (v.kind != ViolationKind::TaintedControlFlow)
             return false;
     }
     return true;
+}
+
+Verdict
+EngineResult::verdict() const
+{
+    for (const Violation &v : violations) {
+        if (v.kind != ViolationKind::TaintedControlFlow)
+            return Verdict::Violations;
+    }
+    if (completed && !starAborted && !degradedUnsound())
+        return Verdict::Secure;
+    return Verdict::UnknownDegraded;
 }
 
 bool
@@ -48,6 +73,9 @@ EngineResult::summary() const
         << violations.size() << " violation(s), "
         << percent(taintedGateFraction, 1) << " gates ever tainted, "
         << analysisSeconds << "s";
+    if (!degradations.empty())
+        oss << ", " << degradations.size() << " degradation(s)";
+    oss << ", verdict " << verdictName(verdict());
     return oss.str();
 }
 
@@ -59,7 +87,7 @@ struct RunCtx
 {
     const Soc &soc;
     const Policy &policy;
-    const EngineConfig &cfg;
+    EngineConfig cfg;  ///< by value: the ladder mutates it in place
     const ProgramImage &image;
 
     Simulator sim;
@@ -68,19 +96,24 @@ struct RunCtx
     ViolationLog log;
     StateTable table;
     ExecTree tree;
+    ResourceGovernor gov;
     std::vector<std::pair<SymState, uint32_t>> stack;  // state, node
     BitPlane everTainted;
     std::vector<size_t> pcSlots;  ///< SymState slots of the PC flops
 
     uint64_t totalCycles = 0;
+    uint64_t pathsExplored = 0;
     bool starAborted = false;
     bool budgetHit = false;
     size_t branchPoints = 0;
 
+    DegradeLevel level = DegradeLevel::None;
+    std::vector<Degradation> degradations;
+
     RunCtx(const Soc &s, const Policy &p, const EngineConfig &c,
            const ProgramImage &img)
         : soc(s), policy(p), cfg(c), image(img), sim(s.netlist()),
-          layout(s.netlist()), checker(s, p),
+          layout(s.netlist()), checker(s, p), gov(c.budgets),
           everTainted(s.netlist().numNets())
     {
         // Slot indices of the PC flip-flops within the layout.
@@ -122,6 +155,67 @@ struct RunCtx
                 v |= static_cast<uint16_t>(1u << i);
         }
         return v;
+    }
+
+    /** Concrete value of a probed bus, or 0xFFFF if any bit is X
+     *  (degradation records must never panic on unknowns). */
+    uint16_t
+    tryBusValue(const Bus &bus) const
+    {
+        uint16_t v = 0;
+        for (size_t i = 0; i < bus.size(); ++i) {
+            Signal s = sim.netValue(bus[i]);
+            if (!s.known())
+                return 0xFFFF;
+            if (s.asBool())
+                v |= static_cast<uint16_t>(1u << i);
+        }
+        return v;
+    }
+
+    void
+    recordDegradation(DegradeLevel lvl, ResourceKind trigger,
+                      BudgetSeverity severity, uint16_t instr_addr,
+                      std::string detail)
+    {
+        Degradation d;
+        d.level = lvl;
+        d.trigger = trigger;
+        d.severity = severity;
+        d.cycle = totalCycles;
+        d.instrAddr = instr_addr;
+        d.detail = std::move(detail);
+        if (cfg.debugTrace)
+            fprintf(stderr, "degrade: %s\n", d.str().c_str());
+        degradations.push_back(std::move(d));
+    }
+
+    /** Outcome of a soft-budget escalation. */
+    enum class Escalation
+    {
+        Widened,  ///< merging widened; the path continues
+        KillPath, ///< hand the current path to the *-logic abstraction
+    };
+
+    /**
+     * Climb one rung of the degradation ladder: first widen merging
+     * (drop the precise CFG successors so the bit-wise superset feeds
+     * the state table), then give the offending path to *-logic.
+     */
+    Escalation
+    escalate(const BudgetEvent &ev, uint16_t instr_addr)
+    {
+        if (level == DegradeLevel::None) {
+            level = DegradeLevel::WidenedMerging;
+            cfg.preciseJumpTargets = false;
+            recordDegradation(DegradeLevel::WidenedMerging, ev.kind,
+                              ev.severity, instr_addr, ev.detail);
+            return Escalation::Widened;
+        }
+        level = DegradeLevel::StarLogicPath;
+        recordDegradation(DegradeLevel::StarLogicPath, ev.kind,
+                          ev.severity, instr_addr, ev.detail);
+        return Escalation::KillPath;
     }
 
     bool
@@ -192,10 +286,13 @@ struct RunCtx
 
     /**
      * Possible concrete next-PC values for a state whose PC has X
-     * bits (Algorithm 1, possible_PC_next_vals).
+     * bits (Algorithm 1, possible_PC_next_vals). Sets @p overflow
+     * (and returns nothing) when the enumeration would exceed the
+     * hard branch-fanout budget; the caller degrades the path to the
+     * *-logic abstraction instead of aborting the analysis.
      */
     std::vector<uint16_t>
-    candidatePcs(uint16_t instr_addr, const SymState &s)
+    candidatePcs(uint16_t instr_addr, const SymState &s, bool &overflow)
     {
         std::vector<unsigned> xbits = statePcXBits(s);
         uint16_t base = statePcBase(s);
@@ -210,10 +307,8 @@ struct RunCtx
             out = {target, fall};
         } else {
             if (xbits.size() > cfg.maxBranchBits) {
-                GLIFS_FATAL(
-                    "unbounded indirect control flow at ",
-                    hex16(instr_addr), ": ", xbits.size(),
-                    " unknown PC bits (consider masking the target)");
+                overflow = true;
+                return {};
             }
             for (size_t c = 0; c < (1ULL << xbits.size()); ++c) {
                 uint16_t a = base;
@@ -316,12 +411,30 @@ IftEngine::IftEngine(const Soc &s, const Policy &p,
 EngineResult
 IftEngine::run(const ProgramImage &image)
 {
+    return run(image, nullptr);
+}
+
+EngineResult
+IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
+{
     const auto t0 = std::chrono::steady_clock::now();
-    RunCtx ctx(soc, policy, cfg, image);
+
+    // Fold the legacy cycle budget into the governed budgets as a hard
+    // cycle budget (keeping the smaller of the two if both are set).
+    EngineConfig effective = cfg;
+    if (effective.maxCycles > 0 &&
+        (effective.budgets.hardCycles == 0 ||
+         effective.maxCycles < effective.budgets.hardCycles)) {
+        effective.budgets.hardCycles = effective.maxCycles;
+    }
+
+    RunCtx ctx(soc, policy, effective, image);
     EngineResult res;
 
     // Load the binary; optionally taint the tainted code partitions in
-    // program memory (footnote 3).
+    // program memory (footnote 3). Program ROM is not part of the
+    // captured symbolic state, so this also re-establishes it when
+    // resuming a checkpoint.
     soc.loadProgram(ctx.sim.state(), image);
     if (policy.taintCodeInProgMem) {
         for (const CodePartition &p : policy.code) {
@@ -336,12 +449,42 @@ IftEngine::run(const ProgramImage &image)
         }
     }
 
-    // Algorithm 1 line 5: propagate the (untainted) reset.
-    ctx.setInputs(true);
-    ctx.sim.step();
-    ++ctx.totalCycles;
+    if (resume) {
+        const uint64_t fp = checkpointFingerprint(
+            image, ctx.layout.slots(), soc.netlist().numNets());
+        if (resume->fingerprint != fp) {
+            GLIFS_RECOVERABLE(
+                "checkpoint does not match this program image and "
+                "netlist (was the firmware or SoC changed?)");
+        }
+        if (resume->everTainted.size() != soc.netlist().numNets())
+            GLIFS_RECOVERABLE("checkpoint: tainted-net plane mismatch");
 
-    {
+        ctx.totalCycles = resume->totalCycles;
+        ctx.gov.chargeCycles(resume->totalCycles);
+        ctx.pathsExplored = resume->pathsExplored;
+        ctx.branchPoints = resume->branchPoints;
+        ctx.level = resume->level;
+        if (ctx.level >= DegradeLevel::WidenedMerging)
+            ctx.cfg.preciseJumpTargets = false;
+        ctx.degradations = resume->degradations;
+        for (const Violation &v : resume->violations)
+            ctx.log.restore(v);
+        ctx.everTainted = resume->everTainted;
+        for (const auto &[key, state] : resume->table)
+            ctx.table.insertRestored(key, state);
+        ctx.table.setCounters(resume->merges, resume->subsumptions);
+        ctx.gov.noteStates(ctx.table.size());
+        ctx.tree.setNodes(resume->tree);
+        for (const auto &[state, node] : resume->frontier)
+            ctx.stack.emplace_back(state, node);
+    } else {
+        // Algorithm 1 line 5: propagate the (untainted) reset.
+        ctx.setInputs(true);
+        ctx.sim.step();
+        ++ctx.totalCycles;
+        ctx.gov.chargeCycles(1);
+
         SymState s0(ctx.layout);
         s0.capture(ctx.layout, ctx.sim.state());
         uint32_t root = ctx.tree.addNode(-1, 0);
@@ -353,7 +496,7 @@ IftEngine::run(const ProgramImage &image)
     while (!ctx.stack.empty() && !ctx.budgetHit && !ctx.starAborted) {
         auto [state, node] = std::move(ctx.stack.back());
         ctx.stack.pop_back();
-        ++res.pathsExplored;
+        ++ctx.pathsExplored;
         state.restore(ctx.layout, ctx.sim.state());
         if (cfg.debugTrace) {
             fprintf(stderr, "pop node %u pc=%03x stack=%zu\n", node,
@@ -367,15 +510,46 @@ IftEngine::run(const ProgramImage &image)
 
         bool path_done = false;
         while (!path_done) {
-            if (ctx.totalCycles >= cfg.maxCycles) {
-                ctx.budgetHit = true;
-                ctx.tree.node(node).end = PathEnd::Budget;
-                break;
+            // Resource governance: poll every budget dimension before
+            // simulating the next cycle. Soft exhaustion degrades in
+            // place; hard exhaustion stops with a partial result (and
+            // a resumable snapshot of the frontier) -- never a fatal.
+            if (auto ev = ctx.gov.poll()) {
+                const uint16_t at = ctx.tryBusValue(prb.instrAddrQ);
+                if (ev->severity == BudgetSeverity::Hard) {
+                    ctx.recordDegradation(DegradeLevel::PartialStop,
+                                          ev->kind, ev->severity, at,
+                                          ev->detail);
+                    ctx.budgetHit = true;
+                    ctx.tree.node(node).end = PathEnd::Budget;
+                    ctx.tree.node(node).endInstr = at;
+                    if (ctx.cfg.checkpointOnStop) {
+                        // Park the in-flight path back on the frontier
+                        // so the snapshot resumes it; it will be popped
+                        // (and counted) again.
+                        SymState cur(ctx.layout);
+                        cur.capture(ctx.layout, ctx.sim.state());
+                        ctx.stack.emplace_back(std::move(cur), node);
+                        --ctx.pathsExplored;
+                    }
+                    break;
+                }
+                if (ctx.escalate(*ev, at) ==
+                    RunCtx::Escalation::KillPath) {
+                    // *-logic the offending path: saturate to
+                    // tainted-X and terminate it conservatively.
+                    ctx.starSaturate();
+                    ctx.tree.node(node).end = PathEnd::Degraded;
+                    ctx.tree.node(node).endInstr = at;
+                    path_done = true;
+                    break;
+                }
             }
 
             ctx.setInputs(false);
             ctx.sim.evalComb();
             ++ctx.totalCycles;
+            ctx.gov.chargeCycles(1);
             ++ctx.tree.node(node).cycles;
             if (cfg.trackTaintedNets)
                 ctx.accumulateTaint();
@@ -478,9 +652,10 @@ IftEngine::run(const ProgramImage &image)
             // port escapes), mirroring the proof structure of
             // Section 5.4, so the merge itself need not re-taint.
             StateTable::Visit visit =
-                cfg.disableMerging
+                ctx.cfg.disableMerging
                     ? StateTable::Visit::New
                     : ctx.table.visit(table_key, cur);
+            ctx.gov.noteStates(ctx.table.size());
             if (cfg.debugTrace) {
                 fprintf(stderr,
                         "  visit @%03x fsm=%u -> %d pcX=%d cyc=%llu\n",
@@ -501,9 +676,45 @@ IftEngine::run(const ProgramImage &image)
 
             // visit() merged or stored; cur is now the conservative
             // state to continue from.
-            if (!ctx.statePcXBits(cur).empty()) {
+            const size_t pc_xbits = ctx.statePcXBits(cur).size();
+            if (pc_xbits > 0) {
+                // Soft branch-fanout threshold: a wide unknown-PC
+                // branch escalates the ladder before enumerating.
+                if (ctx.cfg.budgets.softBranchBits &&
+                    pc_xbits > ctx.cfg.budgets.softBranchBits &&
+                    ctx.level == DegradeLevel::None) {
+                    BudgetEvent ev{
+                        ResourceKind::BranchFanout,
+                        BudgetSeverity::Soft,
+                        detail::concat(pc_xbits,
+                                       " unknown PC bits at ",
+                                       hex16(instr_addr))};
+                    ctx.escalate(ev, instr_addr);
+                }
+
+                bool overflow = false;
+                std::vector<uint16_t> pcs =
+                    ctx.candidatePcs(instr_addr, cur, overflow);
+                if (overflow) {
+                    // Hard fanout exhaustion: unbounded indirect
+                    // control flow. Degrade the path to the *-logic
+                    // abstraction instead of aborting the analysis.
+                    ctx.recordDegradation(
+                        DegradeLevel::StarLogicPath,
+                        ResourceKind::BranchFanout,
+                        BudgetSeverity::Hard, instr_addr,
+                        detail::concat(
+                            pc_xbits, " unknown PC bits exceed ",
+                            ctx.cfg.maxBranchBits,
+                            " (consider masking the target)"));
+                    ctx.starSaturate();
+                    ctx.tree.node(node).end = PathEnd::Degraded;
+                    ctx.tree.node(node).endInstr = instr_addr;
+                    path_done = true;
+                    break;
+                }
                 ++ctx.branchPoints;
-                for (uint16_t pc : ctx.candidatePcs(instr_addr, cur)) {
+                for (uint16_t pc : pcs) {
                     uint32_t cn = ctx.tree.addNode(node, pc);
                     ctx.stack.emplace_back(ctx.concretizePc(cur, pc),
                                            cn);
@@ -522,11 +733,40 @@ IftEngine::run(const ProgramImage &image)
                     !ctx.starAborted;
     res.starAborted = ctx.starAborted;
     res.cyclesSimulated = ctx.totalCycles;
+    res.pathsExplored = ctx.pathsExplored;
     res.branchPoints = ctx.branchPoints;
     res.merges = ctx.table.merges();
     res.subsumptions = ctx.table.subsumptions();
     res.statesTracked = ctx.table.size();
     res.violations = ctx.log.list();
+    res.degradations = ctx.degradations;
+
+    if (ctx.budgetHit && ctx.cfg.checkpointOnStop) {
+        auto ckpt = std::make_shared<EngineCheckpoint>();
+        ckpt->fingerprint = checkpointFingerprint(
+            image, ctx.layout.slots(), soc.netlist().numNets());
+        ckpt->totalCycles = ctx.totalCycles;
+        ckpt->pathsExplored = ctx.pathsExplored;
+        ckpt->branchPoints = ctx.branchPoints;
+        ckpt->merges = ctx.table.merges();
+        ckpt->subsumptions = ctx.table.subsumptions();
+        ckpt->level = ctx.level;
+        // The PartialStop record of this very stop is not carried
+        // over: resumed to completion, it cost no coverage.
+        for (const Degradation &d : ctx.degradations) {
+            if (d.level != DegradeLevel::PartialStop)
+                ckpt->degradations.push_back(d);
+        }
+        ckpt->violations = res.violations;
+        ckpt->everTainted = ctx.everTainted;
+        ckpt->table.reserve(ctx.table.entries().size());
+        for (const auto &[key, state] : ctx.table.entries())
+            ckpt->table.emplace_back(key, state);
+        ckpt->frontier = ctx.stack;
+        ckpt->tree = ctx.tree.all();
+        res.checkpoint = std::move(ckpt);
+    }
+
     res.tree = std::move(ctx.tree);
 
     if (!cfg.starLogicMode) {

@@ -21,10 +21,12 @@
 #define GLIFS_IFT_ENGINE_HH
 
 #include <cstdint>
+#include <memory>
 
 #include "assembler/program_image.hh"
 #include "ift/checker.hh"
 #include "ift/exec_tree.hh"
+#include "ift/governor.hh"
 #include "ift/policy.hh"
 #include "ift/state_table.hh"
 #include "soc/soc.hh"
@@ -32,14 +34,36 @@
 namespace glifs
 {
 
+struct EngineCheckpoint;
+
 /** Engine knobs. */
 struct EngineConfig
 {
-    /** Total simulated-cycle budget across all paths. */
+    /** Total simulated-cycle budget across all paths (a hard budget;
+     *  folded into ResourceBudgets::hardCycles). */
     uint64_t maxCycles = 2'000'000;
 
-    /** Max unknown PC bits enumerated at a branch (else fatal). */
+    /**
+     * Max unknown PC bits enumerated at a branch. Exceeding it is a
+     * hard branch-fanout exhaustion: the offending path is saturated
+     * to the *-logic abstraction and terminated (recorded as a
+     * degradation), so long runs always produce a report.
+     */
     unsigned maxBranchBits = 8;
+
+    /**
+     * Resource budgets polled every simulated cycle. Soft exhaustion
+     * escalates the degradation ladder in place; hard exhaustion stops
+     * the run with a structured partial result (and a checkpoint when
+     * checkpointOnStop is set). All default to disabled.
+     */
+    ResourceBudgets budgets;
+
+    /**
+     * On hard exhaustion, snapshot the state table + frontier into
+     * EngineResult::checkpoint so the run can be resumed later.
+     */
+    bool checkpointOnStop = false;
 
     /**
      * *-logic baseline (footnote 8): when the PC first becomes tainted
@@ -103,15 +127,40 @@ struct EngineResult
     /** The pruned execution tree (diagnostics / Figure 7 rendering). */
     ExecTree tree;
 
+    /** Every escalation of the degradation ladder, in order. */
+    std::vector<Degradation> degradations;
+
+    /**
+     * Snapshot of the paused run, set on hard budget exhaustion when
+     * EngineConfig::checkpointOnStop is enabled (shared_ptr so
+     * EngineResult stays copyable).
+     */
+    std::shared_ptr<EngineCheckpoint> checkpoint;
+
     /**
      * Secure iff the analysis converged and found no violation other
      * than *contained* tainted control flow inside tainted tasks --
      * a tainted task may taint its own PC without breaking
      * non-interference as long as the taint never reaches untainted
      * code, memory partitions, trusted ports or the watchdog (all of
-     * which are separate violation kinds).
+     * which are separate violation kinds). A run that degraded past
+     * WidenedMerging (some coverage handed to the *-logic
+     * abstraction, or exploration stopped early) can never be secure.
      */
     bool secure() const;
+
+    /** Did any degradation forfeit verification completeness? Widened
+     *  merging alone stays a full (if less precise) verification. */
+    bool degradedUnsound() const;
+
+    /**
+     * Three-valued verdict: Violations when uncontained violations
+     * were found (sound under the conservative semantics: fix and
+     * re-verify), Secure when the precise analysis converged cleanly,
+     * Unknown-degraded otherwise -- still a sound "not verified
+     * secure" answer.
+     */
+    Verdict verdict() const;
 
     /** True if only watchdog/mask-fixable warnings were found. */
     bool onlyFixable() const;
@@ -131,6 +180,16 @@ class IftEngine
 
     /** Run the full analysis of a program image. */
     EngineResult run(const ProgramImage &image);
+
+    /**
+     * Run the analysis, optionally continuing from a checkpoint taken
+     * by an earlier (interrupted) run of the same image on the same
+     * SoC. Throws RecoverableError if the checkpoint does not match.
+     * Resuming an unmodified snapshot reproduces the uninterrupted
+     * run's counters and violations exactly.
+     */
+    EngineResult run(const ProgramImage &image,
+                     const EngineCheckpoint *resume);
 
   private:
     const Soc &soc;

@@ -18,6 +18,7 @@ pathEndName(PathEnd end)
       case PathEnd::Branched: return "branched";
       case PathEnd::StarAborted: return "star-aborted";
       case PathEnd::Budget: return "budget";
+      case PathEnd::Degraded: return "degraded";
     }
     return "?";
 }

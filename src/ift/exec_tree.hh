@@ -23,6 +23,7 @@ enum class PathEnd : uint8_t
     Branched,    ///< split into children on an unknown PC / reset
     StarAborted, ///< *-logic baseline gave up (PC tainted)
     Budget,      ///< cycle budget exhausted (analysis incomplete)
+    Degraded,    ///< path handed to the *-logic abstraction (governor)
 };
 
 /** One node of the execution tree. */
@@ -47,6 +48,9 @@ class ExecTree
     const ExecNode &node(uint32_t id) const { return nodes[id]; }
     size_t size() const { return nodes.size(); }
     const std::vector<ExecNode> &all() const { return nodes; }
+
+    /** Checkpoint restore: replace the whole node array. */
+    void setNodes(std::vector<ExecNode> n) { nodes = std::move(n); }
 
     /** Total simulated cycles across all nodes. */
     uint64_t totalCycles() const;

@@ -1,0 +1,231 @@
+#include "ift/governor.hh"
+
+#include <atomic>
+#include <cstdio>
+
+#include "base/strutil.hh"
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
+
+namespace glifs
+{
+
+namespace
+{
+
+/** Set from signal handlers: plain lock-free atomic, no allocation. */
+std::atomic<bool> g_stopRequested{false};
+
+/** Sample RSS only every this many polls (it is a file read). */
+constexpr uint64_t kRssSampleInterval = 512;
+
+} // namespace
+
+const char *
+resourceKindName(ResourceKind kind)
+{
+    switch (kind) {
+      case ResourceKind::Cycles: return "cycles";
+      case ResourceKind::WallClock: return "wall-clock";
+      case ResourceKind::BranchFanout: return "branch-fanout";
+      case ResourceKind::TrackedStates: return "tracked-states";
+      case ResourceKind::Memory: return "memory";
+      case ResourceKind::Interrupt: return "interrupt";
+    }
+    return "?";
+}
+
+const char *
+degradeLevelName(DegradeLevel level)
+{
+    switch (level) {
+      case DegradeLevel::None: return "none";
+      case DegradeLevel::WidenedMerging: return "widened-merging";
+      case DegradeLevel::StarLogicPath: return "star-logic-path";
+      case DegradeLevel::PartialStop: return "partial-stop";
+    }
+    return "?";
+}
+
+const char *
+verdictName(Verdict v)
+{
+    switch (v) {
+      case Verdict::Secure: return "secure";
+      case Verdict::Violations: return "violations";
+      case Verdict::UnknownDegraded: return "unknown-degraded";
+    }
+    return "?";
+}
+
+std::string
+Degradation::str() const
+{
+    std::string s = degradeLevelName(level);
+    s += " (";
+    s += severity == BudgetSeverity::Hard ? "hard " : "soft ";
+    s += resourceKindName(trigger);
+    s += ") at cycle ";
+    s += std::to_string(cycle);
+    s += " instr ";
+    s += hex16(instrAddr);
+    if (!detail.empty()) {
+        s += ": ";
+        s += detail;
+    }
+    return s;
+}
+
+bool
+ResourceBudgets::any() const
+{
+    return softCycles || hardCycles || softSeconds > 0 ||
+           hardSeconds > 0 || softStates || hardStates ||
+           softRssBytes || hardRssBytes || softBranchBits;
+}
+
+ResourceGovernor::ResourceGovernor(const ResourceBudgets &b)
+    : budgets(b), start(std::chrono::steady_clock::now())
+{
+}
+
+double
+ResourceGovernor::elapsedSeconds() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+size_t
+ResourceGovernor::currentRssBytes()
+{
+#ifdef __linux__
+    FILE *f = std::fopen("/proc/self/statm", "r");
+    if (!f)
+        return 0;
+    unsigned long size = 0;
+    unsigned long resident = 0;
+    int n = std::fscanf(f, "%lu %lu", &size, &resident);
+    std::fclose(f);
+    if (n != 2)
+        return 0;
+    long page = sysconf(_SC_PAGESIZE);
+    return resident * static_cast<size_t>(page > 0 ? page : 4096);
+#else
+    return 0;
+#endif
+}
+
+void
+ResourceGovernor::requestGlobalStop()
+{
+    g_stopRequested.store(true, std::memory_order_relaxed);
+}
+
+bool
+ResourceGovernor::globalStopRequested()
+{
+    return g_stopRequested.load(std::memory_order_relaxed);
+}
+
+void
+ResourceGovernor::clearGlobalStop()
+{
+    g_stopRequested.store(false, std::memory_order_relaxed);
+}
+
+std::optional<BudgetEvent>
+ResourceGovernor::hardEvent()
+{
+    if (globalStopRequested()) {
+        return BudgetEvent{ResourceKind::Interrupt, BudgetSeverity::Hard,
+                           "external stop requested"};
+    }
+    if (budgets.hardCycles && cycleCount >= budgets.hardCycles) {
+        return BudgetEvent{
+            ResourceKind::Cycles, BudgetSeverity::Hard,
+            std::to_string(cycleCount) + " simulated cycles"};
+    }
+    if (budgets.hardSeconds > 0) {
+        double t = elapsedSeconds();
+        if (t >= budgets.hardSeconds) {
+            return BudgetEvent{ResourceKind::WallClock,
+                               BudgetSeverity::Hard,
+                               "deadline of " +
+                                   std::to_string(budgets.hardSeconds) +
+                                   "s expired"};
+        }
+    }
+    if (budgets.hardStates && stateCount >= budgets.hardStates) {
+        return BudgetEvent{
+            ResourceKind::TrackedStates, BudgetSeverity::Hard,
+            std::to_string(stateCount) + " tracked states"};
+    }
+    if (budgets.hardRssBytes && sampledRss >= budgets.hardRssBytes) {
+        return BudgetEvent{
+            ResourceKind::Memory, BudgetSeverity::Hard,
+            std::to_string(sampledRss >> 20) + " MiB resident"};
+    }
+    return std::nullopt;
+}
+
+std::optional<BudgetEvent>
+ResourceGovernor::softEvent()
+{
+    auto fire = [&](ResourceKind kind,
+                    std::string detail) -> std::optional<BudgetEvent> {
+        size_t idx = static_cast<size_t>(kind);
+        if (softFired[idx])
+            return std::nullopt;
+        softFired[idx] = true;
+        return BudgetEvent{kind, BudgetSeverity::Soft,
+                           std::move(detail)};
+    };
+
+    if (budgets.softCycles && cycleCount >= budgets.softCycles &&
+        !softFired[static_cast<size_t>(ResourceKind::Cycles)]) {
+        return fire(ResourceKind::Cycles,
+                    std::to_string(cycleCount) + " simulated cycles");
+    }
+    if (budgets.softSeconds > 0 &&
+        !softFired[static_cast<size_t>(ResourceKind::WallClock)] &&
+        elapsedSeconds() >= budgets.softSeconds) {
+        return fire(ResourceKind::WallClock,
+                    "soft deadline of " +
+                        std::to_string(budgets.softSeconds) +
+                        "s expired");
+    }
+    if (budgets.softStates && stateCount >= budgets.softStates &&
+        !softFired[static_cast<size_t>(ResourceKind::TrackedStates)]) {
+        return fire(ResourceKind::TrackedStates,
+                    std::to_string(stateCount) + " tracked states");
+    }
+    if (budgets.softRssBytes && sampledRss >= budgets.softRssBytes &&
+        !softFired[static_cast<size_t>(ResourceKind::Memory)]) {
+        return fire(ResourceKind::Memory,
+                    std::to_string(sampledRss >> 20) + " MiB resident");
+    }
+    return std::nullopt;
+}
+
+std::optional<BudgetEvent>
+ResourceGovernor::poll()
+{
+    if (hardFired)
+        return std::nullopt;
+    ++pollCount;
+    if ((budgets.softRssBytes || budgets.hardRssBytes) &&
+        pollCount % kRssSampleInterval == 1) {
+        sampledRss = currentRssBytes();
+    }
+    if (auto ev = hardEvent()) {
+        hardFired = true;
+        return ev;
+    }
+    return softEvent();
+}
+
+} // namespace glifs

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Resource governance and graceful degradation for the symbolic
+ * taint-tracking engine.
+ *
+ * The paper's analysis must conservatively cover *all* executions, and
+ * on real workloads the exploration can blow past any cycle, time or
+ * memory budget. A production verification service must degrade
+ * soundly instead of aborting: every budget has a soft threshold (the
+ * engine escalates its degradation ladder and keeps going) and a hard
+ * threshold (the engine stops, snapshots its frontier, and returns a
+ * structured partial result). The three-valued verdict makes the
+ * degraded outcome a first-class answer: "Unknown-degraded" still
+ * soundly means "not verified secure".
+ */
+
+#ifndef GLIFS_IFT_GOVERNOR_HH
+#define GLIFS_IFT_GOVERNOR_HH
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace glifs
+{
+
+/** The resource dimensions the governor watches (failure taxonomy). */
+enum class ResourceKind : uint8_t
+{
+    Cycles,        ///< total simulated cycles across all paths
+    WallClock,     ///< wall-clock analysis deadline
+    BranchFanout,  ///< unknown-PC enumeration width at one branch
+    TrackedStates, ///< distinct entries in the conservative state table
+    Memory,        ///< approximate resident set size
+    Interrupt,     ///< external stop request (signal / operator)
+};
+
+/** Printable name of a resource kind. */
+const char *resourceKindName(ResourceKind kind);
+
+/** How far past a budget the analysis is. */
+enum class BudgetSeverity : uint8_t
+{
+    Soft, ///< threshold crossed: degrade in place, keep exploring
+    Hard, ///< budget exhausted: stop with a structured partial result
+};
+
+/** One threshold crossing reported by ResourceGovernor::poll(). */
+struct BudgetEvent
+{
+    ResourceKind kind;
+    BudgetSeverity severity;
+    std::string detail;
+};
+
+/**
+ * Per-dimension budgets. A value of 0 disables that threshold; soft
+ * thresholds should be below their hard counterparts. The engine's
+ * legacy EngineConfig::maxCycles is folded in as a hard cycle budget.
+ */
+struct ResourceBudgets
+{
+    uint64_t softCycles = 0;
+    uint64_t hardCycles = 0;
+    double softSeconds = 0.0;
+    double hardSeconds = 0.0;
+    size_t softStates = 0;
+    size_t hardStates = 0;
+    size_t softRssBytes = 0;
+    size_t hardRssBytes = 0;
+
+    /**
+     * Soft branch-fanout threshold: an unknown-PC branch wider than
+     * this many X bits escalates the degradation ladder (the hard
+     * counterpart is EngineConfig::maxBranchBits, which *-logics the
+     * offending path). Checked by the engine, not by poll().
+     */
+    unsigned softBranchBits = 0;
+
+    /** True if any threshold is configured. */
+    bool any() const;
+};
+
+/**
+ * Watches the budgets during one engine run. The engine charges
+ * simulated cycles and reports the state-table size as it goes; poll()
+ * is called once per simulated cycle and returns at most one *new*
+ * threshold crossing (each soft threshold fires once; the first hard
+ * exhaustion ends the run, so it also fires once).
+ */
+class ResourceGovernor
+{
+  public:
+    explicit ResourceGovernor(const ResourceBudgets &budgets);
+
+    void chargeCycles(uint64_t n) { cycleCount += n; }
+    void noteStates(size_t n) { stateCount = n; }
+
+    uint64_t cycles() const { return cycleCount; }
+    double elapsedSeconds() const;
+
+    /** Check every dimension; returns a not-yet-reported crossing. */
+    std::optional<BudgetEvent> poll();
+
+    /**
+     * Approximate resident set size of this process (Linux
+     * /proc/self/statm; 0 where unavailable). Sampled sparsely by
+     * poll() because it is a syscall.
+     */
+    static size_t currentRssBytes();
+
+    /**
+     * Async-signal-safe external stop request: the next poll() on any
+     * governor reports a hard Interrupt event. Wired to SIGINT/SIGTERM
+     * by glifs_audit so a killed run still writes its checkpoint.
+     */
+    static void requestGlobalStop();
+    static bool globalStopRequested();
+    static void clearGlobalStop();
+
+  private:
+    ResourceBudgets budgets;
+    std::chrono::steady_clock::time_point start;
+    uint64_t cycleCount = 0;
+    size_t stateCount = 0;
+    uint64_t pollCount = 0;
+    size_t sampledRss = 0;
+    std::array<bool, 6> softFired{};
+    bool hardFired = false;
+
+    std::optional<BudgetEvent> hardEvent();
+    std::optional<BudgetEvent> softEvent();
+};
+
+/**
+ * Rungs of the in-place degradation ladder. Each escalation trades
+ * precision for resources while keeping the analysis sound:
+ * WidenedMerging stays a complete verification (it may only report
+ * spurious violations); StarLogicPath and PartialStop leave part of
+ * the execution space covered only by the conservative *-logic
+ * abstraction, so a clean run can no longer be called Secure.
+ */
+enum class DegradeLevel : uint8_t
+{
+    None = 0,
+    /** Drop preciseJumpTargets: enumerate unknown-PC successors
+     *  bit-wise (a conservative superset) so more paths merge. */
+    WidenedMerging = 1,
+    /** The offending path was saturated to tainted-X (*-logic,
+     *  footnote 8) and terminated; coverage is conservative there. */
+    StarLogicPath = 2,
+    /** Hard exhaustion: exploration stopped with a live frontier. */
+    PartialStop = 3,
+};
+
+/** Printable name of a ladder rung. */
+const char *degradeLevelName(DegradeLevel level);
+
+/** One recorded escalation of the ladder. */
+struct Degradation
+{
+    DegradeLevel level = DegradeLevel::None;
+    ResourceKind trigger = ResourceKind::Cycles;
+    BudgetSeverity severity = BudgetSeverity::Soft;
+    uint64_t cycle = 0;      ///< total simulated cycles at escalation
+    uint16_t instrAddr = 0;  ///< instruction being executed (if known)
+    std::string detail;
+
+    std::string str() const;
+};
+
+/** Three-valued analysis verdict (replaces the boolean secure bit). */
+enum class Verdict : uint8_t
+{
+    Secure,          ///< converged, precise, no uncontained violation
+    Violations,      ///< violations found (sound: fix and re-verify)
+    UnknownDegraded, ///< not verified secure: degraded or incomplete
+};
+
+/** Printable name of a verdict. */
+const char *verdictName(Verdict v);
+
+} // namespace glifs
+
+#endif // GLIFS_IFT_GOVERNOR_HH

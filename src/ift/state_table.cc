@@ -28,4 +28,17 @@ StateTable::lookup(uint32_t key) const
     return it == table.end() ? nullptr : &it->second;
 }
 
+void
+StateTable::insertRestored(uint32_t key, SymState state)
+{
+    table.insert_or_assign(key, std::move(state));
+}
+
+void
+StateTable::setCounters(size_t merges, size_t subsumptions)
+{
+    mergeCount = merges;
+    subsumeCount = subsumptions;
+}
+
 } // namespace glifs

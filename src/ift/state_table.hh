@@ -45,6 +45,18 @@ class StateTable
     /** The stored conservative state for a branch (or nullptr). */
     const SymState *lookup(uint32_t key) const;
 
+    /** All stored states (checkpoint serialization). */
+    const std::unordered_map<uint32_t, SymState> &entries() const
+    {
+        return table;
+    }
+
+    /** Checkpoint restore: re-insert a stored state verbatim. */
+    void insertRestored(uint32_t key, SymState state);
+
+    /** Checkpoint restore: carry the merge/subsumption counters over. */
+    void setCounters(size_t merges, size_t subsumptions);
+
   private:
     std::unordered_map<uint32_t, SymState> table;
     size_t mergeCount = 0;

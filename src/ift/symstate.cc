@@ -45,6 +45,16 @@ SymState::setSlot(size_t i, const Signal &s)
 }
 
 void
+SymState::setPlanes(BitPlane k, BitPlane v, BitPlane t)
+{
+    GLIFS_ASSERT(k.size() == v.size() && v.size() == t.size(),
+                 "plane size mismatch");
+    known = std::move(k);
+    value = std::move(v);
+    taint = std::move(t);
+}
+
+void
 SymState::capture(const SymLayout &layout, const SignalState &sigs)
 {
     if (known.size() != layout.slots()) {

@@ -97,6 +97,14 @@ class SymState
     /** Number of unknown slots (diagnostics). */
     size_t unknownCount() const { return known.size() - known.count(); }
 
+    /** Raw plane access for checkpoint serialization. */
+    const BitPlane &knownPlane() const { return known; }
+    const BitPlane &valuePlane() const { return value; }
+    const BitPlane &taintPlane() const { return taint; }
+
+    /** Rebuild from raw planes (checkpoint restore); sizes must agree. */
+    void setPlanes(BitPlane k, BitPlane v, BitPlane t);
+
   private:
     BitPlane known;
     BitPlane value;

@@ -20,11 +20,27 @@
  *   --taint-code       mark the task's instructions tainted in program
  *                      memory (paper footnote 3)
  *
- * Exit code: 0 if (after fixing, when --fix) the system verifies
- * secure, 1 otherwise, 2 on usage errors.
+ * Resource governance (see docs/ROBUSTNESS.md):
+ *   --deadline SECS    wall-clock budget; soft threshold at 85%
+ *   --max-cycles N     simulated-cycle budget across all paths
+ *   --max-rss MB       approximate resident-memory budget
+ *   --max-states N     conservative-state-table entry budget
+ *   --checkpoint FILE  write a resumable snapshot when a hard budget,
+ *                      the deadline, or SIGINT/SIGTERM stops the run
+ *   --resume FILE      continue a snapshotted run (same firmware)
+ *   --no-retry         disable the *-logic retry after degradation
+ *
+ * Exit codes (the contract -- see docs/ROBUSTNESS.md):
+ *   0  verified secure (after fixing, when --fix)
+ *   1  violations found
+ *   2  degraded / unknown: not verified secure within the budgets
+ *   3  usage error or unusable input (bad flags, bad policy file,
+ *      unassemblable firmware, unusable checkpoint)
  */
 
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -32,6 +48,7 @@
 #include "assembler/assembler.hh"
 #include "base/logging.hh"
 #include "base/strutil.hh"
+#include "ift/checkpoint.hh"
 #include "ift/policy_file.hh"
 #include "ift/rootcause.hh"
 #include "starlogic/starlogic.hh"
@@ -43,15 +60,25 @@ using namespace glifs;
 namespace
 {
 
+constexpr int kExitSecure = 0;
+constexpr int kExitViolations = 1;
+constexpr int kExitDegraded = 2;
+constexpr int kExitUsage = 3;
+
 [[noreturn]] void
 usage()
 {
-    std::fprintf(stderr,
-                 "usage: glifs_audit <firmware.s> [--policy FILE] "
-                 "[--task-base A] [--task-end A]\n"
-                 "                   [--fix] [--interval 0..3] [--star] "
-                 "[--taint-code]\n");
-    std::exit(2);
+    std::fprintf(
+        stderr,
+        "usage: glifs_audit <firmware.s> [--policy FILE] "
+        "[--task-base A] [--task-end A]\n"
+        "                   [--fix] [--interval 0..3] [--star] "
+        "[--taint-code]\n"
+        "                   [--deadline SECS] [--max-cycles N] "
+        "[--max-rss MB] [--max-states N]\n"
+        "                   [--checkpoint FILE] [--resume FILE] "
+        "[--no-retry]\n");
+    std::exit(kExitUsage);
 }
 
 std::string
@@ -65,19 +92,193 @@ readFile(const std::string &path)
     return oss.str();
 }
 
+extern "C" void
+onStopSignal(int)
+{
+    ResourceGovernor::requestGlobalStop();
+}
+
+int
+exitCodeFor(Verdict v)
+{
+    switch (v) {
+      case Verdict::Secure: return kExitSecure;
+      case Verdict::Violations: return kExitViolations;
+      case Verdict::UnknownDegraded: return kExitDegraded;
+    }
+    return kExitUsage;
+}
+
+const char *
+verdictBanner(Verdict v)
+{
+    switch (v) {
+      case Verdict::Secure: return "SECURE";
+      case Verdict::Violations: return "INSECURE";
+      case Verdict::UnknownDegraded: return "UNKNOWN (degraded)";
+    }
+    return "?";
+}
+
+void
+printDegradations(const EngineResult &r)
+{
+    for (const Degradation &d : r.degradations)
+        std::printf("degradation: %s\n", d.str().c_str());
+}
+
+struct Options
+{
+    std::string path;
+    std::string policyPath;
+    std::string checkpointPath;
+    std::string resumePath;
+    uint16_t taskBase = 0x80;
+    uint16_t taskEnd = 0xFFF;
+    bool fix = false;
+    bool star = false;
+    bool taintCode = false;
+    bool retryDegraded = true;
+    unsigned interval = 1;
+    EngineConfig engineCfg;
+};
+
+/**
+ * Run the engine; if the result is degraded/unknown and retrying is
+ * allowed, fall back to the cheap *-logic configuration (footnote 8).
+ * The fallback is fully conservative, so a clean *-logic completion is
+ * a sound SECURE verdict that rescues the run; otherwise the original
+ * (more informative) result is kept.
+ */
+EngineResult
+analyzeGoverned(const Soc &soc, const Policy &policy,
+                const ProgramImage &img, const Options &opts,
+                const EngineCheckpoint *resume)
+{
+    IftEngine engine(soc, policy, opts.engineCfg);
+    EngineResult result = engine.run(img, resume);
+
+    if (result.verdict() == Verdict::UnknownDegraded &&
+        opts.retryDegraded && !opts.engineCfg.starLogicMode &&
+        !ResourceGovernor::globalStopRequested()) {
+        std::printf("analysis degraded; retrying with the *-logic "
+                    "fallback configuration\n");
+        EngineConfig starCfg = opts.engineCfg;
+        starCfg.starLogicMode = true;
+        starCfg.checkpointOnStop = false;
+        EngineResult fallback =
+            IftEngine(soc, policy, starCfg).run(img);
+        std::printf("*-logic retry: %s\n",
+                    fallback.summary().c_str());
+        if (fallback.verdict() == Verdict::Secure)
+            return fallback;
+    }
+    return result;
+}
+
+int
+runAudit(const Options &opts)
+{
+    Soc soc;
+    Policy policy = opts.policyPath.empty()
+                        ? benchmarkPolicy(opts.taskBase, opts.taskEnd)
+                        : loadPolicyFile(opts.policyPath);
+    policy.taintCodeInProgMem =
+        policy.taintCodeInProgMem || opts.taintCode;
+    std::printf("%s\n", policy.str().c_str());
+
+    AsmProgram prog = parseSource(readFile(opts.path));
+    ProgramImage img = assemble(prog);
+    std::printf("assembled %s: %zu words\n\n", opts.path.c_str(),
+                img.usedWords);
+
+    EngineCheckpoint resumed;
+    const EngineCheckpoint *resume = nullptr;
+    if (!opts.resumePath.empty()) {
+        resumed = EngineCheckpoint::load(opts.resumePath);
+        resume = &resumed;
+        std::printf("resuming from %s (%llu cycles, %zu frontier "
+                    "states)\n\n",
+                    opts.resumePath.c_str(),
+                    static_cast<unsigned long long>(
+                        resumed.totalCycles),
+                    resumed.frontier.size());
+    }
+
+    EngineResult result =
+        analyzeGoverned(soc, policy, img, opts, resume);
+    std::printf("analysis: %s\n\n", result.summary().c_str());
+    printDegradations(result);
+    RootCauseReport rc = analyzeRootCauses(result, policy, &img);
+    std::printf("%s\n", rc.str(&img).c_str());
+
+    if (result.checkpoint && !opts.checkpointPath.empty()) {
+        result.checkpoint->save(opts.checkpointPath);
+        std::printf("checkpoint written to %s (continue with "
+                    "--resume %s)\n",
+                    opts.checkpointPath.c_str(),
+                    opts.checkpointPath.c_str());
+    }
+
+    if (opts.star) {
+        StarLogicResult sl = runStarLogic(soc, policy, img);
+        std::printf("%s\n\n", sl.str().c_str());
+    }
+
+    if (!opts.fix || !rc.needsModification()) {
+        std::printf("verdict: %s\n", verdictBanner(result.verdict()));
+        return exitCodeFor(result.verdict());
+    }
+
+    // Apply fixes: watchdog first (re-analyze before masking, as
+    // Figure 11 requires), then iterate masks.
+    AsmProgram cur = prog;
+    if (!rc.tasksNeedingWatchdog.empty()) {
+        WatchdogXformResult wd =
+            applyWatchdogProtection(cur, opts.interval);
+        for (const std::string &n : wd.notes)
+            std::printf("%s\n", n.c_str());
+        cur = wd.program;
+    }
+    ProgramImage cur_img = assemble(cur);
+    for (int round = 0; round < 4; ++round) {
+        EngineResult r =
+            analyzeGoverned(soc, policy, cur_img, opts, nullptr);
+        RootCauseReport rcr = analyzeRootCauses(r, policy, &cur_img);
+        if (rcr.storesToMask.empty()) {
+            result = r;
+            break;
+        }
+        MaskingResult mr = insertMasks(cur, cur_img, rcr.storesToMask);
+        for (const std::string &n : mr.notes)
+            std::printf("%s\n", n.c_str());
+        if (!mr.unmaskable.empty()) {
+            std::printf("unfixable stores remain\n");
+            return kExitViolations;
+        }
+        cur = mr.program;
+        cur_img = assemble(cur);
+        result = analyzeGoverned(soc, policy, cur_img, opts, nullptr);
+    }
+
+    std::string out_path = opts.path + ".secured.s";
+    std::ofstream out(out_path);
+    out << render(cur);
+    std::printf("\nwrote %s\n", out_path.c_str());
+    std::printf("re-verification: %s\n", result.summary().c_str());
+    printDegradations(result);
+    Verdict v = result.verdict();
+    std::printf("verdict: %s%s\n", verdictBanner(v),
+                v == Verdict::Secure ? " after software fixes" : "");
+    return exitCodeFor(v);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    std::string path;
-    std::string policy_path;
-    uint16_t task_base = 0x80;
-    uint16_t task_end = 0xFFF;
-    bool fix = false;
-    bool star = false;
-    bool taint_code = false;
-    unsigned interval = 1;
+    Options opts;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -86,107 +287,96 @@ main(int argc, char **argv)
                 usage();
             return argv[i];
         };
+        auto nextNum = [&]() -> int64_t {
+            std::optional<int64_t> v = parseInt(next());
+            if (!v || *v < 0)
+                usage();
+            return *v;
+        };
         if (arg == "--policy")
-            policy_path = next();
+            opts.policyPath = next();
         else if (arg == "--task-base")
-            task_base = static_cast<uint16_t>(
-                parseInt(next()).value_or(0x80));
+            opts.taskBase = static_cast<uint16_t>(nextNum());
         else if (arg == "--task-end")
-            task_end = static_cast<uint16_t>(
-                parseInt(next()).value_or(0xFFF));
+            opts.taskEnd = static_cast<uint16_t>(nextNum());
         else if (arg == "--fix")
-            fix = true;
+            opts.fix = true;
         else if (arg == "--star")
-            star = true;
+            opts.star = true;
         else if (arg == "--taint-code")
-            taint_code = true;
+            opts.taintCode = true;
+        else if (arg == "--no-retry")
+            opts.retryDegraded = false;
         else if (arg == "--interval")
-            interval = static_cast<unsigned>(
-                parseInt(next()).value_or(1)) & 3;
+            opts.interval = static_cast<unsigned>(nextNum()) & 3;
+        else if (arg == "--deadline") {
+            std::string s = next();
+            char *end = nullptr;
+            double secs = std::strtod(s.c_str(), &end);
+            if (end == s.c_str() || *end != '\0' || secs <= 0)
+                usage();
+            opts.engineCfg.budgets.hardSeconds = secs;
+            opts.engineCfg.budgets.softSeconds = secs * 0.85;
+        } else if (arg == "--max-cycles") {
+            int64_t n = nextNum();
+            if (n <= 0)
+                usage();
+            opts.engineCfg.maxCycles = static_cast<uint64_t>(n);
+            opts.engineCfg.budgets.softCycles =
+                static_cast<uint64_t>(n - n / 8);
+        } else if (arg == "--max-rss") {
+            int64_t mb = nextNum();
+            if (mb <= 0)
+                usage();
+            opts.engineCfg.budgets.hardRssBytes =
+                static_cast<size_t>(mb) << 20;
+            opts.engineCfg.budgets.softRssBytes =
+                (static_cast<size_t>(mb) << 20) / 8 * 7;
+        } else if (arg == "--max-states") {
+            int64_t n = nextNum();
+            if (n <= 0)
+                usage();
+            opts.engineCfg.budgets.hardStates =
+                static_cast<size_t>(n);
+            opts.engineCfg.budgets.softStates =
+                static_cast<size_t>(n - n / 8);
+        } else if (arg == "--checkpoint")
+            opts.checkpointPath = next();
+        else if (arg == "--resume")
+            opts.resumePath = next();
         else if (!arg.empty() && arg[0] == '-')
             usage();
-        else if (path.empty())
-            path = arg;
+        else if (opts.path.empty())
+            opts.path = arg;
         else
             usage();
     }
-    if (path.empty())
+    if (opts.path.empty())
         usage();
 
+    opts.engineCfg.checkpointOnStop = !opts.checkpointPath.empty();
+    if (opts.engineCfg.checkpointOnStop) {
+        // A killed run should still write its snapshot: SIGINT and
+        // SIGTERM request a governed stop instead of dying outright.
+        std::signal(SIGINT, onStopSignal);
+        std::signal(SIGTERM, onStopSignal);
+    }
+
     try {
-        Soc soc;
-        Policy policy = policy_path.empty()
-                            ? benchmarkPolicy(task_base, task_end)
-                            : loadPolicyFile(policy_path);
-        policy.taintCodeInProgMem =
-            policy.taintCodeInProgMem || taint_code;
-        std::printf("%s\n", policy.str().c_str());
-
-        AsmProgram prog = parseSource(readFile(path));
-        ProgramImage img = assemble(prog);
-        std::printf("assembled %s: %zu words\n\n", path.c_str(),
-                    img.usedWords);
-
-        IftEngine engine(soc, policy, EngineConfig{});
-        EngineResult result = engine.run(img);
-        std::printf("analysis: %s\n\n", result.summary().c_str());
-        RootCauseReport rc = analyzeRootCauses(result, policy, &img);
-        std::printf("%s\n", rc.str(&img).c_str());
-
-        if (star) {
-            StarLogicResult sl = runStarLogic(soc, policy, img);
-            std::printf("%s\n\n", sl.str().c_str());
-        }
-
-        if (!fix || !rc.needsModification()) {
-            std::printf("verdict: %s\n",
-                        result.secure() ? "SECURE" : "INSECURE");
-            return result.secure() ? 0 : 1;
-        }
-
-        // Apply fixes: watchdog first (re-analyze before masking, as
-        // Figure 11 requires), then iterate masks.
-        AsmProgram cur = prog;
-        if (!rc.tasksNeedingWatchdog.empty()) {
-            WatchdogXformResult wd =
-                applyWatchdogProtection(cur, interval);
-            for (const std::string &n : wd.notes)
-                std::printf("%s\n", n.c_str());
-            cur = wd.program;
-        }
-        ProgramImage cur_img = assemble(cur);
-        for (int round = 0; round < 4; ++round) {
-            EngineResult r =
-                IftEngine(soc, policy, EngineConfig{}).run(cur_img);
-            RootCauseReport rcr = analyzeRootCauses(r, policy, &cur_img);
-            if (rcr.storesToMask.empty()) {
-                result = r;
-                break;
-            }
-            MaskingResult mr =
-                insertMasks(cur, cur_img, rcr.storesToMask);
-            for (const std::string &n : mr.notes)
-                std::printf("%s\n", n.c_str());
-            if (!mr.unmaskable.empty()) {
-                std::printf("unfixable stores remain\n");
-                return 1;
-            }
-            cur = mr.program;
-            cur_img = assemble(cur);
-            result = IftEngine(soc, policy, EngineConfig{}).run(cur_img);
-        }
-
-        std::string out_path = path + ".secured.s";
-        std::ofstream out(out_path);
-        out << render(cur);
-        std::printf("\nwrote %s\n", out_path.c_str());
-        std::printf("re-verification: %s\n", result.summary().c_str());
-        std::printf("verdict: %s\n",
-                    result.secure() ? "SECURE after software fixes"
-                                    : "STILL INSECURE");
-        return result.secure() ? 0 : 1;
+        return runAudit(opts);
+    } catch (const FatalError &e) {
+        // User-level input errors (policy file, firmware, netlist
+        // validation): one-line diagnostic, never a raw abort.
+        std::fprintf(stderr, "glifs_audit: %s\n", e.what());
+        return kExitUsage;
+    } catch (const RecoverableError &e) {
+        // Unusable checkpoint or comparable recoverable condition the
+        // CLI cannot recover from by itself.
+        std::fprintf(stderr, "glifs_audit: %s\n", e.what());
+        return kExitUsage;
     } catch (const std::exception &e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 2;
+        std::fprintf(stderr, "glifs_audit: internal error: %s\n",
+                     e.what());
+        return kExitUsage;
     }
 }
