@@ -16,6 +16,8 @@
 #include "ift/engine.hh"
 #include "workloads/workload.hh"
 
+#include "bench_common.hh"
+
 using namespace glifs;
 
 namespace
@@ -33,7 +35,7 @@ row(const char *label, const EngineResult &r)
 } // namespace
 
 int
-main()
+runBench()
 {
     Soc soc;
     std::printf("=== Engine ablations ===\n\n");
@@ -77,4 +79,11 @@ main()
                 "successors trim the conservative next-PC\nsuperset "
                 "but are not required for convergence.\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return glifs::benchjson::printerMain(argc, argv, "ablation_engine",
+                                         [] { return runBench(); });
 }

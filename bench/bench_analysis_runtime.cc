@@ -14,6 +14,8 @@
 #include "workloads/workload.hh"
 #include "ift/engine.hh"
 
+#include "bench_common.hh"
+
 using namespace glifs;
 
 namespace
@@ -77,8 +79,7 @@ BENCHMARK_CAPTURE(BM_AnalyzeWorkload, tHold, std::string("tHold"))
 int
 main(int argc, char **argv)
 {
-    printRuntimeTable();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return glifs::benchjson::benchMain(argc, argv,
+                                       "analysis_runtime", "",
+                                       printRuntimeTable);
 }

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Shared `--json FILE` reporter for the bench binaries
+ * (docs/OBSERVABILITY.md). Every bench accepts `--json FILE` (or
+ * `--json=FILE`) and writes a machine-readable report combining the
+ * google-benchmark run results (when the binary runs timed
+ * benchmarks) with the full stats-registry snapshot, so a bench run
+ * documents not just how fast it went but what work the instrumented
+ * layers actually did.
+ */
+
+#ifndef GLIFS_BENCH_COMMON_HH
+#define GLIFS_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/strutil.hh"
+
+namespace glifs::benchjson
+{
+
+/** One timed benchmark run captured for the JSON report. */
+struct RunResult
+{
+    std::string name;
+    uint64_t iterations = 0;
+    double realSeconds = 0.0;  ///< wall time per iteration
+    double cpuSeconds = 0.0;   ///< CPU time per iteration
+    std::vector<std::pair<std::string, double>> counters;
+};
+
+/**
+ * Console reporter that also collects per-iteration numbers so the
+ * JSON report sees exactly what was printed.
+ */
+class CollectingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &r : runs) {
+            if (r.run_type != Run::RT_Iteration || r.error_occurred)
+                continue;
+            RunResult rr;
+            rr.name = r.benchmark_name();
+            rr.iterations = static_cast<uint64_t>(r.iterations);
+            if (r.iterations > 0) {
+                rr.realSeconds = r.real_accumulated_time /
+                                 static_cast<double>(r.iterations);
+                rr.cpuSeconds = r.cpu_accumulated_time /
+                                static_cast<double>(r.iterations);
+            }
+            for (const auto &[cname, counter] : r.counters)
+                rr.counters.emplace_back(cname, counter.value);
+            results.push_back(std::move(rr));
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+    std::vector<RunResult> results;
+};
+
+/**
+ * Pull `--json FILE` / `--json=FILE` out of argv (so it never reaches
+ * benchmark::Initialize) and return the path; `fallback` when the
+ * flag is absent.
+ */
+inline std::string
+extractJsonPath(int &argc, char **argv,
+                const std::string &fallback = "")
+{
+    std::string path = fallback;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            path = argv[++i];
+        } else if (arg.rfind("--json=", 0) == 0) {
+            path = arg.substr(7);
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    return path;
+}
+
+/** Write the bench report: run results plus the stats snapshot. */
+inline void
+writeReport(const std::string &path, const std::string &benchName,
+            const std::vector<RunResult> &results)
+{
+    std::ostringstream oss;
+    oss << "{\n"
+        << "  \"schema\": \"glifs.bench_report.v1\",\n"
+        << "  \"benchmark\": " << jsonQuote(benchName) << ",\n"
+        << "  \"results\": [\n";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const RunResult &r = results[i];
+        oss << "    {\"name\": " << jsonQuote(r.name)
+            << ", \"iterations\": " << r.iterations
+            << ", \"real_time_sec\": " << r.realSeconds
+            << ", \"cpu_time_sec\": " << r.cpuSeconds;
+        for (const auto &[cname, value] : r.counters)
+            oss << ", " << jsonQuote(cname) << ": " << value;
+        oss << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    oss << "  ],\n"
+        << "  \"stats\": "
+        << stats::Registry::instance().snapshot().json(2) << "\n"
+        << "}\n";
+
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "cannot write bench report %s\n",
+                     path.c_str());
+        return;
+    }
+    out << oss.str();
+    std::printf("bench report written to %s\n", path.c_str());
+}
+
+/**
+ * Main body for benchmark-driven binaries: run the registered
+ * benchmarks and honor `--json`. `preamble` (optional) prints the
+ * reproduction tables before the timed runs.
+ */
+inline int
+benchMain(int argc, char **argv, const std::string &benchName,
+          const std::string &defaultJsonPath = "",
+          const std::function<void()> &preamble = {})
+{
+    std::string jsonPath =
+        extractJsonPath(argc, argv, defaultJsonPath);
+    if (preamble)
+        preamble();
+    benchmark::Initialize(&argc, argv);
+    CollectingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    if (!jsonPath.empty())
+        writeReport(jsonPath, benchName, reporter.results);
+    return 0;
+}
+
+/**
+ * Main body for the plain table/figure printer binaries (no timed
+ * benchmarks): run the printer, then report the stats snapshot the
+ * run accumulated when `--json` was given.
+ */
+inline int
+printerMain(int argc, char **argv, const std::string &benchName,
+            const std::function<int()> &body)
+{
+    std::string jsonPath = extractJsonPath(argc, argv);
+    int rc = body();
+    if (!jsonPath.empty())
+        writeReport(jsonPath, benchName, {});
+    return rc;
+}
+
+} // namespace glifs::benchjson
+
+#endif // GLIFS_BENCH_COMMON_HH

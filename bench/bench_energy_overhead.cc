@@ -12,10 +12,12 @@
 #include "workloads/toolflow.hh"
 #include "xform/overhead.hh"
 
+#include "bench_common.hh"
+
 using namespace glifs;
 
 int
-main()
+runBench()
 {
     Soc soc;
     std::printf("=== Energy overhead of analysis-guided software "
@@ -78,4 +80,11 @@ main()
                     100.0 * sum_violators / n_violators);
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return glifs::benchjson::printerMain(argc, argv, "energy_overhead",
+                                         [] { return runBench(); });
 }

@@ -12,6 +12,8 @@
 
 #include "logic/glift.hh"
 
+#include "bench_common.hh"
+
 namespace
 {
 
@@ -71,8 +73,7 @@ BENCHMARK(BM_GliftReferenceNand);
 int
 main(int argc, char **argv)
 {
-    printTables();
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return glifs::benchjson::benchMain(argc, argv,
+                                       "fig1_glift_truth_table", "",
+                                       printTables);
 }

@@ -12,6 +12,8 @@
 #include "ift/rootcause.hh"
 #include "workloads/motivation.hh"
 
+#include "bench_common.hh"
+
 using namespace glifs;
 
 namespace
@@ -40,7 +42,7 @@ runExample(const Soc &soc, const MicroBenchmark &mb)
 } // namespace
 
 int
-main()
+runBench()
 {
     std::printf("=== Figures 3-5: motivation examples ===\n\n");
     Soc soc;
@@ -52,4 +54,11 @@ main()
         "hardware; Fig. 4 insecure (tainted offset reaches untainted\n"
         "memory/ports); Fig. 5 secure again after software masking.\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return glifs::benchjson::printerMain(argc, argv, "fig345_motivation",
+                                         [] { return runBench(); });
 }

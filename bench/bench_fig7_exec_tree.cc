@@ -15,6 +15,8 @@
 #include "sim/simulator.hh"
 #include "sim/trace.hh"
 
+#include "bench_common.hh"
+
 using namespace glifs;
 
 namespace
@@ -72,7 +74,7 @@ runPath(const char *title, const std::vector<Step> &steps)
 } // namespace
 
 int
-main()
+runBench()
 {
     std::printf("=== Figure 7: symbolic execution tree with taint ===\n\n");
 
@@ -102,4 +104,11 @@ main()
                 "the untainted reset recovers\nan untainted state "
                 "(Section 4.3 of the paper).\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return glifs::benchjson::printerMain(argc, argv, "fig7_exec_tree",
+                                         [] { return runBench(); });
 }

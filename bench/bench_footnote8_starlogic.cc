@@ -14,10 +14,12 @@
 #include "starlogic/starlogic.hh"
 #include "workloads/toolflow.hh"
 
+#include "bench_common.hh"
+
 using namespace glifs;
 
 int
-main()
+runBench()
 {
     Soc soc;
     std::printf("=== Footnote 8: *-logic vs application-specific "
@@ -67,4 +69,11 @@ main()
                 aborted ? 100.0 * taint_sum / aborted : 0.0,
                 verified_by_ours, violators);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return glifs::benchjson::printerMain(argc, argv, "footnote8_starlogic",
+                                         [] { return runBench(); });
 }

@@ -11,6 +11,8 @@
 #include "ift/engine.hh"
 #include "workloads/micro.hh"
 
+#include "bench_common.hh"
+
 using namespace glifs;
 
 namespace
@@ -36,7 +38,7 @@ has(const EngineResult &r, ViolationKind kind)
 } // namespace
 
 int
-main()
+runBench()
 {
     Soc soc;
     std::printf("=== Section 5.3: verification of software techniques "
@@ -90,4 +92,11 @@ main()
                     r.secure() ? "verified secure" : "insecure");
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return glifs::benchjson::printerMain(argc, argv, "sec53_verification",
+                                         [] { return runBench(); });
 }

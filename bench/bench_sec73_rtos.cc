@@ -16,6 +16,8 @@
 #include "workloads/rtos.hh"
 #include "xform/masking.hh"
 
+#include "bench_common.hh"
+
 using namespace glifs;
 
 namespace
@@ -61,7 +63,7 @@ report(const Soc &soc, const MicroBenchmark &mb, uint64_t *cycles)
 } // namespace
 
 int
-main()
+runBench()
 {
     Soc soc;
     std::printf("=== Section 7.3: information flow secure scheduling "
@@ -107,4 +109,11 @@ main()
                     overhead, best_sel);
     }
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return glifs::benchjson::printerMain(argc, argv, "sec73_rtos",
+                                         [] { return runBench(); });
 }

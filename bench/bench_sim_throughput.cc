@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "assembler/assembler.hh"
+#include "bench_common.hh"
 #include "ift/symstate.hh"
 #include "netlist/stats.hh"
 #include "soc/runner.hh"
@@ -126,4 +127,11 @@ BENCHMARK(BM_SymStateMerge);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Default report in the working directory so CI picks it up as a
+    // build artifact without extra plumbing (docs/OBSERVABILITY.md).
+    return glifs::benchjson::benchMain(argc, argv, "sim_throughput",
+                                       "BENCH_sim_throughput.json");
+}

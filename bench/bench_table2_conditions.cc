@@ -10,6 +10,8 @@
 
 #include "workloads/toolflow.hh"
 
+#include "bench_common.hh"
+
 using namespace glifs;
 
 namespace
@@ -55,7 +57,7 @@ mark(bool b)
 } // namespace
 
 int
-main()
+runBench()
 {
     Soc soc;
     std::printf("=== Table 2: sufficient-condition violations before/"
@@ -84,4 +86,11 @@ main()
                 "modification; no benchmark violates C3/C4/C5.\n");
     std::printf("rows matching the paper: %d / 13\n", expected_matches);
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return glifs::benchjson::printerMain(argc, argv, "table2_conditions",
+                                         [] { return runBench(); });
 }

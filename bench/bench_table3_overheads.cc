@@ -17,6 +17,8 @@
 #include "workloads/toolflow.hh"
 #include "xform/overhead.hh"
 
+#include "bench_common.hh"
+
 using namespace glifs;
 
 namespace
@@ -42,7 +44,7 @@ bestOverIntervals(const Soc &soc,
 } // namespace
 
 int
-main()
+runBench()
 {
     Soc soc;
     std::printf("=== Table 3: performance overhead (%%) of software-"
@@ -113,4 +115,11 @@ main()
                 "benchmarks with analysis;\nwithout analysis every "
                 "benchmark pays masking + watchdog bounding.\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return glifs::benchjson::printerMain(argc, argv, "table3_overheads",
+                                         [] { return runBench(); });
 }

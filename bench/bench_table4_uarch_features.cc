@@ -12,8 +12,10 @@
 #include "netlist/stats.hh"
 #include "soc/soc.hh"
 
+#include "bench_common.hh"
+
 int
-main()
+runBench()
 {
     std::printf("=== Table 4: microarchitectural features in recent "
                 "embedded processors ===\n\n");
@@ -49,4 +51,11 @@ main()
                 "see Section 8 for how co-analysis could extend\nto "
                 "caches and prediction by X-injection on tag checks.)\n");
     return 0;
+}
+
+int
+main(int argc, char **argv)
+{
+    return glifs::benchjson::printerMain(argc, argv, "table4_uarch_features",
+                                         [] { return runBench(); });
 }

@@ -38,6 +38,9 @@ std::string hex16(uint16_t v);
 /** Format a ratio as a fixed-precision percent string. */
 std::string percent(double ratio, int precision = 2);
 
+/** Quote and escape a string as a JSON string literal. */
+std::string jsonQuote(const std::string &s);
+
 } // namespace glifs
 
 #endif // GLIFS_BASE_STRUTIL_HH

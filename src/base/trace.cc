@@ -1,0 +1,246 @@
+#include "base/trace.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace glifs
+{
+namespace trace
+{
+
+void
+Args::key(const char *k)
+{
+    if (!body.empty())
+        body += ", ";
+    body += '"';
+    body += k;
+    body += "\": ";
+}
+
+Args &
+Args::add(const char *k, uint64_t v)
+{
+    key(k);
+    body += std::to_string(v);
+    return *this;
+}
+
+Args &
+Args::add(const char *k, int64_t v)
+{
+    key(k);
+    body += std::to_string(v);
+    return *this;
+}
+
+Args &
+Args::add(const char *k, double v)
+{
+    key(k);
+    std::ostringstream oss;
+    oss.precision(9);
+    oss << v;
+    body += oss.str();
+    return *this;
+}
+
+Args &
+Args::add(const char *k, const char *v)
+{
+    key(k);
+    body += jsonQuote(v);
+    return *this;
+}
+
+Args &
+Args::add(const char *k, const std::string &v)
+{
+    key(k);
+    body += jsonQuote(v);
+    return *this;
+}
+
+Tracer &
+Tracer::instance()
+{
+    // Leaked so tracing outlives static destructors of instrumented
+    // modules (mirrors stats::Registry).
+    static Tracer *t = new Tracer;
+    return *t;
+}
+
+void
+Tracer::enable(size_t capacity)
+{
+    ring.assign(capacity == 0 ? 1 : capacity, Event{});
+    next = 0;
+    count = 0;
+    droppedCount = 0;
+    t0 = std::chrono::steady_clock::now();
+    on = true;
+}
+
+void
+Tracer::disable()
+{
+    on = false;
+}
+
+void
+Tracer::clear()
+{
+    next = 0;
+    count = 0;
+    droppedCount = 0;
+}
+
+uint64_t
+Tracer::nowUs() const
+{
+    if (!on)
+        return 0;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+}
+
+void
+Tracer::push(Event &&e)
+{
+    if (count == ring.size())
+        ++droppedCount;
+    else
+        ++count;
+    ring[next] = std::move(e);
+    next = (next + 1) % ring.size();
+}
+
+void
+Tracer::instant(const char *cat, const char *name, std::string args)
+{
+    if (!on)
+        return;
+    Event e;
+    e.name = name;
+    e.cat = cat;
+    e.ph = 'i';
+    e.tsUs = nowUs();
+    e.args = std::move(args);
+    push(std::move(e));
+}
+
+void
+Tracer::complete(const char *cat, const char *name, uint64_t tsUs,
+                 uint64_t durUs, std::string args)
+{
+    if (!on)
+        return;
+    Event e;
+    e.name = name;
+    e.cat = cat;
+    e.ph = 'X';
+    e.tsUs = tsUs;
+    e.durUs = durUs;
+    e.args = std::move(args);
+    push(std::move(e));
+}
+
+void
+Tracer::counter(const char *cat, const char *name, double value)
+{
+    if (!on)
+        return;
+    Event e;
+    e.name = name;
+    e.cat = cat;
+    e.ph = 'C';
+    e.tsUs = nowUs();
+    e.args = Args().add("value", value).str();
+    push(std::move(e));
+}
+
+std::vector<Event>
+Tracer::events() const
+{
+    std::vector<Event> out;
+    out.reserve(count);
+    // Oldest-first: when full, the oldest slot is `next`.
+    const size_t start = count == ring.size() ? next : 0;
+    for (size_t i = 0; i < count; ++i)
+        out.push_back(ring[(start + i) % ring.size()]);
+    return out;
+}
+
+size_t
+Tracer::countCategory(const char *cat) const
+{
+    size_t n = 0;
+    const size_t start = count == ring.size() ? next : 0;
+    for (size_t i = 0; i < count; ++i) {
+        const Event &e = ring[(start + i) % ring.size()];
+        if (std::string(e.cat) == cat)
+            ++n;
+    }
+    return n;
+}
+
+std::string
+Tracer::json() const
+{
+    std::ostringstream oss;
+    oss << "{\n  \"displayTimeUnit\": \"ms\",\n"
+        << "  \"traceEvents\": [\n";
+    const std::vector<Event> evs = events();
+    for (size_t i = 0; i < evs.size(); ++i) {
+        const Event &e = evs[i];
+        oss << "    {\"name\": " << jsonQuote(e.name)
+            << ", \"cat\": " << jsonQuote(e.cat) << ", \"ph\": \""
+            << e.ph << "\", \"ts\": " << e.tsUs
+            << ", \"pid\": 1, \"tid\": 1";
+        if (e.ph == 'X')
+            oss << ", \"dur\": " << e.durUs;
+        if (e.ph == 'i')
+            oss << ", \"s\": \"g\"";
+        if (!e.args.empty())
+            oss << ", \"args\": {" << e.args << "}";
+        oss << "}" << (i + 1 < evs.size() ? "," : "") << "\n";
+    }
+    oss << "  ]\n}\n";
+    return oss.str();
+}
+
+void
+Tracer::writeJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        GLIFS_FATAL("cannot write trace file ", path);
+    out << json();
+    if (!out)
+        GLIFS_FATAL("error writing trace file ", path);
+}
+
+std::string
+Tracer::text() const
+{
+    std::ostringstream oss;
+    for (const Event &e : events()) {
+        oss << e.tsUs << "us " << e.cat << "." << e.name;
+        if (e.ph == 'X')
+            oss << " (" << e.durUs << "us)";
+        if (!e.args.empty())
+            oss << " {" << e.args << "}";
+        oss << "\n";
+    }
+    if (droppedCount)
+        oss << "(" << droppedCount << " older events dropped)\n";
+    return oss.str();
+}
+
+} // namespace trace
+} // namespace glifs

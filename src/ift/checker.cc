@@ -4,11 +4,36 @@
 
 #include "base/bitutil.hh"
 #include "base/logging.hh"
+#include "base/stats.hh"
 #include "base/strutil.hh"
+#include "base/trace.hh"
 #include "soc/address_map.hh"
 
 namespace glifs
 {
+
+namespace
+{
+
+/** Policy-checking counters (docs/OBSERVABILITY.md). */
+struct CheckerStats
+{
+    stats::Scalar cycleChecks{"checker.cycle_checks",
+                              "per-cycle C1-C5 checks"};
+    stats::Scalar memoryScans{"checker.memory_scans",
+                              "path-end memory invariant scans"};
+    stats::Scalar violations{"checker.violations",
+                             "violation observations recorded"};
+};
+
+CheckerStats &
+checkerStats()
+{
+    static CheckerStats s;
+    return s;
+}
+
+} // namespace
 
 const char *
 violationKindName(ViolationKind kind)
@@ -65,6 +90,11 @@ ViolationLog::record(ViolationKind kind, uint16_t instr_addr,
                      uint64_t cycle, const std::string &detail,
                      bool maskable)
 {
+    ++checkerStats().violations;
+    GLIFS_TRACE_INSTANT_ARGS("checker", "violation",
+                             add("kind", violationKindName(kind))
+                                 .add("instr", hex16(instr_addr))
+                                 .add("cycle", cycle));
     auto key = std::make_pair(static_cast<uint8_t>(kind), instr_addr);
     auto it = entries.find(key);
     if (it == entries.end()) {
@@ -350,6 +380,7 @@ void
 FlowChecker::checkCycle(const Simulator &sim, uint16_t instr_addr,
                         uint64_t cycle, ViolationLog &log) const
 {
+    ++checkerStats().cycleChecks;
     const SocProbes &prb = soc.probes();
     const bool code_tainted = policy.codeTainted(instr_addr);
 
@@ -386,6 +417,7 @@ FlowChecker::checkMemoryInvariant(const Simulator &sim,
                                   uint16_t instr_addr, uint64_t cycle,
                                   ViolationLog &log) const
 {
+    ++checkerStats().memoryScans;
     const SocProbes &prb = soc.probes();
     const Netlist &nl = soc.netlist();
     const MemoryDecl &ram = nl.memory(prb.dataMem);

@@ -1,8 +1,11 @@
 #include "ift/checkpoint.hh"
 
+#include <chrono>
 #include <fstream>
 
 #include "base/logging.hh"
+#include "base/stats.hh"
+#include "base/trace.hh"
 
 namespace glifs
 {
@@ -11,6 +14,28 @@ namespace
 {
 
 constexpr char kMagic[8] = {'G', 'L', 'F', 'S', 'C', 'K', 'P', 'T'};
+
+/** Snapshot size/latency accounting (docs/OBSERVABILITY.md). */
+struct CheckpointStats
+{
+    stats::Scalar saves{"checkpoint.saves", "snapshots written"};
+    stats::Scalar loads{"checkpoint.loads", "snapshots loaded"};
+    stats::Gauge bytesWritten{"checkpoint.bytes_written",
+                              "size of the last snapshot written"};
+    stats::Gauge bytesRead{"checkpoint.bytes_read",
+                           "size of the last snapshot loaded"};
+    stats::Gauge saveSeconds{"checkpoint.save_seconds",
+                             "wall time of the last save"};
+    stats::Gauge loadSeconds{"checkpoint.load_seconds",
+                             "wall time of the last load"};
+};
+
+CheckpointStats &
+ckptStats()
+{
+    static CheckpointStats s;
+    return s;
+}
 
 /** Little-endian primitive writer over an output stream. */
 class Writer
@@ -163,6 +188,8 @@ checkpointFingerprint(const ProgramImage &image, size_t slots,
 void
 EngineCheckpoint::save(const std::string &path) const
 {
+    GLIFS_TRACE_SCOPE("checkpoint", "save");
+    const auto t0 = std::chrono::steady_clock::now();
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out)
         GLIFS_RECOVERABLE("checkpoint: cannot write ", path);
@@ -224,11 +251,20 @@ EngineCheckpoint::save(const std::string &path) const
     out.flush();
     if (!out)
         GLIFS_RECOVERABLE("checkpoint: write to ", path, " failed");
+
+    CheckpointStats &st = ckptStats();
+    ++st.saves;
+    st.bytesWritten.set(static_cast<double>(out.tellp()));
+    st.saveSeconds.set(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count());
 }
 
 EngineCheckpoint
 EngineCheckpoint::load(const std::string &path)
 {
+    GLIFS_TRACE_SCOPE("checkpoint", "load");
+    const auto t0 = std::chrono::steady_clock::now();
     std::ifstream in(path, std::ios::binary);
     if (!in)
         GLIFS_RECOVERABLE("checkpoint: cannot open ", path);
@@ -326,6 +362,14 @@ EngineCheckpoint::load(const std::string &path)
         n.end = static_cast<PathEnd>(end);
         c.tree.push_back(n);
     }
+
+    CheckpointStats &st = ckptStats();
+    ++st.loads;
+    const auto pos = in.tellg();
+    st.bytesRead.set(pos > 0 ? static_cast<double>(pos) : 0.0);
+    st.loadSeconds.set(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count());
     return c;
 }
 

@@ -5,13 +5,78 @@
 #include <sstream>
 
 #include "base/logging.hh"
+#include "base/stats.hh"
 #include "base/strutil.hh"
+#include "base/trace.hh"
 #include "ift/checkpoint.hh"
 #include "ift/symstate.hh"
 #include "sim/simulator.hh"
 
 namespace glifs
 {
+
+namespace
+{
+
+/** Exploration counters of the symbolic engine (docs/OBSERVABILITY.md). */
+struct EngineStats
+{
+    stats::Scalar runs{"engine.runs", "analysis runs started"};
+    stats::Scalar cycles{"engine.cycles",
+                         "simulated cycles across all paths"};
+    stats::Scalar paths{"engine.paths", "execution points explored"};
+    stats::Scalar branchPoints{"engine.branch_points",
+                               "forks on unknown PC or reset"};
+    stats::Scalar porForks{"engine.por_forks",
+                           "unknown watchdog-expiry forks"};
+    stats::Scalar pcFanouts{"engine.pc_fanouts",
+                            "unknown-PC successor enumerations"};
+    stats::Distribution fanoutWidth{
+        "engine.fanout_width",
+        "concrete successors per unknown-PC branch", 0, 64, 16};
+    stats::Distribution frontierDepth{
+        "engine.frontier_depth", "frontier size at each pop", 0, 256,
+        32};
+    stats::Gauge frontierPeak{"engine.frontier_peak",
+                              "pending execution points"};
+    stats::Scalar escalations{"engine.escalations",
+                              "degradation-ladder escalations"};
+    stats::Scalar starSaturations{"engine.star_saturations",
+                                  "paths saturated to *-logic"};
+    stats::Gauge setupSeconds{"engine.setup_seconds",
+                              "wall time loading/restoring state"};
+    stats::Gauge exploreSeconds{"engine.explore_seconds",
+                                "wall time in the exploration loop"};
+    stats::Gauge finalizeSeconds{
+        "engine.finalize_seconds",
+        "wall time assembling results/checkpoints"};
+    stats::Formula cyclesPerPath{
+        "engine.cycles_per_path", "mean simulated cycles per path",
+        [] {
+            EngineStats &s = engineStats();
+            return s.paths.value() == 0
+                       ? 0.0
+                       : static_cast<double>(s.cycles.value()) /
+                             s.paths.value();
+        }};
+
+    static EngineStats &engineStats();
+};
+
+EngineStats &
+EngineStats::engineStats()
+{
+    static EngineStats s;
+    return s;
+}
+
+EngineStats &
+engineStats()
+{
+    return EngineStats::engineStats();
+}
+
+} // namespace
 
 bool
 EngineResult::degradedUnsound() const
@@ -185,8 +250,16 @@ struct RunCtx
         d.cycle = totalCycles;
         d.instrAddr = instr_addr;
         d.detail = std::move(detail);
-        if (cfg.debugTrace)
-            fprintf(stderr, "degrade: %s\n", d.str().c_str());
+        ++engineStats().escalations;
+        GLIFS_TRACE_INSTANT_ARGS(
+            "engine", "degrade",
+            add("level", degradeLevelName(lvl))
+                .add("trigger", resourceKindName(trigger))
+                .add("severity",
+                     severity == BudgetSeverity::Hard ? "hard"
+                                                      : "soft")
+                .add("cycle", totalCycles)
+                .add("instr", hex16(instr_addr)));
         degradations.push_back(std::move(d));
     }
 
@@ -361,6 +434,8 @@ struct RunCtx
     std::pair<size_t, size_t>
     starSaturate()
     {
+        ++engineStats().starSaturations;
+        GLIFS_TRACE_INSTANT("engine", "star_saturate");
         const Netlist &nl = soc.netlist();
         for (GateId g : nl.dffs())
             sim.state().setNet(nl.gate(g).out, Signal{Tern::X, true});
@@ -417,7 +492,17 @@ IftEngine::run(const ProgramImage &image)
 EngineResult
 IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
 {
+    GLIFS_TRACE_SCOPE("engine", "run");
+    EngineStats &es = engineStats();
+    ++es.runs;
+    trace::Tracer &tr = trace::Tracer::instance();
     const auto t0 = std::chrono::steady_clock::now();
+    const uint64_t traceT0 = tr.enabled() ? tr.nowUs() : 0;
+    auto secondsSince = [](std::chrono::steady_clock::time_point t) {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t)
+            .count();
+    };
 
     // Fold the legacy cycle budget into the governed budgets as a hard
     // cycle budget (keeping the smaller of the two if both are set).
@@ -430,6 +515,13 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
 
     RunCtx ctx(soc, policy, effective, image);
     EngineResult res;
+
+    // Heartbeat and budget checks share the governor's poll clock
+    // (docs/OBSERVABILITY.md): one firing proves the other is live.
+    if (effective.progressSeconds > 0 && effective.progressFn) {
+        ctx.gov.setHeartbeat(effective.progressSeconds,
+                             effective.progressFn);
+    }
 
     // Load the binary; optionally taint the tainted code partitions in
     // program memory (footnote 3). Program ROM is not part of the
@@ -483,6 +575,7 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
         ctx.setInputs(true);
         ctx.sim.step();
         ++ctx.totalCycles;
+        ++es.cycles;
         ctx.gov.chargeCycles(1);
 
         SymState s0(ctx.layout);
@@ -491,16 +584,34 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
         ctx.stack.emplace_back(std::move(s0), root);
     }
 
+    es.setupSeconds.add(secondsSince(t0));
+    if (tr.enabled())
+        tr.complete("engine", "setup", traceT0, tr.nowUs() - traceT0);
+    const auto tExplore = std::chrono::steady_clock::now();
+    const uint64_t traceTExplore = tr.enabled() ? tr.nowUs() : 0;
+
     const SocProbes &prb = soc.probes();
 
     while (!ctx.stack.empty() && !ctx.budgetHit && !ctx.starAborted) {
         auto [state, node] = std::move(ctx.stack.back());
         ctx.stack.pop_back();
         ++ctx.pathsExplored;
+        ++es.paths;
+        es.frontierDepth.sample(
+            static_cast<double>(ctx.stack.size()));
+        es.frontierPeak.set(
+            static_cast<double>(ctx.stack.size() + 1));
+        ctx.gov.noteFrontier(ctx.stack.size() + 1);
         state.restore(ctx.layout, ctx.sim.state());
-        if (cfg.debugTrace) {
-            fprintf(stderr, "pop node %u pc=%03x stack=%zu\n", node,
-                    ctx.statePcBase(state), ctx.stack.size());
+        if (tr.enabled()) {
+            tr.instant("engine", "pop",
+                       trace::Args()
+                           .add("node", static_cast<uint64_t>(node))
+                           .add("pc", hex16(ctx.statePcBase(state)))
+                           .add("stack",
+                                static_cast<uint64_t>(
+                                    ctx.stack.size()))
+                           .str());
         }
 
         // A popped state must have a concrete PC (children are pushed
@@ -549,6 +660,7 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
             ctx.setInputs(false);
             ctx.sim.evalComb();
             ++ctx.totalCycles;
+            ++es.cycles;
             ctx.gov.chargeCycles(1);
             ++ctx.tree.node(node).cycles;
             if (cfg.trackTaintedNets)
@@ -606,6 +718,12 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
             Signal por = ctx.sim.netValue(prb.porNet);
             if (!por.known()) {
                 ++ctx.branchPoints;
+                ++es.branchPoints;
+                ++es.porForks;
+                GLIFS_TRACE_INSTANT_ARGS(
+                    "engine", "por_fork",
+                    add("instr", hex16(instr_addr))
+                        .add("cycle", ctx.totalCycles));
                 SymState pre(ctx.layout);
                 pre.capture(ctx.layout, ctx.sim.state());
 
@@ -656,13 +774,18 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
                     ? StateTable::Visit::New
                     : ctx.table.visit(table_key, cur);
             ctx.gov.noteStates(ctx.table.size());
-            if (cfg.debugTrace) {
-                fprintf(stderr,
-                        "  visit @%03x fsm=%u -> %d pcX=%d cyc=%llu\n",
-                        instr_addr, fsm, static_cast<int>(visit),
-                        !ctx.statePcXBits(cur).empty(),
-                        static_cast<unsigned long long>(
-                            ctx.totalCycles));
+            if (tr.enabled()) {
+                static const char *const visitNames[] = {
+                    "new", "subsumed", "merged"};
+                tr.instant(
+                    "engine", "visit",
+                    trace::Args()
+                        .add("instr", hex16(instr_addr))
+                        .add("fsm", static_cast<uint64_t>(fsm))
+                        .add("result",
+                             visitNames[static_cast<int>(visit)])
+                        .add("cycle", ctx.totalCycles)
+                        .str());
             }
             if (visit == StateTable::Visit::Subsumed) {
                 ctx.tree.node(node).end = PathEnd::Subsumed;
@@ -714,11 +837,24 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
                     break;
                 }
                 ++ctx.branchPoints;
+                ++es.branchPoints;
+                ++es.pcFanouts;
+                es.fanoutWidth.sample(
+                    static_cast<double>(pcs.size()));
+                GLIFS_TRACE_INSTANT_ARGS(
+                    "engine", "branch",
+                    add("instr", hex16(instr_addr))
+                        .add("successors",
+                             static_cast<uint64_t>(pcs.size()))
+                        .add("cycle", ctx.totalCycles));
                 for (uint16_t pc : pcs) {
                     uint32_t cn = ctx.tree.addNode(node, pc);
                     ctx.stack.emplace_back(ctx.concretizePc(cur, pc),
                                            cn);
                 }
+                es.frontierPeak.set(
+                    static_cast<double>(ctx.stack.size()));
+                ctx.gov.noteFrontier(ctx.stack.size());
                 ctx.tree.node(node).end = PathEnd::Branched;
                 ctx.tree.node(node).endInstr = instr_addr;
                 path_done = true;
@@ -728,6 +864,14 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
                 cur.restore(ctx.layout, ctx.sim.state());
         }
     }
+
+    es.exploreSeconds.add(secondsSince(tExplore));
+    if (tr.enabled()) {
+        tr.complete("engine", "explore", traceTExplore,
+                    tr.nowUs() - traceTExplore);
+    }
+    const auto tFinalize = std::chrono::steady_clock::now();
+    const uint64_t traceTFinalize = tr.enabled() ? tr.nowUs() : 0;
 
     res.completed = ctx.stack.empty() && !ctx.budgetHit &&
                     !ctx.starAborted;
@@ -788,6 +932,12 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
         res.totalGates == 0
             ? 0.0
             : static_cast<double>(res.taintedGates) / res.totalGates;
+
+    es.finalizeSeconds.add(secondsSince(tFinalize));
+    if (tr.enabled()) {
+        tr.complete("engine", "finalize", traceTFinalize,
+                    tr.nowUs() - traceTFinalize);
+    }
 
     const auto t1 = std::chrono::steady_clock::now();
     res.analysisSeconds =

@@ -75,8 +75,17 @@ struct EngineConfig
     /** Track which nets ever carried taint (for gate-taint stats). */
     bool trackTaintedNets = true;
 
-    /** Print exploration events to stderr (debugging aid). */
-    bool debugTrace = false;
+    /**
+     * Liveness heartbeat: when progressSeconds > 0 and progressFn is
+     * set, the governor fires progressFn about every progressSeconds
+     * from its per-cycle poll point — the same clock that services
+     * budget checks and SIGINT-safe stop requests (glifs_audit
+     * --progress). Exploration events themselves go to the structured
+     * tracer (base/trace.hh) when it is enabled, replacing the old
+     * debugTrace stderr prints.
+     */
+    double progressSeconds = 0.0;
+    ResourceGovernor::ProgressFn progressFn;
 
     /**
      * Ablation: disable the conservative state table. Paths only end

@@ -1,9 +1,12 @@
 #include "ift/governor.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 
+#include "base/stats.hh"
 #include "base/strutil.hh"
+#include "base/trace.hh"
 
 #ifdef __linux__
 #include <unistd.h>
@@ -20,6 +23,30 @@ std::atomic<bool> g_stopRequested{false};
 
 /** Sample RSS only every this many polls (it is a file read). */
 constexpr uint64_t kRssSampleInterval = 512;
+
+/** Check the heartbeat clock only every this many polls. */
+constexpr uint64_t kHeartbeatCheckInterval = 64;
+
+/** Budget/ladder counters (docs/OBSERVABILITY.md). */
+struct GovernorStats
+{
+    stats::Scalar polls{"governor.polls", "per-cycle budget polls"};
+    stats::Scalar softEvents{"governor.soft_events",
+                             "soft thresholds crossed"};
+    stats::Scalar hardEvents{"governor.hard_events",
+                             "hard budget exhaustions"};
+    stats::Scalar heartbeats{"governor.heartbeats",
+                             "progress heartbeats fired"};
+    stats::Gauge rssBytes{"governor.rss_bytes",
+                          "sampled resident set size"};
+};
+
+GovernorStats &
+govStats()
+{
+    static GovernorStats s;
+    return s;
+}
 
 } // namespace
 
@@ -211,21 +238,107 @@ ResourceGovernor::softEvent()
     return std::nullopt;
 }
 
+void
+ResourceGovernor::setHeartbeat(double periodSeconds, ProgressFn fn)
+{
+    heartbeatPeriod = periodSeconds;
+    nextHeartbeat = periodSeconds;
+    heartbeatFn = std::move(fn);
+}
+
+GovernorProgress
+ResourceGovernor::progress()
+{
+    GovernorProgress p;
+    p.cycles = cycleCount;
+    p.elapsedSeconds = elapsedSeconds();
+    p.cyclesPerSec = p.elapsedSeconds > 0
+                         ? static_cast<double>(cycleCount) /
+                               p.elapsedSeconds
+                         : 0;
+    p.frontier = frontierCount;
+    p.states = stateCount;
+    if (sampledRss == 0)
+        sampledRss = currentRssBytes();
+    p.rssBytes = sampledRss;
+
+    double used = 0;
+    if (budgets.hardCycles) {
+        used = std::max(used, static_cast<double>(cycleCount) /
+                                  budgets.hardCycles);
+    }
+    if (budgets.hardSeconds > 0)
+        used = std::max(used, p.elapsedSeconds / budgets.hardSeconds);
+    if (budgets.hardStates) {
+        used = std::max(used, static_cast<double>(stateCount) /
+                                  budgets.hardStates);
+    }
+    if (budgets.hardRssBytes && sampledRss) {
+        used = std::max(used, static_cast<double>(sampledRss) /
+                                  budgets.hardRssBytes);
+    }
+    p.budgetUsed = std::min(used, 1.0);
+    return p;
+}
+
+void
+ResourceGovernor::maybeHeartbeat()
+{
+    if (heartbeatPeriod <= 0 || !heartbeatFn)
+        return;
+    if (pollCount % kHeartbeatCheckInterval != 0)
+        return;
+    const double t = elapsedSeconds();
+    if (t < nextHeartbeat)
+        return;
+    nextHeartbeat = t + heartbeatPeriod;
+    ++govStats().heartbeats;
+    GovernorProgress p = progress();
+    trace::Tracer &tr = trace::Tracer::instance();
+    if (tr.enabled()) {
+        tr.counter("governor", "frontier",
+                   static_cast<double>(p.frontier));
+        tr.counter("governor", "states",
+                   static_cast<double>(p.states));
+        tr.counter("governor", "cycles_per_sec", p.cyclesPerSec);
+    }
+    heartbeatFn(p);
+}
+
 std::optional<BudgetEvent>
 ResourceGovernor::poll()
 {
+    maybeHeartbeat();
     if (hardFired)
         return std::nullopt;
     ++pollCount;
-    if ((budgets.softRssBytes || budgets.hardRssBytes) &&
+    ++govStats().polls;
+    if ((budgets.softRssBytes || budgets.hardRssBytes ||
+         heartbeatPeriod > 0) &&
         pollCount % kRssSampleInterval == 1) {
         sampledRss = currentRssBytes();
+        govStats().rssBytes.set(static_cast<double>(sampledRss));
     }
+    auto traced = [](BudgetEvent ev) {
+        GovernorStats &gs = govStats();
+        const bool hard = ev.severity == BudgetSeverity::Hard;
+        if (hard)
+            ++gs.hardEvents;
+        else
+            ++gs.softEvents;
+        GLIFS_TRACE_INSTANT_ARGS(
+            "governor", hard ? "hard_budget" : "soft_budget",
+            add("kind", resourceKindName(ev.kind))
+                .add("detail", ev.detail));
+        return ev;
+    };
     if (auto ev = hardEvent()) {
         hardFired = true;
-        return ev;
+        return traced(std::move(*ev));
     }
-    return softEvent();
+    if (auto ev = softEvent())
+        return traced(std::move(*ev));
+    return std::nullopt;
 }
 
 } // namespace glifs

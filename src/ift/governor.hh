@@ -20,6 +20,7 @@
 #include <array>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -84,6 +85,24 @@ struct ResourceBudgets
 };
 
 /**
+ * One liveness heartbeat fired from the governor's per-cycle poll
+ * point (the same clock that services budget checks and SIGINT-safe
+ * stop requests, so a heartbeat always proves the stop path is live).
+ */
+struct GovernorProgress
+{
+    uint64_t cycles = 0;       ///< simulated cycles so far
+    double elapsedSeconds = 0; ///< wall time since the run started
+    double cyclesPerSec = 0;   ///< overall simulation rate
+    size_t frontier = 0;       ///< pending execution points
+    size_t states = 0;         ///< conservative state-table entries
+    size_t rssBytes = 0;       ///< sampled resident set size
+    /** Fraction (0..1) of the tightest configured hard budget already
+     *  spent; 0 when no hard budget is configured. */
+    double budgetUsed = 0;
+};
+
+/**
  * Watches the budgets during one engine run. The engine charges
  * simulated cycles and reports the state-table size as it goes; poll()
  * is called once per simulated cycle and returns at most one *new*
@@ -93,13 +112,26 @@ struct ResourceBudgets
 class ResourceGovernor
 {
   public:
+    using ProgressFn = std::function<void(const GovernorProgress &)>;
+
     explicit ResourceGovernor(const ResourceBudgets &budgets);
 
     void chargeCycles(uint64_t n) { cycleCount += n; }
     void noteStates(size_t n) { stateCount = n; }
+    void noteFrontier(size_t n) { frontierCount = n; }
 
     uint64_t cycles() const { return cycleCount; }
     double elapsedSeconds() const;
+
+    /**
+     * Fire @p fn from poll() roughly every @p periodSeconds. The
+     * heartbeat and the stop/budget checks share the poll clock: a run
+     * that heartbeats is provably still reaching its stop point.
+     */
+    void setHeartbeat(double periodSeconds, ProgressFn fn);
+
+    /** Snapshot of the run's progress (also used by heartbeats). */
+    GovernorProgress progress();
 
     /** Check every dimension; returns a not-yet-reported crossing. */
     std::optional<BudgetEvent> poll();
@@ -125,13 +157,19 @@ class ResourceGovernor
     std::chrono::steady_clock::time_point start;
     uint64_t cycleCount = 0;
     size_t stateCount = 0;
+    size_t frontierCount = 0;
     uint64_t pollCount = 0;
     size_t sampledRss = 0;
     std::array<bool, 6> softFired{};
     bool hardFired = false;
 
+    double heartbeatPeriod = 0;
+    double nextHeartbeat = 0;
+    ProgressFn heartbeatFn;
+
     std::optional<BudgetEvent> hardEvent();
     std::optional<BudgetEvent> softEvent();
+    void maybeHeartbeat();
 };
 
 /**

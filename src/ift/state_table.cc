@@ -1,23 +1,61 @@
 #include "ift/state_table.hh"
 
+#include "base/stats.hh"
+#include "base/trace.hh"
+
 namespace glifs
 {
+
+namespace
+{
+
+/** Conservative-state-table counters (docs/OBSERVABILITY.md). */
+struct TableStats
+{
+    stats::Scalar lookups{"state_table.lookups",
+                          "visits to a PC-changing instruction"};
+    stats::Scalar inserts{"state_table.inserts",
+                          "first-visit states stored"};
+    stats::Scalar subsumed{"state_table.subsumed",
+                           "visits covered by a stored state (hits)"};
+    stats::Scalar merges{"state_table.merges",
+                         "visits merged, widening the stored state"};
+    stats::Gauge sizePeak{"state_table.size_peak",
+                          "distinct tracked branch states"};
+};
+
+TableStats &
+tableStats()
+{
+    static TableStats s;
+    return s;
+}
+
+} // namespace
 
 StateTable::Visit
 StateTable::visit(uint32_t key, SymState &state, bool taint_diffs)
 {
+    TableStats &st = tableStats();
+    ++st.lookups;
     auto it = table.find(key);
     if (it == table.end()) {
         table.emplace(key, state);
+        ++st.inserts;
+        st.sizePeak.set(static_cast<double>(table.size()));
         return Visit::New;
     }
     if (state.subsumedBy(it->second)) {
         ++subsumeCount;
+        ++st.subsumed;
         return Visit::Subsumed;
     }
     it->second.mergeWith(state, taint_diffs);
     state = it->second;
     ++mergeCount;
+    ++st.merges;
+    GLIFS_TRACE_INSTANT_ARGS("state_table", "merge",
+                             add("key", static_cast<uint64_t>(key)));
     return Visit::Merged;
 }
 
@@ -32,6 +70,7 @@ void
 StateTable::insertRestored(uint32_t key, SymState state)
 {
     table.insert_or_assign(key, std::move(state));
+    tableStats().sizePeak.set(static_cast<double>(table.size()));
 }
 
 void

@@ -1,10 +1,37 @@
 #include "sim/simulator.hh"
 
 #include "base/logging.hh"
+#include "base/stats.hh"
 #include "logic/glift.hh"
 
 namespace glifs
 {
+
+namespace
+{
+
+/** Hot-loop counters; one or two integer adds per settle/edge. */
+struct SimStats
+{
+    stats::Scalar combEvals{"sim.comb_evals",
+                            "combinational settle passes"};
+    stats::Scalar gateEvals{"sim.gate_evals",
+                            "individual gate/step evaluations"};
+    stats::Scalar clockEdges{"sim.clock_edges", "clock edges latched"};
+    stats::Scalar memReadEvals{"sim.mem_read_evals",
+                               "memory read-port evaluations"};
+    stats::Scalar memWriteCommits{"sim.mem_write_commits",
+                                  "memory write-port commits"};
+};
+
+SimStats &
+simStats()
+{
+    static SimStats s;
+    return s;
+}
+
+} // namespace
 
 Simulator::Simulator(const Netlist &netlist)
     : nl(netlist), order(levelize(netlist)), sigs(netlist)
@@ -31,9 +58,13 @@ Simulator::evalMemRead(MemId m)
 void
 Simulator::evalComb()
 {
+    SimStats &st = simStats();
+    ++st.combEvals;
+    st.gateEvals += order.size();
     const GliftTables &glift = GliftTables::instance();
     for (const EvalStep &step : order) {
         if (step.kind == EvalStep::Kind::MemRead) {
+            ++st.memReadEvals;
             evalMemRead(step.index);
             continue;
         }
@@ -103,10 +134,13 @@ Simulator::clockEdge()
         sigs.setNet(g.out, dff_next[i]);
         ++i;
     }
+    SimStats &st = simStats();
+    ++st.clockEdges;
     for (const PendingWrite &w : writes) {
         const MemoryDecl &decl = nl.memory(w.mem);
         memoryWrite(sigs.memCells(w.mem), decl.width, decl.words, w.addr,
                     w.we, w.data);
+        ++st.memWriteCommits;
         if (togglesOn)
             ++toggles.memWrites;
     }

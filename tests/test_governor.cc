@@ -12,6 +12,8 @@
 
 #include "assembler/assembler.hh"
 #include "base/logging.hh"
+#include "base/stats.hh"
+#include "base/trace.hh"
 #include "ift/checkpoint.hh"
 #include "ift/engine.hh"
 #include "ift/governor.hh"
@@ -276,6 +278,78 @@ TEST_F(GovernedEngineTest, GlobalStopRequestsPartialStop)
     EXPECT_TRUE(hasDegradation(r, DegradeLevel::PartialStop,
                                ResourceKind::Interrupt));
     EXPECT_EQ(r.verdict(), Verdict::UnknownDegraded);
+}
+
+// ---------------------------------------------------------------------
+// Observability of degraded runs (docs/OBSERVABILITY.md): ladder
+// escalations must show up in the stats registry and, when the tracer
+// is on, as governor-category trace instants.
+// ---------------------------------------------------------------------
+
+TEST(ResourceGovernorTest, HeartbeatFiresFromThePollPoint)
+{
+    ResourceBudgets b;
+    b.hardCycles = 1000;
+    ResourceGovernor gov(b);
+    std::vector<GovernorProgress> beats;
+    gov.setHeartbeat(1e-9, [&beats](const GovernorProgress &p) {
+        beats.push_back(p);
+    });
+    gov.chargeCycles(10);
+    gov.noteFrontier(3);
+    // The period check is throttled, so poll well past the check
+    // interval.
+    for (int i = 0; i < 256; ++i)
+        gov.poll();
+    ASSERT_FALSE(beats.empty());
+    EXPECT_EQ(beats.front().cycles, 10u);
+    EXPECT_EQ(beats.front().frontier, 3u);
+    EXPECT_GT(beats.front().budgetUsed, 0.0);
+    EXPECT_LE(beats.front().budgetUsed, 1.0);
+}
+
+TEST_F(GovernedEngineTest, DegradedRunEmitsGovernorTraceAndStats)
+{
+    trace::Tracer &tr = trace::Tracer::instance();
+    tr.enable(1 << 12);
+    const double escalationsBefore = stats::Registry::instance()
+                                         .snapshot()
+                                         .value("engine.escalations");
+
+    EngineConfig cfg;
+    cfg.budgets.softCycles = 8;
+    EngineResult r = analyze(kForkProgram, allClearPolicy(), cfg);
+    EXPECT_FALSE(r.degradations.empty());
+
+    // The ladder escalation is visible in the registry...
+    const double escalationsAfter = stats::Registry::instance()
+                                        .snapshot()
+                                        .value("engine.escalations");
+    EXPECT_GT(escalationsAfter, escalationsBefore);
+
+    // ...and as structured trace events: the governor flags the
+    // budget crossing, the engine records the degradation.
+    EXPECT_GT(tr.countCategory("governor"), 0u);
+    bool sawDegrade = false;
+    for (const trace::Event &e : tr.events()) {
+        if (std::string(e.name) == "degrade")
+            sawDegrade = true;
+    }
+    EXPECT_TRUE(sawDegrade);
+    tr.disable();
+}
+
+TEST_F(GovernedEngineTest, CleanRunLeavesTraceQuiet)
+{
+    trace::Tracer &tr = trace::Tracer::instance();
+    tr.enable(1 << 12);
+    EngineResult r = analyze(kForkProgram, allClearPolicy());
+    EXPECT_TRUE(r.completed);
+    EXPECT_TRUE(r.degradations.empty());
+    // No budgets configured: engine events yes, governor events no.
+    EXPECT_GT(tr.countCategory("engine"), 0u);
+    EXPECT_EQ(tr.countCategory("governor"), 0u);
+    tr.disable();
 }
 
 // ---------------------------------------------------------------------

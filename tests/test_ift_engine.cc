@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include "assembler/assembler.hh"
+#include "base/stats.hh"
+#include "base/trace.hh"
 #include "ift/engine.hh"
 #include "ift/rootcause.hh"
 #include "soc/soc.hh"
@@ -348,6 +350,79 @@ TEST_F(IftTest, SummaryMentionsKeyStats)
     std::string s = r.summary();
     EXPECT_NE(s.find("completed"), std::string::npos);
     EXPECT_NE(s.find("paths"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Observability (docs/OBSERVABILITY.md): the engine keeps the global
+// stats registry in step with its EngineResult counters and, with the
+// tracer on, narrates exploration as structured events.
+// ---------------------------------------------------------------------
+
+TEST_F(IftTest, RunUpdatesTheStatsRegistry)
+{
+    stats::Snapshot before = stats::Registry::instance().snapshot();
+    EngineResult r = analyze(
+        "        mov &0x0004, r4\n"
+        "        tst r4\n"
+        "        jz a\n"
+        "        halt\n"
+        "a:      halt\n",
+        allClearPolicy());
+    EXPECT_TRUE(r.completed);
+    stats::Snapshot after = stats::Registry::instance().snapshot();
+
+    // Registry deltas match the per-run result counters (the stats
+    // accumulate across the whole process, so compare differences).
+    EXPECT_EQ(after.value("engine.runs") - before.value("engine.runs"),
+              1.0);
+    EXPECT_EQ(after.value("engine.cycles") -
+                  before.value("engine.cycles"),
+              static_cast<double>(r.cyclesSimulated));
+    EXPECT_EQ(after.value("engine.paths") -
+                  before.value("engine.paths"),
+              static_cast<double>(r.pathsExplored));
+    EXPECT_EQ(after.value("engine.branch_points") -
+                  before.value("engine.branch_points"),
+              static_cast<double>(r.branchPoints));
+    // The simulator underneath was exercised too.
+    EXPECT_GT(after.value("sim.comb_evals"),
+              before.value("sim.comb_evals"));
+    EXPECT_GT(after.value("state_table.lookups"),
+              before.value("state_table.lookups"));
+}
+
+TEST_F(IftTest, TracedRunEmitsEngineSpans)
+{
+    trace::Tracer &tr = trace::Tracer::instance();
+    tr.enable(1 << 12);
+    EngineResult r = analyze(
+        "        mov &0x0004, r4\n"
+        "        tst r4\n"
+        "        jz a\n"
+        "        halt\n"
+        "a:      halt\n",
+        allClearPolicy());
+    EXPECT_TRUE(r.completed);
+
+    EXPECT_GT(tr.countCategory("engine"), 0u);
+    bool sawRunSpan = false, sawBranch = false, sawVisit = false;
+    for (const trace::Event &e : tr.events()) {
+        std::string name = e.name;
+        if (name == "run" && e.ph == 'X')
+            sawRunSpan = true;
+        if (name == "branch")
+            sawBranch = true;
+        if (name == "visit")
+            sawVisit = true;
+    }
+    EXPECT_TRUE(sawRunSpan);
+    EXPECT_TRUE(sawBranch);
+    EXPECT_TRUE(sawVisit);
+
+    // The trace document is loadable Chrome trace_event JSON.
+    std::string json = tr.json();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    tr.disable();
 }
 
 } // namespace

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Lint the stat-name contract (docs/OBSERVABILITY.md).
+
+Scans the C++ sources for stats constructor literals --
+
+    stats::Scalar  name{"engine.cycles", "..."};
+    stats::Gauge   g{"governor.rss_bytes", "..."};
+    stats::Distribution d{"engine.fanout_width", "...", 0, 64, 16};
+    stats::Formula f{"engine.cycles_per_path", "...", ...};
+
+-- and enforces that every registered name is dotted-lowercase
+(``[a-z0-9_]+(\\.[a-z0-9_]+)+``) and unique across the tree.  The same
+rules are enforced at runtime by the registry (base/stats.cc); this
+lint catches violations at build time, before any binary runs, and
+keeps the documented catalogue greppable.
+
+Exit code 0 when clean, 1 with one diagnostic line per offence.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+# A stats object construction: the type, a variable name, then a brace
+# or paren initializer whose first argument is the string literal name.
+CTOR_RE = re.compile(
+    r"stats::(?:Scalar|Gauge|Distribution|Formula)\s+"
+    r"[A-Za-z_]\w*\s*[{(]\s*\"([^\"]+)\"",
+)
+
+NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
+# Test sources may deliberately register scratch stats (including
+# intentionally-bad names inside EXPECT_THROW); only production code
+# under src/ and tools/ defines the documented catalogue.
+DEFAULT_ROOTS = ["src", "tools"]
+
+
+def scan(root: pathlib.Path):
+    """Yield (path, line_number, stat_name) for every registration."""
+    for path in sorted(root.rglob("*.cc")) + sorted(root.rglob("*.hh")):
+        text = path.read_text(encoding="utf-8", errors="replace")
+        for m in CTOR_RE.finditer(text):
+            line = text.count("\n", 0, m.start()) + 1
+            yield path, line, m.group(1)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "roots",
+        nargs="*",
+        default=DEFAULT_ROOTS,
+        help="directories to scan (default: src tools)",
+    )
+    args = ap.parse_args()
+
+    errors = []
+    seen = {}
+    total = 0
+    for root in args.roots:
+        rootpath = pathlib.Path(root)
+        if not rootpath.is_dir():
+            errors.append(f"{root}: not a directory")
+            continue
+        for path, line, name in scan(rootpath):
+            total += 1
+            where = f"{path}:{line}"
+            if not NAME_RE.fullmatch(name):
+                errors.append(
+                    f"{where}: stat name {name!r} is not "
+                    "dotted-lowercase ([a-z0-9_]+(.[a-z0-9_]+)+)"
+                )
+            if name in seen:
+                errors.append(
+                    f"{where}: stat name {name!r} already registered "
+                    f"at {seen[name]}"
+                )
+            else:
+                seen[name] = where
+
+    for e in errors:
+        print(e, file=sys.stderr)
+    print(f"check_stat_names: {total} registrations, "
+          f"{len(seen)} unique names, {len(errors)} problem(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,21 @@
  *   --resume FILE      continue a snapshotted run (same firmware)
  *   --no-retry         disable the *-logic retry after degradation
  *
+ * Observability (see docs/OBSERVABILITY.md):
+ *   --stats-json FILE  write the machine-readable run report (verdict,
+ *                      exit code, analysis counters, full stats
+ *                      registry snapshot) as JSON
+ *   --trace-out FILE   record structured trace spans/instants and
+ *                      write Chrome trace_event JSON (open in
+ *                      chrome://tracing or Perfetto)
+ *   --progress[=SECS]  one-line heartbeat to stderr about every SECS
+ *                      (default 1) seconds, fired from the governor
+ *                      poll point: cycles/s, frontier, states, RSS,
+ *                      hard-budget %
+ *   --debug-trace      legacy alias: enable tracing and dump the
+ *                      events as text to stderr at exit (in addition
+ *                      to --trace-out, if given)
+ *
  * Exit codes (the contract -- see docs/ROBUSTNESS.md):
  *   0  verified secure (after fixing, when --fix)
  *   1  violations found
@@ -47,7 +62,9 @@
 
 #include "assembler/assembler.hh"
 #include "base/logging.hh"
+#include "base/stats.hh"
 #include "base/strutil.hh"
+#include "base/trace.hh"
 #include "ift/checkpoint.hh"
 #include "ift/policy_file.hh"
 #include "ift/rootcause.hh"
@@ -77,7 +94,9 @@ usage()
         "                   [--deadline SECS] [--max-cycles N] "
         "[--max-rss MB] [--max-states N]\n"
         "                   [--checkpoint FILE] [--resume FILE] "
-        "[--no-retry]\n");
+        "[--no-retry]\n"
+        "                   [--stats-json FILE] [--trace-out FILE] "
+        "[--progress[=SECS]] [--debug-trace]\n");
     std::exit(kExitUsage);
 }
 
@@ -133,15 +152,140 @@ struct Options
     std::string policyPath;
     std::string checkpointPath;
     std::string resumePath;
+    std::string statsJsonPath;
+    std::string traceOutPath;
     uint16_t taskBase = 0x80;
     uint16_t taskEnd = 0xFFF;
     bool fix = false;
     bool star = false;
     bool taintCode = false;
     bool retryDegraded = true;
+    bool debugTrace = false;
+    double progressSeconds = 0.0;
     unsigned interval = 1;
     EngineConfig engineCfg;
 };
+
+/** stderr heartbeat line (fired from the governor poll point). */
+void
+printProgress(const GovernorProgress &p)
+{
+    std::fprintf(stderr,
+                 "progress: %.1fs %llu cycles (%.0f cyc/s) "
+                 "frontier=%zu states=%zu rss=%zuMiB budget=%d%%\n",
+                 p.elapsedSeconds,
+                 static_cast<unsigned long long>(p.cycles),
+                 p.cyclesPerSec, p.frontier, p.states,
+                 p.rssBytes >> 20,
+                 static_cast<int>(p.budgetUsed * 100.0));
+}
+
+/**
+ * The machine-readable run report: verdict and exit code (the same
+ * contract the process exit code carries), the EngineResult counters,
+ * and the full stats-registry snapshot, so a degraded run documents
+ * where its budget went.
+ */
+void
+writeRunReport(const std::string &path, const EngineResult &r,
+               int exit_code)
+{
+    std::ostringstream oss;
+    oss << "{\n"
+        << "  \"schema\": \"glifs.run_report.v1\",\n"
+        << "  \"verdict\": " << jsonQuote(verdictName(r.verdict()))
+        << ",\n"
+        << "  \"exit_code\": " << exit_code << ",\n"
+        << "  \"analysis\": {\n"
+        << "    \"completed\": " << (r.completed ? "true" : "false")
+        << ",\n"
+        << "    \"star_aborted\": "
+        << (r.starAborted ? "true" : "false") << ",\n"
+        << "    \"cycles_simulated\": " << r.cyclesSimulated << ",\n"
+        << "    \"paths_explored\": " << r.pathsExplored << ",\n"
+        << "    \"branch_points\": " << r.branchPoints << ",\n"
+        << "    \"merges\": " << r.merges << ",\n"
+        << "    \"subsumptions\": " << r.subsumptions << ",\n"
+        << "    \"states_tracked\": " << r.statesTracked << ",\n"
+        << "    \"analysis_seconds\": " << r.analysisSeconds << ",\n"
+        << "    \"tainted_gates\": " << r.taintedGates << ",\n"
+        << "    \"total_gates\": " << r.totalGates << ",\n"
+        << "    \"violations\": [\n";
+    for (size_t i = 0; i < r.violations.size(); ++i) {
+        const Violation &v = r.violations[i];
+        oss << "      {\"kind\": "
+            << jsonQuote(violationKindName(v.kind))
+            << ", \"instr\": " << jsonQuote(hex16(v.instrAddr))
+            << ", \"first_cycle\": " << v.firstCycle
+            << ", \"count\": " << v.count << ", \"maskable\": "
+            << (v.maskable ? "true" : "false")
+            << ", \"detail\": " << jsonQuote(v.detail) << "}"
+            << (i + 1 < r.violations.size() ? "," : "") << "\n";
+    }
+    oss << "    ],\n"
+        << "    \"degradations\": [\n";
+    for (size_t i = 0; i < r.degradations.size(); ++i) {
+        const Degradation &d = r.degradations[i];
+        oss << "      {\"level\": "
+            << jsonQuote(degradeLevelName(d.level))
+            << ", \"trigger\": "
+            << jsonQuote(resourceKindName(d.trigger))
+            << ", \"severity\": "
+            << (d.severity == BudgetSeverity::Hard ? "\"hard\""
+                                                   : "\"soft\"")
+            << ", \"cycle\": " << d.cycle << ", \"instr\": "
+            << jsonQuote(hex16(d.instrAddr)) << ", \"detail\": "
+            << jsonQuote(d.detail) << "}"
+            << (i + 1 < r.degradations.size() ? "," : "") << "\n";
+    }
+    oss << "    ]\n"
+        << "  },\n"
+        << "  \"stats\": "
+        << stats::Registry::instance().snapshot().json(2) << "\n"
+        << "}\n";
+
+    std::ofstream out(path);
+    if (!out)
+        GLIFS_FATAL("cannot write stats report ", path);
+    out << oss.str();
+    if (!out)
+        GLIFS_FATAL("error writing stats report ", path);
+    std::printf("run report written to %s\n", path.c_str());
+}
+
+/**
+ * Explain where the budget went when a run degraded: each configured
+ * hard budget with its consumption (the exit-code-2 contract should
+ * never leave the operator guessing which resource ran out).
+ */
+void
+printBudgetUsage(const Options &opts, const EngineResult &r)
+{
+    const ResourceBudgets &b = opts.engineCfg.budgets;
+    std::ostringstream oss;
+    oss << "budget usage: cycles " << r.cyclesSimulated;
+    if (b.hardCycles) {
+        oss << "/" << b.hardCycles << " ("
+            << static_cast<int>(100.0 * r.cyclesSimulated /
+                                b.hardCycles)
+            << "%)";
+    }
+    oss << ", wall " << r.analysisSeconds << "s";
+    if (b.hardSeconds > 0) {
+        oss << "/" << b.hardSeconds << "s ("
+            << static_cast<int>(100.0 * r.analysisSeconds /
+                                b.hardSeconds)
+            << "%)";
+    }
+    oss << ", states " << r.statesTracked;
+    if (b.hardStates)
+        oss << "/" << b.hardStates;
+    const size_t rss = ResourceGovernor::currentRssBytes();
+    oss << ", rss " << (rss >> 20) << " MiB";
+    if (b.hardRssBytes)
+        oss << "/" << (b.hardRssBytes >> 20) << " MiB";
+    std::printf("%s\n", oss.str().c_str());
+}
 
 /**
  * Run the engine; if the result is degraded/unknown and retrying is
@@ -209,6 +353,17 @@ runAudit(const Options &opts)
         analyzeGoverned(soc, policy, img, opts, resume);
     std::printf("analysis: %s\n\n", result.summary().c_str());
     printDegradations(result);
+
+    // Every exit path reports the same way: degraded runs explain
+    // where the budget went, and --stats-json gets the machine-
+    // readable run report with the final exit code baked in.
+    auto finish = [&](const EngineResult &r, int code) {
+        if (r.verdict() == Verdict::UnknownDegraded)
+            printBudgetUsage(opts, r);
+        if (!opts.statsJsonPath.empty())
+            writeRunReport(opts.statsJsonPath, r, code);
+        return code;
+    };
     RootCauseReport rc = analyzeRootCauses(result, policy, &img);
     std::printf("%s\n", rc.str(&img).c_str());
 
@@ -227,7 +382,7 @@ runAudit(const Options &opts)
 
     if (!opts.fix || !rc.needsModification()) {
         std::printf("verdict: %s\n", verdictBanner(result.verdict()));
-        return exitCodeFor(result.verdict());
+        return finish(result, exitCodeFor(result.verdict()));
     }
 
     // Apply fixes: watchdog first (re-analyze before masking, as
@@ -254,7 +409,7 @@ runAudit(const Options &opts)
             std::printf("%s\n", n.c_str());
         if (!mr.unmaskable.empty()) {
             std::printf("unfixable stores remain\n");
-            return kExitViolations;
+            return finish(r, kExitViolations);
         }
         cur = mr.program;
         cur_img = assemble(cur);
@@ -270,7 +425,7 @@ runAudit(const Options &opts)
     Verdict v = result.verdict();
     std::printf("verdict: %s%s\n", verdictBanner(v),
                 v == Verdict::Secure ? " after software fixes" : "");
-    return exitCodeFor(v);
+    return finish(result, exitCodeFor(v));
 }
 
 } // namespace
@@ -344,7 +499,22 @@ main(int argc, char **argv)
             opts.checkpointPath = next();
         else if (arg == "--resume")
             opts.resumePath = next();
-        else if (!arg.empty() && arg[0] == '-')
+        else if (arg == "--stats-json")
+            opts.statsJsonPath = next();
+        else if (arg == "--trace-out")
+            opts.traceOutPath = next();
+        else if (arg == "--debug-trace")
+            opts.debugTrace = true;
+        else if (arg == "--progress")
+            opts.progressSeconds = 1.0;
+        else if (arg.rfind("--progress=", 0) == 0) {
+            std::string s = arg.substr(11);
+            char *end = nullptr;
+            double secs = std::strtod(s.c_str(), &end);
+            if (end == s.c_str() || *end != '\0' || secs <= 0)
+                usage();
+            opts.progressSeconds = secs;
+        } else if (!arg.empty() && arg[0] == '-')
             usage();
         else if (opts.path.empty())
             opts.path = arg;
@@ -362,21 +532,53 @@ main(int argc, char **argv)
         std::signal(SIGTERM, onStopSignal);
     }
 
+    if (opts.progressSeconds > 0) {
+        // The heartbeat fires from the governor's per-cycle poll
+        // point, sharing a clock with budget checks and the
+        // SIGINT-safe stop above (docs/OBSERVABILITY.md).
+        opts.engineCfg.progressSeconds = opts.progressSeconds;
+        opts.engineCfg.progressFn = printProgress;
+    }
+
+    if (!opts.traceOutPath.empty() || opts.debugTrace)
+        trace::Tracer::instance().enable();
+
+    // Flush trace output on every exit path, including thrown errors,
+    // so an aborted run still leaves its breadcrumbs behind.
+    auto flushTrace = [&opts]() {
+        trace::Tracer &tr = trace::Tracer::instance();
+        if (!tr.enabled())
+            return;
+        if (!opts.traceOutPath.empty()) {
+            tr.writeJson(opts.traceOutPath);
+            std::printf("trace written to %s (load in chrome://tracing "
+                        "or Perfetto)\n",
+                        opts.traceOutPath.c_str());
+        }
+        if (opts.debugTrace)
+            std::fputs(tr.text().c_str(), stderr);
+    };
+
     try {
-        return runAudit(opts);
+        int code = runAudit(opts);
+        flushTrace();
+        return code;
     } catch (const FatalError &e) {
         // User-level input errors (policy file, firmware, netlist
         // validation): one-line diagnostic, never a raw abort.
         std::fprintf(stderr, "glifs_audit: %s\n", e.what());
+        flushTrace();
         return kExitUsage;
     } catch (const RecoverableError &e) {
         // Unusable checkpoint or comparable recoverable condition the
         // CLI cannot recover from by itself.
         std::fprintf(stderr, "glifs_audit: %s\n", e.what());
+        flushTrace();
         return kExitUsage;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "glifs_audit: internal error: %s\n",
                      e.what());
+        flushTrace();
         return kExitUsage;
     }
 }
