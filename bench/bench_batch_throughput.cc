@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Batch verification throughput (docs/BATCH.md): how fast the
+ * process-parallel scheduler pushes a fleet of audits through, versus
+ * running the same fleet serially, and what the content-addressed
+ * cache turns a warm re-run into.
+ *
+ * Usage: bench_batch_throughput [--audit-bin PATH] [--json FILE]
+ *
+ * The worker binary defaults to `glifs_audit` next to this bench in
+ * the build tree (tools/ vs bench/), falling back to $PATH. Reported
+ * counters: jobs per second for --jobs 1 vs --jobs N, and the warm-
+ * cache speedup on an identical second run.
+ */
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "base/logging.hh"
+#include "batch/manifest.hh"
+#include "batch/runner.hh"
+#include "bench_common.hh"
+
+using namespace glifs;
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** glifs_audit in the sibling tools/ directory of the build tree. */
+std::string
+defaultAuditBinary()
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return "glifs_audit";
+    buf[n] = '\0';
+    std::string self(buf);
+    size_t slash = self.rfind('/');
+    if (slash == std::string::npos)
+        return "glifs_audit";
+    std::string benchDir = self.substr(0, slash);
+    size_t parent = benchDir.rfind('/');
+    if (parent == std::string::npos)
+        return "glifs_audit";
+    return benchDir.substr(0, parent) + "/tools/glifs_audit";
+}
+
+/** An 8-job fleet over the cheap secure workloads. */
+batch::Manifest
+fleet()
+{
+    return batch::parseManifest(
+        "batch throughput fleet\n"
+        "job mult-a\n    workload mult\n"
+        "job mult-b\n    workload mult\n    max-cycles 1000000\n"
+        "job tea8-a\n    workload tea8\n"
+        "job tea8-b\n    workload tea8\n    max-cycles 1000000\n"
+        "job intFilt\n    workload intFilt\n"
+        "job rle\n    workload rle\n"
+        "job autocorr\n    workload autocorr\n"
+        "job ConvEn\n    workload ConvEn\n");
+}
+
+double
+timedRun(const batch::Manifest &m, const batch::BatchOptions &opts)
+{
+    Clock::time_point start = Clock::now();
+    batch::BatchReport r = batch::runBatch(m, opts);
+    double secs =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    GLIFS_ASSERT(r.exitCode() == 0, "throughput fleet must verify, "
+                 "got exit ", r.exitCode());
+    return secs;
+}
+
+int
+runBench(const std::string &auditBin)
+{
+    batch::Manifest m = fleet();
+    std::string dir = "/tmp/glifs_bench_batch_" +
+                      std::to_string(::getpid());
+
+    batch::BatchOptions opts;
+    opts.auditBinary = auditBin;
+    opts.verbose = false;
+
+    std::printf("batch throughput: %zu jobs, worker %s\n\n",
+                m.jobs.size(), auditBin.c_str());
+
+    // Cold, serial.
+    opts.jobs = 1;
+    opts.cacheDir = dir + "/serial";
+    double serial = timedRun(m, opts);
+
+    // Cold, parallel.
+    opts.jobs = 8;
+    opts.cacheDir = dir + "/parallel";
+    double parallel = timedRun(m, opts);
+
+    // Warm: identical run against the now-populated parallel cache.
+    double warm = timedRun(m, opts);
+
+    double n = static_cast<double>(m.jobs.size());
+    std::printf("--jobs 1 (cold):  %6.2fs  %5.2f jobs/s\n", serial,
+                n / serial);
+    std::printf("--jobs 8 (cold):  %6.2fs  %5.2f jobs/s  "
+                "(%.2fx speedup)\n",
+                parallel, n / parallel, serial / parallel);
+    std::printf("--jobs 8 (warm):  %6.4fs  (%.0fx over cold run: "
+                "every job a cache hit)\n",
+                warm, parallel / warm);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string auditBin;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--audit-bin" && i + 1 < argc)
+            auditBin = argv[++i];
+        else
+            argv[out++] = argv[i];
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    if (auditBin.empty())
+        auditBin = defaultAuditBinary();
+
+    return benchjson::printerMain(argc, argv, "batch_throughput",
+                                  [&]() { return runBench(auditBin); });
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Content hashing for the batch result cache (docs/BATCH.md).
+ *
+ * SHA-256 (FIPS 180-4), implemented locally so the cache key is a
+ * stable, collision-resistant function of the job *content* with no
+ * external dependency. The streaming interface lets callers fold
+ * several labelled sections into one digest without concatenating
+ * them in memory.
+ */
+
+#ifndef GLIFS_BASE_HASH_HH
+#define GLIFS_BASE_HASH_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace glifs
+{
+
+/** Incremental SHA-256 digest. */
+class Sha256
+{
+  public:
+    Sha256();
+
+    /** Fold @p len bytes at @p data into the digest. */
+    void update(const void *data, size_t len);
+
+    /** Convenience: fold a string. */
+    void update(const std::string &s) { update(s.data(), s.size()); }
+
+    /**
+     * Fold a labelled section: the label, the section length, then the
+     * content. Length-prefixing keeps section boundaries unambiguous
+     * ("ab" + "c" never hashes like "a" + "bc"), which matters for a
+     * cache key assembled from several variable-length inputs.
+     */
+    void section(const std::string &label, const std::string &content);
+
+    /** Finish and return the 32-byte digest (object is spent). */
+    std::array<uint8_t, 32> digest();
+
+    /** Finish and return the digest as 64 lowercase hex chars. */
+    std::string hexDigest();
+
+  private:
+    void compress(const uint8_t *block);
+
+    std::array<uint32_t, 8> state;
+    std::array<uint8_t, 64> buffer;
+    uint64_t totalBytes = 0;
+    size_t buffered = 0;
+};
+
+/** One-shot helper: SHA-256 of @p s as lowercase hex. */
+std::string sha256Hex(const std::string &s);
+
+} // namespace glifs
+
+#endif // GLIFS_BASE_HASH_HH

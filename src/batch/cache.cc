@@ -1,0 +1,79 @@
+#include "batch/cache.hh"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "base/hash.hh"
+#include "base/logging.hh"
+
+namespace glifs::batch
+{
+
+std::string
+cacheKey(const JobSpec &job, const RetryConfig &retry,
+         const std::string &toolVersion)
+{
+    Sha256 h;
+    h.section("tool", toolVersion);
+    h.section("firmware", job.firmwareText);
+    h.section("policy", job.policyText);
+    h.section("budgets", job.budgets.canonical());
+    h.section("retry", retry.canonical());
+    return h.hexDigest();
+}
+
+ResultCache::ResultCache(std::string dir, bool enabled)
+    : cacheDir(std::move(dir)), isEnabled(enabled)
+{}
+
+std::string
+ResultCache::entryPath(const std::string &key) const
+{
+    return cacheDir + "/" + key + ".json";
+}
+
+std::optional<std::string>
+ResultCache::lookup(const std::string &key) const
+{
+    if (!isEnabled)
+        return std::nullopt;
+    std::ifstream in(entryPath(key));
+    if (!in)
+        return std::nullopt;
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+void
+ResultCache::store(const std::string &key,
+                   const std::string &reportJson)
+{
+    if (!isEnabled)
+        return;
+    if (::mkdir(cacheDir.c_str(), 0755) != 0 && errno != EEXIST)
+        GLIFS_FATAL("cannot create cache directory ", cacheDir);
+
+    // Temp file + rename: a reader (or a concurrent batch) sees
+    // either no entry or a complete one, never a partial write.
+    std::string finalPath = entryPath(key);
+    std::string tmpPath =
+        finalPath + ".tmp." + std::to_string(::getpid());
+    std::ofstream out(tmpPath);
+    if (!out)
+        GLIFS_FATAL("cannot write cache entry ", tmpPath);
+    out << reportJson;
+    out.close();
+    if (!out || std::rename(tmpPath.c_str(), finalPath.c_str()) != 0) {
+        std::remove(tmpPath.c_str());
+        GLIFS_FATAL("cannot publish cache entry ", finalPath);
+    }
+}
+
+} // namespace glifs::batch

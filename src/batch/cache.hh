@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Content-addressed result cache for batch verification
+ * (docs/BATCH.md).
+ *
+ * A verdict is a pure function of the analysis inputs, so the cache
+ * key is the SHA-256 of exactly those inputs: the firmware *text*, the
+ * policy *text*, the canonical budget + retry configuration, and the
+ * tool version (src/base/version.hh). Paths, job names and manifest
+ * ordering deliberately do not participate: renaming a job or moving a
+ * file never invalidates its verdict, while touching one byte of
+ * firmware always does.
+ *
+ * Storage is one file per key under the cache directory
+ * (`.glifs-cache/` by default): `<hex-key>.json` holding the worker's
+ * `glifs.run_report.v1` report verbatim. Only *definitive* outcomes
+ * (exit 0 secure / exit 1 violations) are stored — a degraded exit 2
+ * answer is a budget artifact, not a property of the inputs, and
+ * re-running it is the useful behaviour.
+ */
+
+#ifndef GLIFS_BATCH_CACHE_HH
+#define GLIFS_BATCH_CACHE_HH
+
+#include <optional>
+#include <string>
+
+#include "batch/manifest.hh"
+
+namespace glifs::batch
+{
+
+/** The default cache directory (relative to the working directory). */
+inline const char *const kDefaultCacheDir = ".glifs-cache";
+
+/** SHA-256 cache key of one job (see file comment for the recipe). */
+std::string cacheKey(const JobSpec &job, const RetryConfig &retry,
+                     const std::string &toolVersion);
+
+class ResultCache
+{
+  public:
+    /**
+     * @param dir      cache directory (created lazily on first store)
+     * @param enabled  false = every lookup misses and stores are
+     *                 dropped (the `--no-cache` behaviour)
+     */
+    explicit ResultCache(std::string dir, bool enabled = true);
+
+    /** Cached run-report JSON for @p key, if present. */
+    std::optional<std::string> lookup(const std::string &key) const;
+
+    /**
+     * Store a run report under @p key. Written via a temp file +
+     * rename so concurrent batch runs never observe a torn entry.
+     */
+    void store(const std::string &key, const std::string &reportJson);
+
+    /** Where @p key lives (whether or not it exists yet). */
+    std::string entryPath(const std::string &key) const;
+
+    const std::string &dir() const { return cacheDir; }
+    bool enabled() const { return isEnabled; }
+
+  private:
+    std::string cacheDir;
+    bool isEnabled;
+};
+
+} // namespace glifs::batch
+
+#endif // GLIFS_BATCH_CACHE_HH

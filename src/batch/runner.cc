@@ -1,0 +1,526 @@
+#include "batch/runner.hh"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+#include "base/version.hh"
+#include "batch/cache.hh"
+#include "batch/retry.hh"
+#include "batch/scheduler.hh"
+
+namespace glifs::batch
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** mkdir -p: create @p path and any missing parents. */
+void
+makeDirs(const std::string &path)
+{
+    std::string cur;
+    std::istringstream in(path);
+    std::string part;
+    if (!path.empty() && path[0] == '/')
+        cur = "/";
+    while (std::getline(in, part, '/')) {
+        if (part.empty())
+            continue;
+        cur += part + "/";
+        if (::mkdir(cur.c_str(), 0755) != 0 && errno != EEXIST)
+            GLIFS_FATAL("cannot create directory ", cur);
+    }
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+}
+
+std::string
+readFileIfAny(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return "";
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+/** Job-derived filename stem: unique (index) and filesystem-safe. */
+std::string
+fileStem(size_t index, const std::string &name)
+{
+    std::string safe;
+    for (char c : name) {
+        safe.push_back(std::isalnum(static_cast<unsigned char>(c))
+                           ? c
+                           : '_');
+    }
+    return "job" + std::to_string(index) + "_" + safe;
+}
+
+// ---------------------------------------------------------------------
+// Minimal field extraction from the worker's run-report JSON. The
+// reports are produced by glifs_audit itself, so a targeted scanner is
+// enough — but it still respects string quoting and nesting so a
+// detail string containing '"violations":' can never confuse it.
+// ---------------------------------------------------------------------
+
+/** Position just after `"key":` at any nesting depth; npos if absent. */
+size_t
+valueStart(const std::string &text, const std::string &key)
+{
+    std::string needle = "\"" + key + "\"";
+    size_t pos = 0;
+    bool inString = false;
+    for (size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        if (inString) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                inString = false;
+            continue;
+        }
+        if (c == '"') {
+            if (text.compare(i, needle.size(), needle) == 0) {
+                pos = i + needle.size();
+                while (pos < text.size() &&
+                       std::isspace(
+                           static_cast<unsigned char>(text[pos])))
+                    ++pos;
+                if (pos < text.size() && text[pos] == ':') {
+                    ++pos;
+                    while (pos < text.size() &&
+                           std::isspace(static_cast<unsigned char>(
+                               text[pos])))
+                        ++pos;
+                    return pos;
+                }
+            }
+            inString = true;
+        }
+    }
+    return std::string::npos;
+}
+
+std::string
+jsonStringField(const std::string &text, const std::string &key)
+{
+    size_t pos = valueStart(text, key);
+    if (pos == std::string::npos || pos >= text.size() ||
+        text[pos] != '"')
+        return "";
+    std::string out;
+    for (size_t i = pos + 1; i < text.size(); ++i) {
+        char c = text[i];
+        if (c == '\\' && i + 1 < text.size()) {
+            out.push_back(text[++i]);
+        } else if (c == '"') {
+            return out;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return "";
+}
+
+std::string
+jsonArrayField(const std::string &text, const std::string &key)
+{
+    size_t pos = valueStart(text, key);
+    if (pos == std::string::npos || pos >= text.size() ||
+        text[pos] != '[')
+        return "";
+    int depth = 0;
+    bool inString = false;
+    for (size_t i = pos; i < text.size(); ++i) {
+        char c = text[i];
+        if (inString) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                inString = false;
+            continue;
+        }
+        if (c == '"')
+            inString = true;
+        else if (c == '[')
+            ++depth;
+        else if (c == ']' && --depth == 0)
+            return text.substr(pos, i - pos + 1);
+    }
+    return "";
+}
+
+/** Entries in a JSON array rendered by glifs (objects, not nested). */
+size_t
+jsonArrayCount(const std::string &arrayText)
+{
+    size_t count = 0;
+    bool inString = false;
+    for (size_t i = 0; i < arrayText.size(); ++i) {
+        char c = arrayText[i];
+        if (inString) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                inString = false;
+            continue;
+        }
+        if (c == '"')
+            inString = true;
+        else if (c == '{')
+            ++count;
+    }
+    return count;
+}
+
+/** Collapse a pretty-printed JSON fragment onto one line. */
+std::string
+squashWhitespace(const std::string &s)
+{
+    std::string out;
+    bool inString = false;
+    for (size_t i = 0; i < s.size(); ++i) {
+        char c = s[i];
+        if (inString) {
+            out.push_back(c);
+            if (c == '\\' && i + 1 < s.size())
+                out.push_back(s[++i]);
+            else if (c == '"')
+                inString = false;
+            continue;
+        }
+        // JSON tokens never need inter-token whitespace back.
+        if (std::isspace(static_cast<unsigned char>(c)))
+            continue;
+        if (c == '"')
+            inString = true;
+        out.push_back(c);
+    }
+    return out;
+}
+
+/** Worker state tracked across attempts. */
+struct JobRun
+{
+    const JobSpec *spec = nullptr;
+    std::string key;            ///< cache key
+    std::string firmwareFile;   ///< what the worker is handed
+    std::string checkpointFile;
+    std::string reportFile;     ///< per-attempt run report (rewritten)
+    JobOutcome outcome;
+    unsigned attempt = 0;       ///< attempts launched so far
+};
+
+} // namespace
+
+const char *
+cacheStatusName(CacheStatus s)
+{
+    switch (s) {
+      case CacheStatus::Hit: return "hit";
+      case CacheStatus::Miss: return "miss";
+      case CacheStatus::Disabled: return "disabled";
+    }
+    return "?";
+}
+
+size_t
+BatchReport::cacheHits() const
+{
+    return static_cast<size_t>(
+        std::count_if(jobs.begin(), jobs.end(), [](const JobOutcome &j) {
+            return j.cache == CacheStatus::Hit;
+        }));
+}
+
+int
+BatchReport::exitCode() const
+{
+    int worst = 0;
+    for (const JobOutcome &j : jobs)
+        worst = std::max(worst, j.exitCode);
+    return worst;
+}
+
+std::string
+BatchReport::json() const
+{
+    std::ostringstream oss;
+    oss << "{\n"
+        << "  \"schema\": \"glifs.batch_report.v1\",\n"
+        << "  \"tool_version\": " << jsonQuote(kGlifsVersion) << ",\n"
+        << "  \"manifest\": " << jsonQuote(manifestName) << ",\n"
+        << "  \"manifest_path\": " << jsonQuote(manifestPath) << ",\n"
+        << "  \"concurrency\": " << concurrency << ",\n"
+        << "  \"wall_seconds\": " << wallSeconds << ",\n"
+        << "  \"jobs_total\": " << jobs.size() << ",\n"
+        << "  \"cache_hits\": " << cacheHits() << ",\n"
+        << "  \"exit_code\": " << exitCode() << ",\n"
+        << "  \"jobs\": [\n";
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        const JobOutcome &j = jobs[i];
+        oss << "    {\"name\": " << jsonQuote(j.name)
+            << ", \"verdict\": " << jsonQuote(j.verdict)
+            << ", \"exit_code\": " << j.exitCode << ", \"cache\": "
+            << jsonQuote(cacheStatusName(j.cache))
+            << ", \"attempts\": " << j.attempts << ", \"resumed\": "
+            << (j.resumed ? "true" : "false")
+            << ", \"wall_seconds\": " << j.wallSeconds
+            << ", \"violation_count\": " << j.violationCount
+            << ", \"violations\": "
+            << (j.violationsJson.empty() ? "[]" : j.violationsJson);
+        if (!j.detail.empty())
+            oss << ", \"detail\": " << jsonQuote(j.detail);
+        oss << "}" << (i + 1 < jobs.size() ? "," : "") << "\n";
+    }
+    oss << "  ]\n"
+        << "}\n";
+    return oss.str();
+}
+
+std::string
+BatchReport::summary() const
+{
+    std::ostringstream oss;
+    for (const JobOutcome &j : jobs) {
+        char line[256];
+        std::snprintf(line, sizeof(line),
+                      "  %-20s %-18s cache=%-8s attempts=%u "
+                      "%6.2fs%s\n",
+                      j.name.c_str(), j.verdict.c_str(),
+                      cacheStatusName(j.cache), j.attempts,
+                      j.wallSeconds,
+                      j.violationCount
+                          ? (" violations=" +
+                             std::to_string(j.violationCount))
+                                .c_str()
+                          : "");
+        oss << line;
+    }
+    oss << "batch: " << jobs.size() << " job(s), " << cacheHits()
+        << " cache hit(s), worst exit " << exitCode() << ", "
+        << wallSeconds << "s wall";
+    return oss.str();
+}
+
+BatchReport
+runBatch(const Manifest &manifest, const BatchOptions &options)
+{
+    GLIFS_ASSERT(!options.auditBinary.empty(),
+                 "BatchOptions::auditBinary is required");
+    if (!fileExists(options.auditBinary))
+        GLIFS_FATAL("audit binary not found: ", options.auditBinary);
+
+    std::string workDir = options.workDir.empty()
+                              ? options.cacheDir + "/work"
+                              : options.workDir;
+    makeDirs(workDir);
+
+    ResultCache cache(options.cacheDir, !options.noCache);
+    RetryLadder ladder(manifest.retry);
+
+    BatchReport report;
+    report.manifestName = manifest.name;
+    report.manifestPath = manifest.path;
+    report.concurrency = options.jobs;
+
+    Clock::time_point batchStart = Clock::now();
+
+    // Resolve cache hits up front; materialize inputs for the misses.
+    std::vector<JobRun> runs(manifest.jobs.size());
+    ProcessScheduler sched(options.jobs);
+
+    // Fill one outcome from a worker/cached run report.
+    auto applyReport = [](JobOutcome &out, const std::string &rep) {
+        std::string verdict = jsonStringField(rep, "verdict");
+        if (!verdict.empty())
+            out.verdict = verdict;
+        std::string viol = jsonArrayField(rep, "violations");
+        if (!viol.empty()) {
+            out.violationsJson = squashWhitespace(viol);
+            out.violationCount = jsonArrayCount(viol);
+        }
+    };
+
+    auto submitAttempt = [&](size_t idx) {
+        JobRun &run = runs[idx];
+        const JobSpec &job = *run.spec;
+        ++run.attempt;
+        JobBudgets budgets =
+            ladder.budgetsFor(job.budgets, run.attempt);
+
+        ProcTask t;
+        t.id = idx;
+        t.argv = {options.auditBinary, run.firmwareFile};
+        if (!job.policyPath.empty()) {
+            t.argv.push_back("--policy");
+            t.argv.push_back(job.policyPath);
+        }
+        if (budgets.deadlineSeconds > 0) {
+            t.argv.push_back("--deadline");
+            t.argv.push_back(std::to_string(budgets.deadlineSeconds));
+            // Backstop well past the worker's own graceful deadline.
+            t.killAfterSeconds = budgets.deadlineSeconds * 4 + 10;
+        }
+        if (budgets.maxCycles > 0) {
+            t.argv.push_back("--max-cycles");
+            t.argv.push_back(std::to_string(budgets.maxCycles));
+        }
+        if (budgets.maxStates > 0) {
+            t.argv.push_back("--max-states");
+            t.argv.push_back(std::to_string(budgets.maxStates));
+        }
+        if (budgets.maxRssMb > 0) {
+            t.argv.push_back("--max-rss");
+            t.argv.push_back(std::to_string(budgets.maxRssMb));
+        }
+        t.argv.push_back("--stats-json");
+        t.argv.push_back(run.reportFile);
+        t.argv.push_back("--checkpoint");
+        t.argv.push_back(run.checkpointFile);
+        if (run.attempt > 1 && fileExists(run.checkpointFile)) {
+            t.argv.push_back("--resume");
+            t.argv.push_back(run.checkpointFile);
+            run.outcome.resumed = true;
+        }
+        t.outputPath = workDir + "/" + fileStem(idx, job.name) +
+                       ".attempt" + std::to_string(run.attempt) +
+                       ".log";
+        sched.submit(std::move(t));
+    };
+
+    for (size_t i = 0; i < manifest.jobs.size(); ++i) {
+        const JobSpec &job = manifest.jobs[i];
+        JobRun &run = runs[i];
+        run.spec = &job;
+        run.key = cacheKey(job, manifest.retry, kGlifsVersion);
+        run.outcome.name = job.name;
+        run.outcome.cache = options.noCache ? CacheStatus::Disabled
+                                            : CacheStatus::Miss;
+
+        if (auto cached = cache.lookup(run.key)) {
+            run.outcome.cache = CacheStatus::Hit;
+            run.outcome.verdict = "unknown-degraded";
+            run.outcome.exitCode = 2;
+            applyReport(run.outcome, *cached);
+            size_t pos = valueStart(*cached, "exit_code");
+            if (pos != std::string::npos) {
+                size_t end = cached->find_first_of(",}\n", pos);
+                auto v = parseInt(trim(cached->substr(
+                    pos, end == std::string::npos ? end : end - pos)));
+                if (v)
+                    run.outcome.exitCode = static_cast<int>(*v);
+            }
+            if (options.verbose) {
+                std::printf("[%s] cache hit: %s\n", job.name.c_str(),
+                            run.outcome.verdict.c_str());
+            }
+            continue;
+        }
+
+        std::string stem = fileStem(i, job.name);
+        if (!job.firmwarePath.empty()) {
+            run.firmwareFile = job.firmwarePath;
+        } else {
+            // Materialize the registry workload for the worker.
+            run.firmwareFile = workDir + "/" + stem + ".s";
+            std::ofstream out(run.firmwareFile);
+            out << job.firmwareText;
+            if (!out)
+                GLIFS_FATAL("cannot write ", run.firmwareFile);
+        }
+        run.checkpointFile = workDir + "/" + stem + ".ckpt";
+        run.reportFile = workDir + "/" + stem + ".report.json";
+        // A stale checkpoint from an earlier batch must not leak into
+        // this run's first attempt.
+        std::remove(run.checkpointFile.c_str());
+        submitAttempt(i);
+    }
+
+    sched.run([&](const ProcResult &res) {
+        size_t idx = static_cast<size_t>(res.id);
+        JobRun &run = runs[idx];
+        JobOutcome &out = run.outcome;
+        out.wallSeconds += res.wallSeconds;
+
+        // Map abnormal ends onto the exit-code contract: a backstop
+        // kill is a degraded run (retryable); a crash or exec failure
+        // is a hard per-job error.
+        int code;
+        if (res.killedOnTimeout) {
+            code = 2;
+            out.detail = "killed by scheduler backstop timeout";
+        } else if (res.crashed) {
+            code = 3;
+            out.detail = "worker crashed (signal)";
+        } else if (res.exitCode == 127) {
+            code = 3;
+            out.detail = "cannot exec " + options.auditBinary;
+        } else {
+            code = res.exitCode;
+        }
+
+        if (ladder.shouldRetry(code, run.attempt)) {
+            if (options.verbose) {
+                std::printf("[%s] attempt %u degraded; retrying with "
+                            "x%.0f budgets%s\n",
+                            out.name.c_str(), run.attempt,
+                            std::pow(ladder.config().multiplier,
+                                     run.attempt),
+                            fileExists(run.checkpointFile)
+                                ? " (resuming from checkpoint)"
+                                : "");
+            }
+            submitAttempt(idx);
+            return;
+        }
+
+        out.attempts = run.attempt;
+        out.exitCode = code;
+        switch (code) {
+          case 0: out.verdict = "secure"; break;
+          case 1: out.verdict = "violations"; break;
+          case 2: out.verdict = "unknown-degraded"; break;
+          default: out.verdict = "error"; break;
+        }
+        std::string rep = readFileIfAny(run.reportFile);
+        if (!rep.empty()) {
+            applyReport(out, rep);
+            if (code <= 1)
+                cache.store(run.key, rep);
+        }
+        if (options.verbose) {
+            std::printf("[%s] %s (exit %d, %u attempt(s), %.2fs)\n",
+                        out.name.c_str(), out.verdict.c_str(), code,
+                        out.attempts, out.wallSeconds);
+        }
+    });
+
+    for (JobRun &run : runs)
+        report.jobs.push_back(std::move(run.outcome));
+    report.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - batchStart)
+            .count();
+    return report;
+}
+
+} // namespace glifs::batch

@@ -1,0 +1,135 @@
+#include "batch/scheduler.hh"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace glifs::batch
+{
+
+using Clock = std::chrono::steady_clock;
+
+struct ProcessScheduler::Running
+{
+    ProcTask task;
+    pid_t pid = -1;
+    Clock::time_point started;
+    bool killed = false;
+};
+
+ProcessScheduler::ProcessScheduler(unsigned jobs)
+    : jobs(jobs > 0 ? jobs : 1)
+{}
+
+void
+ProcessScheduler::submit(ProcTask task)
+{
+    GLIFS_ASSERT(!task.argv.empty(), "ProcTask needs an argv");
+    pending.push_back(std::move(task));
+}
+
+void
+ProcessScheduler::spawn(ProcTask task, std::vector<Running> &running)
+{
+    // Build the char* view before forking; the vector owns the bytes.
+    std::vector<char *> argv;
+    argv.reserve(task.argv.size() + 1);
+    for (std::string &arg : task.argv)
+        argv.push_back(arg.data());
+    argv.push_back(nullptr);
+
+    pid_t pid = ::fork();
+    if (pid < 0)
+        GLIFS_FATAL("fork failed: ", std::strerror(errno));
+    if (pid == 0) {
+        // Child: redirect stdout+stderr to the worker log, then exec.
+        // Only async-signal-safe calls from here on.
+        if (!task.outputPath.empty()) {
+            int fd = ::open(task.outputPath.c_str(),
+                            O_WRONLY | O_CREAT | O_TRUNC, 0644);
+            if (fd >= 0) {
+                ::dup2(fd, STDOUT_FILENO);
+                ::dup2(fd, STDERR_FILENO);
+                if (fd > STDERR_FILENO)
+                    ::close(fd);
+            }
+        }
+        ::execv(argv[0], argv.data());
+        _exit(127); // exec failed; reported as a crash-free exit 127
+    }
+
+    Running r;
+    r.task = std::move(task);
+    r.pid = pid;
+    r.started = Clock::now();
+    running.push_back(std::move(r));
+}
+
+void
+ProcessScheduler::run(const DoneFn &onDone)
+{
+    std::vector<Running> running;
+
+    while (!pending.empty() || !running.empty()) {
+        while (!pending.empty() && running.size() < jobs) {
+            ProcTask t = std::move(pending.front());
+            pending.pop_front();
+            spawn(std::move(t), running);
+        }
+
+        bool reaped = false;
+        for (size_t i = 0; i < running.size();) {
+            Running &r = running[i];
+            int status = 0;
+            pid_t got = ::waitpid(r.pid, &status, WNOHANG);
+            if (got == 0) {
+                // Still going; apply the kill backstop if overdue.
+                double elapsed =
+                    std::chrono::duration<double>(Clock::now() -
+                                                  r.started)
+                        .count();
+                if (!r.killed && r.task.killAfterSeconds > 0 &&
+                    elapsed > r.task.killAfterSeconds) {
+                    ::kill(r.pid, SIGKILL);
+                    r.killed = true;
+                }
+                ++i;
+                continue;
+            }
+            if (got < 0 && errno == EINTR)
+                continue;
+            GLIFS_ASSERT(got == r.pid, "waitpid returned ", got);
+
+            ProcResult res;
+            res.id = r.task.id;
+            res.wallSeconds =
+                std::chrono::duration<double>(Clock::now() - r.started)
+                    .count();
+            if (WIFEXITED(status)) {
+                res.exitCode = WEXITSTATUS(status);
+            } else if (r.killed) {
+                res.killedOnTimeout = true;
+            } else {
+                res.crashed = true;
+            }
+            running.erase(running.begin() + i);
+            reaped = true;
+            // May submit() retries; the outer loop picks them up.
+            onDone(res);
+        }
+
+        if (!reaped && !running.empty())
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
+} // namespace glifs::batch

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Process-parallel worker scheduler for batch verification
+ * (docs/BATCH.md).
+ *
+ * Workers are separate `glifs_audit` processes (fork/exec), not
+ * threads: the engine's stats registry, tracer and governor stop flag
+ * are process-global, so process isolation gives full parallelism —
+ * and crash isolation — with zero engine re-entrancy work. The
+ * scheduler keeps up to `jobs` workers running, reaps them as they
+ * finish, and reports each worker's exit status and wall time to a
+ * completion callback, which may submit follow-up work (that is how
+ * the retry ladder re-queues escalated attempts).
+ *
+ * Per-job analysis timeouts are the worker's own `--deadline` budget
+ * (the engine degrades gracefully and exits 2); the scheduler's
+ * `killAfterSeconds` is only a last-resort backstop for a worker that
+ * stops making progress entirely, and such a kill is reported like a
+ * degraded run so the ladder can retry it.
+ */
+
+#ifndef GLIFS_BATCH_SCHEDULER_HH
+#define GLIFS_BATCH_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace glifs::batch
+{
+
+/** One process to run. */
+struct ProcTask
+{
+    uint64_t id = 0;                 ///< caller's correlation tag
+    std::vector<std::string> argv;   ///< argv[0] = executable path
+    std::string outputPath;          ///< stdout+stderr log ("" = inherit)
+    double killAfterSeconds = 0;     ///< SIGKILL backstop (0 = never)
+};
+
+/** What happened to one process. */
+struct ProcResult
+{
+    uint64_t id = 0;
+    /** Exit code 0..255; -1 when the process did not exit normally. */
+    int exitCode = -1;
+    bool killedOnTimeout = false;    ///< we SIGKILLed it (backstop)
+    bool crashed = false;            ///< died on a signal (not ours)
+    double wallSeconds = 0;          ///< spawn-to-reap wall time
+};
+
+class ProcessScheduler
+{
+  public:
+    using DoneFn = std::function<void(const ProcResult &)>;
+
+    /** @param jobs max concurrently running workers (>= 1). */
+    explicit ProcessScheduler(unsigned jobs);
+
+    /** Queue a task (legal both before run() and from onDone). */
+    void submit(ProcTask task);
+
+    /**
+     * Run until the queue and all workers drain. @p onDone fires in
+     * reap order, once per finished task, from this thread.
+     */
+    void run(const DoneFn &onDone);
+
+    unsigned concurrency() const { return jobs; }
+
+  private:
+    struct Running;
+
+    void spawn(ProcTask task, std::vector<Running> &running);
+
+    unsigned jobs;
+    std::deque<ProcTask> pending;
+};
+
+} // namespace glifs::batch
+
+#endif // GLIFS_BATCH_SCHEDULER_HH

@@ -75,6 +75,11 @@ parsePolicy(const std::string &text)
     p.taintedInPort = {false, false, false, false};
     p.trustedOutPort = {true, true, true, true};
 
+    // Where each partition was declared, so duplicate/overlap
+    // diagnostics can cite both offending lines.
+    std::vector<int> codeLines, memLines;
+    int directives = 0;
+
     std::istringstream in(text);
     std::string line;
     int lineno = 0;
@@ -83,6 +88,7 @@ parsePolicy(const std::string &text)
         std::vector<std::string> f = fields(line);
         if (f.empty())
             continue;
+        ++directives;
         std::string kw = toLower(f[0]);
 
         if (kw == "policy") {
@@ -115,14 +121,52 @@ parsePolicy(const std::string &text)
             if (f.size() != 5)
                 GLIFS_FATAL("policy line ", lineno,
                             ": code <name> <lo> <hi> <label>");
-            p.addCode(f[1], number(f[2], lineno), number(f[3], lineno),
-                      taintFlag(f[4], lineno));
+            uint16_t lo = number(f[2], lineno);
+            uint16_t hi = number(f[3], lineno);
+            if (lo > hi)
+                GLIFS_FATAL("policy line ", lineno, ": partition '",
+                            f[1], "' has lo > hi");
+            for (size_t i = 0; i < p.code.size(); ++i) {
+                const CodePartition &c = p.code[i];
+                if (c.name == f[1])
+                    GLIFS_FATAL("policy line ", lineno,
+                                ": duplicate code partition '", f[1],
+                                "' (first declared on line ",
+                                codeLines[i], ")");
+                if (lo <= c.hi && c.lo <= hi)
+                    GLIFS_FATAL("policy line ", lineno,
+                                ": code partition '", f[1],
+                                "' overlaps '", c.name,
+                                "' (declared on line ", codeLines[i],
+                                ")");
+            }
+            p.addCode(f[1], lo, hi, taintFlag(f[4], lineno));
+            codeLines.push_back(lineno);
         } else if (kw == "mem") {
             if (f.size() != 5)
                 GLIFS_FATAL("policy line ", lineno,
                             ": mem <name> <lo> <hi> <label>");
-            p.addMem(f[1], number(f[2], lineno), number(f[3], lineno),
-                     taintFlag(f[4], lineno));
+            uint16_t lo = number(f[2], lineno);
+            uint16_t hi = number(f[3], lineno);
+            if (lo > hi)
+                GLIFS_FATAL("policy line ", lineno, ": partition '",
+                            f[1], "' has lo > hi");
+            for (size_t i = 0; i < p.mem.size(); ++i) {
+                const MemPartition &m = p.mem[i];
+                if (m.name == f[1])
+                    GLIFS_FATAL("policy line ", lineno,
+                                ": duplicate mem partition '", f[1],
+                                "' (first declared on line ",
+                                memLines[i], ")");
+                if (lo <= m.hi && m.lo <= hi)
+                    GLIFS_FATAL("policy line ", lineno,
+                                ": mem partition '", f[1],
+                                "' overlaps '", m.name,
+                                "' (declared on line ", memLines[i],
+                                ")");
+            }
+            p.addMem(f[1], lo, hi, taintFlag(f[4], lineno));
+            memLines.push_back(lineno);
         } else if (kw == "taint-code") {
             p.taintCodeInProgMem = true;
         } else {
@@ -130,6 +174,9 @@ parsePolicy(const std::string &text)
                         ": unknown directive '", f[0], "'");
         }
     }
+    if (directives == 0)
+        GLIFS_FATAL("policy file is empty: no directives found "
+                    "(expected policy/port/code/mem lines)");
     return p;
 }
 

@@ -28,7 +28,10 @@ namespace glifs
 
 /**
  * Parse a policy document.
- * @throws FatalError with a line number on malformed input.
+ * @throws FatalError with a line number on malformed input: unknown
+ *         directives, bad labels/numbers, duplicate or overlapping
+ *         code/mem partitions, and wholly empty documents are all
+ *         rejected with a diagnostic naming the offending line.
  */
 Policy parsePolicy(const std::string &text);
 

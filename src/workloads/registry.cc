@@ -109,13 +109,30 @@ allWorkloads()
     return workloads;
 }
 
-const Workload &
-workloadByName(const std::string &name)
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const Workload &w : allWorkloads())
+        names.push_back(w.name);
+    return names;
+}
+
+const Workload *
+findWorkload(const std::string &name)
 {
     for (const Workload &w : allWorkloads()) {
         if (w.name == name)
-            return w;
+            return &w;
     }
+    return nullptr;
+}
+
+const Workload &
+workloadByName(const std::string &name)
+{
+    if (const Workload *w = findWorkload(name))
+        return *w;
     GLIFS_FATAL("unknown workload '", name, "'");
 }
 

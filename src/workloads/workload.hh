@@ -75,6 +75,13 @@ std::string harnessSource(const std::string &body,
 /** All 13 benchmarks, in Table 1 order. */
 const std::vector<Workload> &allWorkloads();
 
+/** The registry's names, in Table 1 order (one manifest-referencable
+ *  identifier per workload; also `glifs_audit --list-workloads`). */
+std::vector<std::string> workloadNames();
+
+/** Look up a benchmark by name; nullptr if unknown. */
+const Workload *findWorkload(const std::string &name);
+
 /** Look up a benchmark by name (fatal if unknown). */
 const Workload &workloadByName(const std::string &name);
 

@@ -1,0 +1,637 @@
+/**
+ * @file
+ * Tests of the batch verification subsystem (docs/BATCH.md): manifest
+ * parsing, the content-addressed result cache, the escalating-budget
+ * retry ladder, the process-parallel scheduler, and the end-to-end
+ * `runBatch` acceptance flow against real `glifs_audit` workers. Also
+ * covers the worker CLI contract the batch layer depends on:
+ * `--list-workloads` and the policy-file usage-error exit code.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "base/hash.hh"
+#include "base/logging.hh"
+#include "base/version.hh"
+#include "batch/cache.hh"
+#include "batch/manifest.hh"
+#include "batch/retry.hh"
+#include "batch/runner.hh"
+#include "batch/scheduler.hh"
+#include "workloads/workload.hh"
+
+#ifndef GLIFS_AUDIT_BIN
+#define GLIFS_AUDIT_BIN "glifs_audit"
+#endif
+#ifndef GLIFS_BATCH_BIN
+#define GLIFS_BATCH_BIN "glifs_batch"
+#endif
+
+namespace glifs
+{
+namespace
+{
+
+using namespace glifs::batch;
+
+std::string
+tempDir(const std::string &name)
+{
+    // Wipe any residue from a previous run: cache/checkpoint state
+    // surviving in /tmp would turn first-run cache-miss assertions
+    // into spurious hits.
+    std::string dir = ::testing::TempDir() + "batch_" + name;
+    std::filesystem::remove_all(dir);
+    ::mkdir(dir.c_str(), 0755);
+    return dir;
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << path;
+    out << content;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+/** Run a shell command; returns its exit code (-1 on abnormal end). */
+int
+runCmd(const std::string &cmd)
+{
+    int status = std::system(cmd.c_str());
+    if (status < 0 || !WIFEXITED(status))
+        return -1;
+    return WEXITSTATUS(status);
+}
+
+// ---------------------------------------------------------------------
+// SHA-256 (the cache-key primitive).
+// ---------------------------------------------------------------------
+
+TEST(Sha256Test, MatchesFipsVectors)
+{
+    EXPECT_EQ(sha256Hex("abc"),
+              "ba7816bf8f01cfea414140de5dae2223"
+              "b00361a396177a9cb410ff61f20015ad");
+    EXPECT_EQ(sha256Hex(""),
+              "e3b0c44298fc1c149afbf4c8996fb924"
+              "27ae41e4649b934ca495991b7852b855");
+    // Multi-block message (crosses the 64-byte boundary).
+    EXPECT_EQ(sha256Hex("abcdbcdecdefdefgefghfghighijhijk"
+                        "ijkljklmklmnlmnomnopnopq"),
+              "248d6a61d20638b8e5c026930c3e6039"
+              "a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, StreamingEqualsOneShot)
+{
+    Sha256 h;
+    h.update("ab");
+    h.update("c");
+    EXPECT_EQ(h.hexDigest(), sha256Hex("abc"));
+}
+
+TEST(Sha256Test, SectionsAreUnambiguous)
+{
+    Sha256 a;
+    a.section("x", "ab");
+    a.section("y", "c");
+    Sha256 b;
+    b.section("x", "a");
+    b.section("y", "bc");
+    EXPECT_NE(a.hexDigest(), b.hexDigest());
+}
+
+// ---------------------------------------------------------------------
+// Manifest parsing.
+// ---------------------------------------------------------------------
+
+TEST(ManifestTest, ParsesFleetWithDefaultsAndOverrides)
+{
+    Manifest m = parseManifest(
+        "# nightly fleet\n"
+        "batch nightly audit\n"
+        "retry multiplier 8\n"
+        "retry max-attempts 4\n"
+        "default max-cycles 100000\n"
+        "default deadline 30\n"
+        "job a\n"
+        "    workload mult\n"
+        "job b\n"
+        "    workload tea8\n"
+        "    max-cycles 500\n"
+        "    max-states 64\n");
+    EXPECT_EQ(m.name, "nightly audit");
+    EXPECT_DOUBLE_EQ(m.retry.multiplier, 8.0);
+    EXPECT_EQ(m.retry.maxAttempts, 4u);
+    ASSERT_EQ(m.jobs.size(), 2u);
+
+    EXPECT_EQ(m.jobs[0].name, "a");
+    EXPECT_EQ(m.jobs[0].workload, "mult");
+    EXPECT_FALSE(m.jobs[0].firmwareText.empty());
+    EXPECT_EQ(m.jobs[0].budgets.maxCycles, 100000u);
+    EXPECT_DOUBLE_EQ(m.jobs[0].budgets.deadlineSeconds, 30.0);
+
+    // Per-job overrides sit on top of the defaults.
+    EXPECT_EQ(m.jobs[1].budgets.maxCycles, 500u);
+    EXPECT_EQ(m.jobs[1].budgets.maxStates, 64u);
+    EXPECT_DOUBLE_EQ(m.jobs[1].budgets.deadlineSeconds, 30.0);
+
+    // Workload firmware text is the registry harness source.
+    EXPECT_EQ(m.jobs[0].firmwareText, workloadByName("mult").source());
+}
+
+TEST(ManifestTest, ResolvesFirmwareAndPolicyRelativeToManifest)
+{
+    std::string dir = tempDir("manifest_rel");
+    writeFile(dir + "/fw.s", workloadByName("mult").source());
+    writeFile(dir + "/labels.pol", "port in 1 tainted\n");
+    writeFile(dir + "/m.manifest",
+              "job fromfile\n"
+              "    firmware fw.s\n"
+              "    policy labels.pol\n");
+    Manifest m = loadManifest(dir + "/m.manifest");
+    ASSERT_EQ(m.jobs.size(), 1u);
+    EXPECT_EQ(m.jobs[0].firmwarePath, dir + "/fw.s");
+    EXPECT_EQ(m.jobs[0].firmwareText,
+              workloadByName("mult").source());
+    EXPECT_EQ(m.jobs[0].policyText, "port in 1 tainted\n");
+    EXPECT_EQ(m.path, dir + "/m.manifest");
+}
+
+TEST(ManifestTest, ErrorsCarryLineNumbers)
+{
+    auto expectError = [](const std::string &text,
+                          const std::string &fragment) {
+        try {
+            parseManifest(text);
+            FAIL() << "expected FatalError for: " << text;
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find(fragment),
+                      std::string::npos)
+                << "message '" << e.what() << "' lacks '" << fragment
+                << "'";
+        }
+    };
+    expectError("job a\nworkload mult\njob a\nworkload tea8\n",
+                "line 3");
+    expectError("job a\nworkload no-such-thing\n", "unknown workload");
+    expectError("job a\nworkload mult\nwibble 1\n", "line 3");
+    expectError("workload mult\n", "outside a job block");
+    expectError("job a\n", "neither a workload nor a firmware");
+    expectError("job a\nworkload mult\nfirmware b.s\n",
+                "already has a workload");
+    expectError("job a\nworkload mult\nmax-cycles -5\n", "line 3");
+    expectError("# just a comment\n", "empty");
+}
+
+// ---------------------------------------------------------------------
+// Cache keys and the result cache.
+// ---------------------------------------------------------------------
+
+JobSpec
+specWith(const std::string &fw, const std::string &pol,
+         uint64_t cycles)
+{
+    JobSpec j;
+    j.name = "j";
+    j.firmwareText = fw;
+    j.policyText = pol;
+    j.budgets.maxCycles = cycles;
+    return j;
+}
+
+TEST(CacheKeyTest, DependsOnContentNotNames)
+{
+    RetryConfig retry;
+    JobSpec a = specWith("mov r1, r2", "", 100);
+    JobSpec b = a;
+    b.name = "renamed";
+    b.firmwarePath = "/somewhere/else.s";
+    EXPECT_EQ(cacheKey(a, retry, kGlifsVersion),
+              cacheKey(b, retry, kGlifsVersion));
+}
+
+TEST(CacheKeyTest, SensitiveToEveryInput)
+{
+    RetryConfig retry;
+    JobSpec base = specWith("mov r1, r2", "port in 1 tainted", 100);
+    std::string k = cacheKey(base, retry, kGlifsVersion);
+
+    EXPECT_NE(k, cacheKey(specWith("mov r1, r3", "port in 1 tainted",
+                                   100),
+                          retry, kGlifsVersion));
+    EXPECT_NE(k, cacheKey(specWith("mov r1, r2", "port in 2 tainted",
+                                   100),
+                          retry, kGlifsVersion));
+    EXPECT_NE(k, cacheKey(specWith("mov r1, r2", "port in 1 tainted",
+                                   200),
+                          retry, kGlifsVersion));
+    RetryConfig other;
+    other.multiplier = 16;
+    EXPECT_NE(k, cacheKey(base, other, kGlifsVersion));
+    EXPECT_NE(k, cacheKey(base, retry, "glifs-999"));
+}
+
+TEST(ResultCacheTest, RoundTripsAndHonorsDisable)
+{
+    std::string dir = tempDir("cache_rt");
+    ResultCache cache(dir + "/c");
+    EXPECT_FALSE(cache.lookup("deadbeef").has_value());
+    cache.store("deadbeef", "{\"verdict\": \"secure\"}");
+    auto hit = cache.lookup("deadbeef");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "{\"verdict\": \"secure\"}");
+
+    ResultCache off(dir + "/c", false);
+    EXPECT_FALSE(off.lookup("deadbeef").has_value());
+    off.store("cafe", "{}");
+    ResultCache on(dir + "/c");
+    EXPECT_FALSE(on.lookup("cafe").has_value());
+}
+
+// ---------------------------------------------------------------------
+// Retry ladder.
+// ---------------------------------------------------------------------
+
+TEST(RetryLadderTest, OnlyDegradedWithinCeilingRetries)
+{
+    RetryConfig cfg;
+    cfg.maxAttempts = 3;
+    RetryLadder ladder(cfg);
+    EXPECT_FALSE(ladder.shouldRetry(0, 1));
+    EXPECT_FALSE(ladder.shouldRetry(1, 1));
+    EXPECT_FALSE(ladder.shouldRetry(3, 1));
+    EXPECT_TRUE(ladder.shouldRetry(2, 1));
+    EXPECT_TRUE(ladder.shouldRetry(2, 2));
+    EXPECT_FALSE(ladder.shouldRetry(2, 3));
+}
+
+TEST(RetryLadderTest, EscalatesConfiguredBudgetsOnly)
+{
+    RetryConfig cfg;
+    cfg.multiplier = 4;
+    RetryLadder ladder(cfg);
+    JobBudgets base;
+    base.maxCycles = 100;
+    base.deadlineSeconds = 2;
+
+    JobBudgets first = ladder.budgetsFor(base, 1);
+    EXPECT_EQ(first.maxCycles, 100u);
+    EXPECT_DOUBLE_EQ(first.deadlineSeconds, 2.0);
+    EXPECT_EQ(first.maxStates, 0u);
+
+    JobBudgets third = ladder.budgetsFor(base, 3);
+    EXPECT_EQ(third.maxCycles, 1600u);
+    EXPECT_DOUBLE_EQ(third.deadlineSeconds, 32.0);
+    // Unset dimensions stay unset at every rung.
+    EXPECT_EQ(third.maxStates, 0u);
+    EXPECT_EQ(third.maxRssMb, 0u);
+}
+
+TEST(RetryLadderTest, SaturatesInsteadOfOverflowing)
+{
+    RetryConfig cfg;
+    cfg.multiplier = 1e12;
+    cfg.maxAttempts = 10;
+    RetryLadder ladder(cfg);
+    JobBudgets base;
+    base.maxCycles = UINT64_MAX / 2;
+    JobBudgets b = ladder.budgetsFor(base, 5);
+    EXPECT_EQ(b.maxCycles, UINT64_MAX);
+}
+
+// ---------------------------------------------------------------------
+// Process scheduler.
+// ---------------------------------------------------------------------
+
+ProcTask
+shellTask(uint64_t id, const std::string &script)
+{
+    ProcTask t;
+    t.id = id;
+    t.argv = {"/bin/sh", "-c", script};
+    return t;
+}
+
+TEST(SchedulerTest, SurfacesExitCodesInReapOrder)
+{
+    ProcessScheduler sched(2);
+    sched.submit(shellTask(1, "exit 0"));
+    sched.submit(shellTask(2, "exit 5"));
+    sched.submit(shellTask(3, "exit 2"));
+    std::map<uint64_t, int> codes;
+    sched.run([&](const ProcResult &r) { codes[r.id] = r.exitCode; });
+    ASSERT_EQ(codes.size(), 3u);
+    EXPECT_EQ(codes[1], 0);
+    EXPECT_EQ(codes[2], 5);
+    EXPECT_EQ(codes[3], 2);
+}
+
+TEST(SchedulerTest, RunsWorkersConcurrently)
+{
+    using Clock = std::chrono::steady_clock;
+    ProcessScheduler sched(4);
+    for (uint64_t i = 0; i < 4; ++i)
+        sched.submit(shellTask(i, "sleep 0.4"));
+    Clock::time_point start = Clock::now();
+    size_t done = 0;
+    sched.run([&](const ProcResult &) { ++done; });
+    double wall =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    EXPECT_EQ(done, 4u);
+    // Serial execution would need >= 1.6s; give slow CI lots of slack.
+    EXPECT_LT(wall, 1.2);
+}
+
+TEST(SchedulerTest, KillBackstopReportsTimeout)
+{
+    ProcessScheduler sched(1);
+    ProcTask t = shellTask(7, "sleep 30");
+    t.killAfterSeconds = 0.3;
+    sched.submit(t);
+    ProcResult got;
+    sched.run([&](const ProcResult &r) { got = r; });
+    EXPECT_EQ(got.id, 7u);
+    EXPECT_TRUE(got.killedOnTimeout);
+    EXPECT_FALSE(got.crashed);
+    EXPECT_EQ(got.exitCode, -1);
+    EXPECT_LT(got.wallSeconds, 5.0);
+}
+
+TEST(SchedulerTest, CallbackMaySubmitFollowUpWork)
+{
+    ProcessScheduler sched(2);
+    sched.submit(shellTask(0, "exit 2"));
+    std::vector<uint64_t> order;
+    sched.run([&](const ProcResult &r) {
+        order.push_back(r.id);
+        if (r.id == 0)
+            sched.submit(shellTask(1, "exit 0"));
+    });
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 0u);
+    EXPECT_EQ(order[1], 1u);
+}
+
+// ---------------------------------------------------------------------
+// Worker CLI contract: --list-workloads and policy usage errors.
+// ---------------------------------------------------------------------
+
+TEST(AuditCliTest, ListWorkloadsIsMachineReadable)
+{
+    std::string dir = tempDir("cli_list");
+    std::string outFile = dir + "/names.txt";
+    ASSERT_EQ(runCmd(std::string(GLIFS_AUDIT_BIN) +
+                     " --list-workloads > " + outFile),
+              0);
+    std::istringstream in(readFile(outFile));
+    std::vector<std::string> names;
+    std::string line;
+    while (std::getline(in, line))
+        names.push_back(line);
+    EXPECT_EQ(names, workloadNames());
+    EXPECT_EQ(names.size(), allWorkloads().size());
+}
+
+/** Audit a policy file; returns {exit code, stderr text}. */
+std::pair<int, std::string>
+auditWithPolicy(const std::string &dir, const std::string &policyText)
+{
+    std::string polFile = dir + "/p.pol";
+    std::string fwFile = dir + "/fw.s";
+    std::string errFile = dir + "/err.txt";
+    writeFile(polFile, policyText);
+    writeFile(fwFile, workloadByName("mult").source());
+    int code = runCmd(std::string(GLIFS_AUDIT_BIN) + " " + fwFile +
+                      " --policy " + polFile + " > /dev/null 2> " +
+                      errFile);
+    return {code, readFile(errFile)};
+}
+
+TEST(AuditCliTest, PolicyParseErrorsExitCleanlyWithLineNumbers)
+{
+    std::string dir = tempDir("cli_policy");
+
+    // Malformed label line.
+    auto [c1, e1] =
+        auditWithPolicy(dir, "port in 1 tainted\n"
+                             "mem task_ram 0x0c00 0x0fff sideways\n");
+    EXPECT_EQ(c1, 3);
+    EXPECT_NE(e1.find("line 2"), std::string::npos) << e1;
+
+    // Duplicate partition name.
+    auto [c2, e2] = auditWithPolicy(
+        dir, "mem ram 0x0c00 0x0cff tainted\n"
+             "mem ram 0x0d00 0x0dff tainted\n");
+    EXPECT_EQ(c2, 3);
+    EXPECT_NE(e2.find("line 2"), std::string::npos) << e2;
+    EXPECT_NE(e2.find("duplicate"), std::string::npos) << e2;
+
+    // Overlapping partitions.
+    auto [c3, e3] = auditWithPolicy(
+        dir, "code a 0x000 0x0ff tainted\n"
+             "code b 0x080 0x1ff tainted\n");
+    EXPECT_EQ(c3, 3);
+    EXPECT_NE(e3.find("line 2"), std::string::npos) << e3;
+    EXPECT_NE(e3.find("overlaps"), std::string::npos) << e3;
+
+    // Wholly empty policy file.
+    auto [c4, e4] = auditWithPolicy(dir, "");
+    EXPECT_EQ(c4, 3);
+    EXPECT_NE(e4.find("empty"), std::string::npos) << e4;
+}
+
+// ---------------------------------------------------------------------
+// End-to-end batch runs (the acceptance flow).
+// ---------------------------------------------------------------------
+
+/** The acceptance manifest: 8 secure-ish jobs + one with violations,
+ *  one of them deliberately under-budgeted so the retry ladder must
+ *  escalate (x40 rebuilds mult's 60-cycle stub into a converging
+ *  2400-cycle budget). */
+const char *kFleetManifest =
+    "batch acceptance fleet\n"
+    "retry multiplier 40\n"
+    "retry max-attempts 3\n"
+    "job mult\n    workload mult\n"
+    "job tea8\n    workload tea8\n"
+    "job intFilt\n    workload intFilt\n"
+    "job rle\n    workload rle\n"
+    "job autocorr\n    workload autocorr\n"
+    "job FFT\n    workload FFT\n"
+    "job ConvEn\n    workload ConvEn\n"
+    "job tight-mult\n    workload mult\n    max-cycles 60\n"
+    "job thold\n    workload tHold\n";
+
+BatchOptions
+fleetOptions(const std::string &dir)
+{
+    BatchOptions opts;
+    opts.jobs = 4;
+    opts.auditBinary = GLIFS_AUDIT_BIN;
+    opts.cacheDir = dir + "/cache";
+    opts.verbose = false;
+    return opts;
+}
+
+TEST(BatchEndToEndTest, FleetRunsRetriesCachesAndAggregates)
+{
+    std::string dir = tempDir("e2e");
+    Manifest m = parseManifest(kFleetManifest);
+    ASSERT_EQ(m.jobs.size(), 9u);
+    BatchOptions opts = fleetOptions(dir);
+
+    // First run: everything misses, workers execute in parallel.
+    BatchReport first = runBatch(m, opts);
+    ASSERT_EQ(first.jobs.size(), 9u);
+    EXPECT_EQ(first.cacheHits(), 0u);
+    EXPECT_EQ(first.exitCode(), 1);
+
+    std::map<std::string, const JobOutcome *> byName;
+    for (const JobOutcome &j : first.jobs)
+        byName[j.name] = &j;
+
+    for (const char *secure :
+         {"mult", "tea8", "intFilt", "rle", "autocorr", "FFT",
+          "ConvEn"}) {
+        ASSERT_NE(byName[secure], nullptr) << secure;
+        EXPECT_EQ(byName[secure]->verdict, "secure") << secure;
+        EXPECT_EQ(byName[secure]->exitCode, 0) << secure;
+        EXPECT_EQ(byName[secure]->attempts, 1u) << secure;
+    }
+
+    // The under-budgeted job degraded, was escalated, and converged
+    // to a definitive secure verdict (resuming from its checkpoint).
+    const JobOutcome *tight = byName["tight-mult"];
+    ASSERT_NE(tight, nullptr);
+    EXPECT_EQ(tight->verdict, "secure");
+    EXPECT_EQ(tight->exitCode, 0);
+    EXPECT_GE(tight->attempts, 2u);
+    EXPECT_TRUE(tight->resumed);
+
+    const JobOutcome *thold = byName["thold"];
+    ASSERT_NE(thold, nullptr);
+    EXPECT_EQ(thold->verdict, "violations");
+    EXPECT_EQ(thold->exitCode, 1);
+    EXPECT_GT(thold->violationCount, 0u);
+    EXPECT_NE(thold->violationsJson.find("\"kind\""),
+              std::string::npos);
+
+    // Second run: every job is served from the cache, no workers run,
+    // and the batch finishes in a fraction of the first run's time.
+    BatchReport second = runBatch(m, opts);
+    ASSERT_EQ(second.jobs.size(), 9u);
+    EXPECT_EQ(second.cacheHits(), 9u);
+    EXPECT_EQ(second.exitCode(), 1);
+    for (const JobOutcome &j : second.jobs) {
+        EXPECT_EQ(j.cache, CacheStatus::Hit) << j.name;
+        EXPECT_EQ(j.attempts, 0u) << j.name;
+    }
+    EXPECT_LT(second.wallSeconds, first.wallSeconds * 0.5);
+
+    // Verdicts survive the cache round trip exactly.
+    for (const JobOutcome &j : second.jobs) {
+        EXPECT_EQ(j.verdict, byName[j.name]->verdict) << j.name;
+        EXPECT_EQ(j.exitCode, byName[j.name]->exitCode) << j.name;
+    }
+}
+
+TEST(BatchEndToEndTest, NoCacheRunsEveryJob)
+{
+    std::string dir = tempDir("e2e_nocache");
+    Manifest m = parseManifest("job mult\n    workload mult\n");
+    BatchOptions opts = fleetOptions(dir);
+    opts.noCache = true;
+
+    BatchReport first = runBatch(m, opts);
+    ASSERT_EQ(first.jobs.size(), 1u);
+    EXPECT_EQ(first.jobs[0].cache, CacheStatus::Disabled);
+    EXPECT_EQ(first.jobs[0].attempts, 1u);
+
+    // Nothing was stored, so a second no-cache run executes again.
+    BatchReport second = runBatch(m, opts);
+    EXPECT_EQ(second.jobs[0].cache, CacheStatus::Disabled);
+    EXPECT_EQ(second.jobs[0].attempts, 1u);
+}
+
+TEST(BatchEndToEndTest, ReportJsonCarriesTheContract)
+{
+    std::string dir = tempDir("e2e_json");
+    Manifest m =
+        parseManifest("batch json check\n"
+                      "job mult\n    workload mult\n"
+                      "job thold\n    workload tHold\n");
+    BatchReport report = runBatch(m, fleetOptions(dir));
+    std::string json = report.json();
+
+    for (const char *needle :
+         {"\"schema\": \"glifs.batch_report.v1\"", "\"tool_version\"",
+          "\"manifest\": \"json check\"", "\"concurrency\": 4",
+          "\"jobs_total\": 2", "\"cache_hits\": 0",
+          "\"exit_code\": 1", "\"name\": \"mult\"",
+          "\"verdict\": \"secure\"", "\"verdict\": \"violations\"",
+          "\"violation_count\"", "\"attempts\": 1"}) {
+        EXPECT_NE(json.find(needle), std::string::npos)
+            << "missing " << needle << " in:\n" << json;
+    }
+}
+
+TEST(BatchCliTest, BadManifestExitsUsage)
+{
+    std::string dir = tempDir("cli_bad");
+    writeFile(dir + "/bad.manifest", "job a\n");
+    std::string errFile = dir + "/err.txt";
+    int code = runCmd(std::string(GLIFS_BATCH_BIN) + " " + dir +
+                      "/bad.manifest > /dev/null 2> " + errFile);
+    EXPECT_EQ(code, 3);
+    EXPECT_NE(readFile(errFile).find("line 1"), std::string::npos);
+
+    EXPECT_EQ(runCmd(std::string(GLIFS_BATCH_BIN) +
+                     " /nonexistent.manifest > /dev/null 2>&1"),
+              3);
+    EXPECT_EQ(runCmd(std::string(GLIFS_BATCH_BIN) +
+                     " > /dev/null 2>&1"),
+              3);
+}
+
+TEST(BatchCliTest, DriverRunsManifestAndWritesReport)
+{
+    std::string dir = tempDir("cli_run");
+    writeFile(dir + "/fleet.manifest",
+              "job mult\n    workload mult\n"
+              "job tea8\n    workload tea8\n");
+    std::string reportFile = dir + "/report.json";
+    int code = runCmd(std::string(GLIFS_BATCH_BIN) + " " + dir +
+                      "/fleet.manifest --jobs 2 --quiet"
+                      " --cache-dir " + dir + "/cache"
+                      " --audit-bin " + GLIFS_AUDIT_BIN +
+                      " --report " + reportFile + " > /dev/null 2>&1");
+    EXPECT_EQ(code, 0);
+    std::string json = readFile(reportFile);
+    EXPECT_NE(json.find("\"schema\": \"glifs.batch_report.v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"jobs_total\": 2"), std::string::npos);
+}
+
+} // namespace
+} // namespace glifs

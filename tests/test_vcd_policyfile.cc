@@ -149,5 +149,54 @@ TEST(PolicyFile, ErrorsCarryLineNumbers)
     EXPECT_THROW(parsePolicy("port in 1 sideways\n"), FatalError);
 }
 
+TEST(PolicyFile, RejectsDuplicateAndOverlappingPartitions)
+{
+    auto expectError = [](const std::string &text,
+                          const std::string &fragment) {
+        try {
+            parsePolicy(text);
+            FAIL() << "expected FatalError for: " << text;
+        } catch (const FatalError &e) {
+            EXPECT_NE(std::string(e.what()).find(fragment),
+                      std::string::npos)
+                << "message '" << e.what() << "' lacks '" << fragment
+                << "'";
+        }
+    };
+    // Duplicate names, citing both declarations.
+    expectError("mem ram 0x0c00 0x0cff tainted\n"
+                "mem ram 0x0d00 0x0dff tainted\n",
+                "duplicate mem partition 'ram'");
+    expectError("code a 0x000 0x07f tainted\n"
+                "code a 0x080 0x0ff tainted\n",
+                "line 2");
+    // Overlapping address ranges within the same space.
+    expectError("code a 0x000 0x0ff untainted\n"
+                "code b 0x080 0x1ff tainted\n",
+                "overlaps 'a'");
+    expectError("mem a 0x0c00 0x0cff tainted\n"
+                "mem b 0x0c80 0x0d7f tainted\n",
+                "line 2");
+    // Inverted bounds.
+    expectError("mem a 0x0d00 0x0c00 tainted\n", "lo > hi");
+    // A code range may coincide with a mem range: different spaces.
+    EXPECT_NO_THROW(parsePolicy("code a 0x000 0x0ff tainted\n"
+                                "mem b 0x000 0x0ff tainted\n"));
+}
+
+TEST(PolicyFile, RejectsEmptyDocuments)
+{
+    EXPECT_THROW(parsePolicy(""), FatalError);
+    EXPECT_THROW(parsePolicy("\n\n"), FatalError);
+    EXPECT_THROW(parsePolicy("# only a comment\n"), FatalError);
+    try {
+        parsePolicy("");
+        FAIL();
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("empty"),
+                  std::string::npos);
+    }
+}
+
 } // namespace
 } // namespace glifs

@@ -19,6 +19,10 @@
  *   --star             also run the *-logic baseline for comparison
  *   --taint-code       mark the task's instructions tainted in program
  *                      memory (paper footnote 3)
+ *   --list-workloads   print the built-in workload registry, one name
+ *                      per line (machine-readable; batch manifests
+ *                      reference these names -- docs/BATCH.md), then
+ *                      exit 0
  *
  * Resource governance (see docs/ROBUSTNESS.md):
  *   --deadline SECS    wall-clock budget; soft threshold at 85%
@@ -69,6 +73,7 @@
 #include "ift/policy_file.hh"
 #include "ift/rootcause.hh"
 #include "starlogic/starlogic.hh"
+#include "workloads/workload.hh"
 #include "xform/masking.hh"
 #include "xform/watchdog_xform.hh"
 
@@ -89,6 +94,7 @@ usage()
         stderr,
         "usage: glifs_audit <firmware.s> [--policy FILE] "
         "[--task-base A] [--task-end A]\n"
+        "       glifs_audit --list-workloads\n"
         "                   [--fix] [--interval 0..3] [--star] "
         "[--taint-code]\n"
         "                   [--deadline SECS] [--max-cycles N] "
@@ -448,7 +454,13 @@ main(int argc, char **argv)
                 usage();
             return *v;
         };
-        if (arg == "--policy")
+        if (arg == "--list-workloads") {
+            // Machine-readable registry dump: one name per line, no
+            // decoration, so scripts and manifests can consume it.
+            for (const std::string &name : workloadNames())
+                std::printf("%s\n", name.c_str());
+            return kExitSecure;
+        } else if (arg == "--policy")
             opts.policyPath = next();
         else if (arg == "--task-base")
             opts.taskBase = static_cast<uint16_t>(nextNum());
