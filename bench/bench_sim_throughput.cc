@@ -1,15 +1,23 @@
 /**
  * @file
  * Simulator-throughput ablation (supporting bench, not a paper table):
- * gate-evaluations per second of the levelized GLIFT simulator in
- * concrete and symbolic operation, and the cost of symbolic state
- * capture/restore/merge -- the primitives the analysis engine's
- * runtime (footnote 4) is built from.
+ * gate-evaluations per second of the GLIFT simulator in concrete and
+ * symbolic operation, and the cost of symbolic state capture/restore/
+ * merge -- the primitives the analysis engine's runtime (footnote 4)
+ * is built from.
+ *
+ * The cycle benchmarks run under both scheduling modes (sweep:0 is the
+ * event-driven default, sweep:1 the full levelized sweep; see
+ * DESIGN.md "Simulator scheduling") and report evals_per_cycle /
+ * skipped_per_cycle from the sim.* stats registry deltas, plus a
+ * cycles_per_sec rate, so BENCH_sim_throughput.json records the
+ * speedup and the gate-evaluation reduction side by side.
  */
 
 #include <benchmark/benchmark.h>
 
 #include "assembler/assembler.hh"
+#include "base/stats.hh"
 #include "bench_common.hh"
 #include "ift/symstate.hh"
 #include "netlist/stats.hh"
@@ -39,20 +47,61 @@ loopImage()
         "        halt\n");
 }
 
+/**
+ * Snapshot sim.* counters around the timing loop and report
+ * per-cycle scheduling figures plus a cycles/sec rate.
+ */
+class SchedCounters
+{
+  public:
+    SchedCounters()
+    {
+        stats::Snapshot s = stats::Registry::instance().snapshot();
+        evals0 = s.value("sim.gate_evals");
+        skipped0 = s.value("sim.gate_evals_skipped");
+        edges0 = s.value("sim.clock_edges");
+    }
+
+    void
+    report(benchmark::State &state) const
+    {
+        stats::Snapshot s = stats::Registry::instance().snapshot();
+        const double edges = s.value("sim.clock_edges") - edges0;
+        const double evals = s.value("sim.gate_evals") - evals0;
+        const double skipped =
+            s.value("sim.gate_evals_skipped") - skipped0;
+        if (edges > 0) {
+            state.counters["evals_per_cycle"] = evals / edges;
+            state.counters["skipped_per_cycle"] = skipped / edges;
+        }
+        state.counters["cycles_per_sec"] = benchmark::Counter(
+            static_cast<double>(state.iterations()),
+            benchmark::Counter::kIsRate);
+    }
+
+  private:
+    double evals0 = 0;
+    double skipped0 = 0;
+    double edges0 = 0;
+};
+
 void
 BM_ConcreteCycle(benchmark::State &state)
 {
     Soc &soc = sharedSoc();
     SocRunner runner(soc);
+    runner.simulator().setFullSweepMode(state.range(0) != 0);
     runner.load(loopImage());
     runner.reset();
     const size_t gates = computeStats(soc.netlist()).trackedGates();
+    SchedCounters sched;
     for (auto _ : state)
         runner.stepCycle();
+    sched.report(state);
     state.SetItemsProcessed(state.iterations() * gates);
     state.counters["gates"] = static_cast<double>(gates);
 }
-BENCHMARK(BM_ConcreteCycle);
+BENCHMARK(BM_ConcreteCycle)->ArgName("sweep")->Arg(0)->Arg(1);
 
 void
 BM_SymbolicCycle(benchmark::State &state)
@@ -60,7 +109,9 @@ BM_SymbolicCycle(benchmark::State &state)
     // Same cycle loop but with unknown tainted inputs on every port.
     Soc &soc = sharedSoc();
     Simulator sim(soc.netlist());
+    sim.setFullSweepMode(state.range(0) != 0);
     soc.loadProgram(sim.state(), loopImage());
+    sim.markAllDirty();
     const SocProbes &prb = soc.probes();
     sim.setInput(prb.extReset, sigOne());
     for (unsigned p = 0; p < 4; ++p) {
@@ -70,11 +121,13 @@ BM_SymbolicCycle(benchmark::State &state)
     sim.step();
     sim.setInput(prb.extReset, sigZero());
     const size_t gates = computeStats(soc.netlist()).trackedGates();
+    SchedCounters sched;
     for (auto _ : state)
         sim.step();
+    sched.report(state);
     state.SetItemsProcessed(state.iterations() * gates);
 }
-BENCHMARK(BM_SymbolicCycle);
+BENCHMARK(BM_SymbolicCycle)->ArgName("sweep")->Arg(0)->Arg(1);
 
 void
 BM_SymStateCapture(benchmark::State &state)

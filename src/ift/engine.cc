@@ -436,6 +436,10 @@ struct RunCtx
     {
         ++engineStats().starSaturations;
         GLIFS_TRACE_INSTANT("engine", "star_saturate");
+        // Bulk mutation of flop outputs and memory cells below
+        // bypasses the simulator's tracked setters; invalidate its
+        // dirty set so the settle is a full sweep.
+        sim.markAllDirty();
         const Netlist &nl = soc.netlist();
         for (GateId g : nl.dffs())
             sim.state().setNet(nl.gate(g).out, Signal{Tern::X, true});
@@ -534,9 +538,8 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
                 continue;
             for (uint32_t a = p.lo;
                  a <= p.hi && a < image.words.size(); ++a) {
-                ctx.sim.state().setMemWord(soc.netlist(),
-                                           soc.probes().progMem, a,
-                                           image.words[a], true);
+                ctx.sim.setMemWord(soc.probes().progMem, a,
+                                   image.words[a], true);
             }
         }
     }
@@ -603,6 +606,9 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
             static_cast<double>(ctx.stack.size() + 1));
         ctx.gov.noteFrontier(ctx.stack.size() + 1);
         state.restore(ctx.layout, ctx.sim.state());
+        // The restore rewrote every flop and memory cell behind the
+        // scheduler's back; the first settle of the path must sweep.
+        ctx.sim.markAllDirty();
         if (tr.enabled()) {
             tr.instant("engine", "pop",
                        trace::Args()
@@ -728,8 +734,8 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
                 pre.capture(ctx.layout, ctx.sim.state());
 
                 // Fired branch: POR forced high; PC resets to 0.
-                ctx.sim.state().setNet(prb.porNet,
-                                       Signal{Tern::One, por.taint});
+                ctx.sim.setNet(prb.porNet,
+                               Signal{Tern::One, por.taint});
                 ctx.sim.clockEdge();
                 SymState fired(ctx.layout);
                 fired.capture(ctx.layout, ctx.sim.state());
@@ -745,10 +751,11 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
                 // commit, where the normal state-table subsumption
                 // applies.
                 pre.restore(ctx.layout, ctx.sim.state());
+                ctx.sim.markAllDirty();
                 ctx.setInputs(false);
                 ctx.sim.evalComb();
-                ctx.sim.state().setNet(prb.porNet,
-                                       Signal{Tern::Zero, por.taint});
+                ctx.sim.setNet(prb.porNet,
+                               Signal{Tern::Zero, por.taint});
             }
 
             ctx.sim.clockEdge();
@@ -860,8 +867,10 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
                 path_done = true;
                 break;
             }
-            if (visit == StateTable::Visit::Merged)
+            if (visit == StateTable::Visit::Merged) {
                 cur.restore(ctx.layout, ctx.sim.state());
+                ctx.sim.markAllDirty();
+            }
         }
     }
 

@@ -1,0 +1,111 @@
+#include "netlist/fanout.hh"
+
+#include "base/logging.hh"
+
+namespace glifs
+{
+
+namespace
+{
+
+/**
+ * Schedulable producer node of a net, or -1 when the net is a source
+ * (primary input, constant, flip-flop output, or undriven).
+ */
+int64_t
+producerNode(const Netlist &nl, const FanoutIndex &fi, NetId net)
+{
+    if (net == kNoNet)
+        return -1;
+    if (nl.memDriven(net))
+        return fi.memNode(nl.memDriver(net));
+    GateId d = nl.driverOf(net);
+    if (d == static_cast<GateId>(-1))
+        return -1;
+    if (nl.gate(d).type != GateType::Comb)
+        return -1;
+    return fi.gateNode(d);
+}
+
+} // namespace
+
+FanoutIndex
+buildFanoutIndex(const Netlist &nl, const std::vector<EvalStep> &order)
+{
+    FanoutIndex fi;
+    fi.nGates = nl.numGates();
+    fi.nMems = nl.numMemories();
+    fi.levelOf.assign(fi.numNodes(), 0);
+
+    // Levels, walking the (already topological) schedule: a node sits
+    // one level above its deepest schedulable producer.
+    for (const EvalStep &step : order) {
+        uint32_t node;
+        uint32_t lvl = 0;
+        auto raise = [&](NetId in) {
+            int64_t p = producerNode(nl, fi, in);
+            if (p >= 0 && fi.levelOf[p] + 1 > lvl)
+                lvl = fi.levelOf[p] + 1;
+        };
+        if (step.kind == EvalStep::Kind::Gate) {
+            node = fi.gateNode(step.index);
+            const Gate &g = nl.gate(step.index);
+            const unsigned arity = gateArity(g.kind);
+            for (unsigned i = 0; i < arity; ++i)
+                raise(g.in[i]);
+        } else {
+            node = fi.memNode(step.index);
+            for (NetId a : nl.memory(step.index).readAddr)
+                raise(a);
+        }
+        fi.levelOf[node] = lvl;
+        if (lvl + 1 > fi.numLevels)
+            fi.numLevels = lvl + 1;
+    }
+
+    // CSR fanout: count, prefix-sum, fill.
+    std::vector<uint32_t> counts(nl.numNets(), 0);
+    auto countEdge = [&](NetId in) {
+        if (in != kNoNet)
+            ++counts[in];
+    };
+    for (GateId g = 0; g < nl.numGates(); ++g) {
+        const Gate &gate = nl.gate(g);
+        if (gate.type != GateType::Comb)
+            continue;
+        const unsigned arity = gateArity(gate.kind);
+        for (unsigned i = 0; i < arity; ++i)
+            countEdge(gate.in[i]);
+    }
+    for (MemId m = 0; m < nl.numMemories(); ++m) {
+        for (NetId a : nl.memory(m).readAddr)
+            countEdge(a);
+    }
+
+    fi.offsets.assign(nl.numNets() + 1, 0);
+    for (size_t n = 0; n < nl.numNets(); ++n)
+        fi.offsets[n + 1] = fi.offsets[n] + counts[n];
+    fi.consumers.resize(fi.offsets.back());
+
+    std::vector<uint32_t> cursor(fi.offsets.begin(),
+                                 fi.offsets.end() - 1);
+    auto fillEdge = [&](NetId in, uint32_t node) {
+        if (in != kNoNet)
+            fi.consumers[cursor[in]++] = node;
+    };
+    for (GateId g = 0; g < nl.numGates(); ++g) {
+        const Gate &gate = nl.gate(g);
+        if (gate.type != GateType::Comb)
+            continue;
+        const unsigned arity = gateArity(gate.kind);
+        for (unsigned i = 0; i < arity; ++i)
+            fillEdge(gate.in[i], fi.gateNode(g));
+    }
+    for (MemId m = 0; m < nl.numMemories(); ++m) {
+        for (NetId a : nl.memory(m).readAddr)
+            fillEdge(a, fi.memNode(m));
+    }
+    return fi;
+}
+
+} // namespace glifs

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Precomputed fanout index for event-driven combinational evaluation.
+ *
+ * For every net the index lists the schedulable consumers that must be
+ * re-evaluated when the net's signal changes: combinational gates that
+ * read it and memory read ports whose address includes it. Consumers
+ * are identified in a compact node space shared with the levelized
+ * schedule ([0, numGates) combinational gates, [numGates, +numMems)
+ * memory read ports), and each node carries its topological level so a
+ * dirty-set scheduler can drain changes in dependency order. Flip-flop
+ * and memory write-port inputs are deliberately absent: they are
+ * consumed at the clock edge, which always reads its inputs directly.
+ */
+
+#ifndef GLIFS_NETLIST_FANOUT_HH
+#define GLIFS_NETLIST_FANOUT_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/levelize.hh"
+#include "netlist/netlist.hh"
+
+namespace glifs
+{
+
+/**
+ * CSR-style net -> consuming-node index plus per-node levels.
+ *
+ * Node numbering: node == GateId for combinational gates, node ==
+ * numGates + MemId for memory read ports. A net may list the same
+ * consumer twice (a gate reading it on two inputs); deduplication is
+ * the marker's job (one bitset test per mark).
+ */
+struct FanoutIndex
+{
+    size_t nGates = 0;  ///< gate nodes [0, nGates)
+    size_t nMems = 0;   ///< memory read-port nodes [nGates, +nMems)
+
+    /** CSR row offsets, numNets()+1 entries. */
+    std::vector<uint32_t> offsets;
+    /** CSR payload: consumer node ids, grouped by net. */
+    std::vector<uint32_t> consumers;
+
+    /**
+     * Topological level of each node: 0 for nodes fed only by sources
+     * (inputs, constants, flip-flop outputs), else 1 + the maximum
+     * level of any schedulable producer. Every edge in the
+     * combinational graph strictly increases the level, so draining
+     * dirty nodes level by level evaluates each at most once per
+     * settle.
+     */
+    std::vector<uint32_t> levelOf;
+    /** Number of distinct levels (max level + 1; 0 if no nodes). */
+    uint32_t numLevels = 0;
+
+    size_t numNodes() const { return nGates + nMems; }
+    uint32_t gateNode(GateId g) const { return g; }
+
+    uint32_t
+    memNode(MemId m) const
+    {
+        return static_cast<uint32_t>(nGates + m);
+    }
+
+    bool isMemNode(uint32_t node) const { return node >= nGates; }
+
+    MemId
+    memOf(uint32_t node) const
+    {
+        return static_cast<MemId>(node - nGates);
+    }
+
+    /** Consumers of a net (possibly with duplicates). */
+    std::span<const uint32_t>
+    consumersOf(NetId net) const
+    {
+        return {consumers.data() + offsets[net],
+                offsets[net + 1] - offsets[net]};
+    }
+};
+
+/**
+ * Build the fanout index of a netlist. @p order must be the schedule
+ * returned by levelize() for the same netlist; levels are derived from
+ * it, so a combinational cycle has already been rejected.
+ */
+FanoutIndex buildFanoutIndex(const Netlist &nl,
+                             const std::vector<EvalStep> &order);
+
+} // namespace glifs
+
+#endif // GLIFS_NETLIST_FANOUT_HH

@@ -1,7 +1,10 @@
 #include "sim/simulator.hh"
 
+#include <cstdlib>
+
 #include "base/logging.hh"
 #include "base/stats.hh"
+#include "base/trace.hh"
 #include "logic/glift.hh"
 
 namespace glifs
@@ -17,42 +20,197 @@ struct SimStats
                             "combinational settle passes"};
     stats::Scalar gateEvals{"sim.gate_evals",
                             "individual gate/step evaluations"};
+    stats::Scalar gateEvalsSkipped{
+        "sim.gate_evals_skipped",
+        "scheduled evaluations skipped as clean (event-driven)"};
     stats::Scalar clockEdges{"sim.clock_edges", "clock edges latched"};
     stats::Scalar memReadEvals{"sim.mem_read_evals",
                                "memory read-port evaluations"};
     stats::Scalar memWriteCommits{"sim.mem_write_commits",
                                   "memory write-port commits"};
+    stats::Formula dirtyRatio{
+        "sim.dirty_ratio",
+        "fraction of scheduled evaluations actually run",
+        [] {
+            SimStats &s = simStats();
+            const double run =
+                static_cast<double>(s.gateEvals.value());
+            const double total =
+                run + static_cast<double>(
+                          s.gateEvalsSkipped.value());
+            return total == 0.0 ? 1.0 : run / total;
+        }};
+
+    static SimStats &simStats();
 };
 
 SimStats &
-simStats()
+SimStats::simStats()
 {
     static SimStats s;
     return s;
 }
 
+SimStats &
+simStats()
+{
+    return SimStats::simStats();
+}
+
+/** GLIFS_SIM_FULL_SWEEP=1 (anything but ""/"0") forces full sweeps. */
+bool
+envFullSweep()
+{
+    const char *e = std::getenv("GLIFS_SIM_FULL_SWEEP");
+    return e && *e && !(e[0] == '0' && e[1] == '\0');
+}
+
 } // namespace
 
 Simulator::Simulator(const Netlist &netlist)
-    : nl(netlist), order(levelize(netlist)), sigs(netlist)
+    : nl(netlist), order(levelize(netlist)),
+      fanout(buildFanoutIndex(netlist, order)), sigs(netlist),
+      fullSweep(envFullSweep())
 {
+    dirtyWords.assign((fanout.numNodes() + 63) / 64, 0);
+    levelWork.resize(fanout.numLevels);
+    dffNextScratch.reserve(nl.dffs().size());
+    writeScratch.resize(nl.numMemories());
+    for (MemId m = 0; m < nl.numMemories(); ++m)
+        writeScratch[m].data.resize(nl.memory(m).width);
+    activeWrites.reserve(nl.numMemories());
 }
 
 void
-Simulator::evalMemRead(MemId m)
+Simulator::markNodeDirty(uint32_t node)
+{
+    uint64_t &w = dirtyWords[node >> 6];
+    const uint64_t bit = 1ULL << (node & 63);
+    if (w & bit)
+        return;
+    w |= bit;
+    levelWork[fanout.levelOf[node]].push_back(node);
+}
+
+void
+Simulator::markNetFanoutDirty(NetId net)
+{
+    for (uint32_t c : fanout.consumersOf(net))
+        markNodeDirty(c);
+}
+
+void
+Simulator::setNet(NetId net, const Signal &s)
+{
+    if (sigs.net(net) == s)
+        return;
+    sigs.setNet(net, s);
+    if (allDirty || fullSweep)
+        return;
+    markNetFanoutDirty(net);
+    // A driven net must be recomputed from its driver at the next
+    // settle, so the override behaves exactly like under a full sweep
+    // (visible to the clock edge, gone after the next evalComb()).
+    if (nl.memDriven(net)) {
+        markNodeDirty(fanout.memNode(nl.memDriver(net)));
+    } else {
+        GateId d = nl.driverOf(net);
+        if (d != static_cast<GateId>(-1) &&
+            nl.gate(d).type == GateType::Comb) {
+            markNodeDirty(fanout.gateNode(d));
+        }
+    }
+}
+
+void
+Simulator::setMemWord(MemId mem, size_t word, uint64_t value, bool taint)
+{
+    sigs.setMemWord(nl, mem, word, value, taint);
+    markMemDirty(mem);
+}
+
+void
+Simulator::markMemDirty(MemId mem)
+{
+    if (!allDirty && !fullSweep)
+        markNodeDirty(fanout.memNode(mem));
+}
+
+void
+Simulator::setFullSweepMode(bool on)
+{
+    fullSweep = on;
+    // Leaving full-sweep mode: changes made while it was on were not
+    // tracked, so nothing short of a full sweep is known clean.
+    if (!on)
+        markAllDirty();
+}
+
+void
+Simulator::evalGate(GateId gid, const GliftTables &glift, bool track)
+{
+    const Gate &g = nl.gate(gid);
+    Signal in[3];
+    const unsigned arity = gateArity(g.kind);
+    for (unsigned i = 0; i < arity; ++i)
+        in[i] = sigs.net(g.in[i]);
+    const Signal out = glift.eval(g.kind, in);
+    const Signal prev = sigs.net(g.out);
+    if (out == prev)
+        return;
+    if (togglesOn && prev.value != out.value)
+        ++toggles.combToggles[static_cast<size_t>(g.kind)];
+    sigs.setNet(g.out, out);
+    if (track)
+        markNetFanoutDirty(g.out);
+}
+
+void
+Simulator::evalMemRead(MemId m, bool track)
 {
     const MemoryDecl &decl = nl.memory(m);
-    std::vector<Signal> addr(decl.readAddr.size());
-    for (size_t i = 0; i < addr.size(); ++i)
-        addr[i] = sigs.net(decl.readAddr[i]);
+    addrScratch.resize(decl.readAddr.size());
+    for (size_t i = 0; i < addrScratch.size(); ++i)
+        addrScratch[i] = sigs.net(decl.readAddr[i]);
 
-    MemAddr ma = decodeMemAddr(addr, decl.words, decl.maxUnknownAddrBits);
+    MemAddr ma =
+        decodeMemAddr(addrScratch, decl.words, decl.maxUnknownAddrBits);
     if (!decl.addrTaintsRead)
         ma.tainted = false;
-    std::vector<Signal> data(decl.width);
-    memoryRead(sigs.memCells(m), decl.width, decl.words, ma, data);
-    for (unsigned b = 0; b < decl.width; ++b)
-        sigs.setNet(decl.readData[b], data[b]);
+    dataScratch.resize(decl.width);
+    memoryRead(sigs.memCells(m), decl.width, decl.words, ma,
+               dataScratch);
+    for (unsigned b = 0; b < decl.width; ++b) {
+        const NetId rd = decl.readData[b];
+        if (sigs.net(rd) == dataScratch[b])
+            continue;
+        sigs.setNet(rd, dataScratch[b]);
+        if (track)
+            markNetFanoutDirty(rd);
+    }
+}
+
+void
+Simulator::evalFull()
+{
+    SimStats &st = simStats();
+    st.gateEvals += order.size();
+    const GliftTables &glift = GliftTables::instance();
+    for (const EvalStep &step : order) {
+        if (step.kind == EvalStep::Kind::MemRead) {
+            ++st.memReadEvals;
+            evalMemRead(step.index, /*track=*/false);
+            continue;
+        }
+        evalGate(step.index, glift, /*track=*/false);
+    }
+    // Every node was just recomputed: the pending dirty set is moot.
+    for (std::vector<uint32_t> &bucket : levelWork) {
+        for (uint32_t node : bucket)
+            dirtyWords[node >> 6] &= ~(1ULL << (node & 63));
+        bucket.clear();
+    }
+    allDirty = false;
 }
 
 void
@@ -60,89 +218,104 @@ Simulator::evalComb()
 {
     SimStats &st = simStats();
     ++st.combEvals;
-    st.gateEvals += order.size();
+    if (fullSweep || allDirty) {
+        evalFull();
+        return;
+    }
+
     const GliftTables &glift = GliftTables::instance();
-    for (const EvalStep &step : order) {
-        if (step.kind == EvalStep::Kind::MemRead) {
-            ++st.memReadEvals;
-            evalMemRead(step.index);
-            continue;
+    size_t evaluated = 0;
+    // Drain levels in ascending order. A node's consumers all sit on
+    // strictly higher levels, so a bucket never grows while it drains
+    // and each node runs at most once per settle.
+    for (std::vector<uint32_t> &bucket : levelWork) {
+        for (size_t i = 0; i < bucket.size(); ++i) {
+            const uint32_t node = bucket[i];
+            dirtyWords[node >> 6] &= ~(1ULL << (node & 63));
+            ++evaluated;
+            if (fanout.isMemNode(node)) {
+                ++st.memReadEvals;
+                evalMemRead(fanout.memOf(node), /*track=*/true);
+            } else {
+                evalGate(node, glift, /*track=*/true);
+            }
         }
-        const Gate &g = nl.gate(step.index);
-        Signal in[3];
-        const unsigned arity = gateArity(g.kind);
-        for (unsigned i = 0; i < arity; ++i)
-            in[i] = sigs.net(g.in[i]);
-        Signal out = glift.eval(g.kind, in);
-        if (togglesOn) {
-            Signal prev = sigs.net(g.out);
-            if (prev.value != out.value)
-                ++toggles.combToggles[static_cast<size_t>(g.kind)];
-        }
-        sigs.setNet(g.out, out);
+        bucket.clear();
+    }
+    st.gateEvals += evaluated;
+    st.gateEvalsSkipped += order.size() - evaluated;
+
+    trace::Tracer &tr = trace::Tracer::instance();
+    if (tr.enabled()) {
+        tr.counter("sim", "dirty_nodes",
+                   static_cast<double>(evaluated));
     }
 }
 
 void
 Simulator::clockEdge()
 {
+    const bool track = !fullSweep && !allDirty;
+
     // Compute all flip-flop next states from the settled nets...
-    std::vector<Signal> dff_next;
-    dff_next.reserve(nl.dffs().size());
+    dffNextScratch.clear();
     for (GateId gid : nl.dffs()) {
         const Gate &g = nl.gate(gid);
-        dff_next.push_back(dffNext(sigs.net(g.in[0]), sigs.net(g.in[1]),
-                                   sigs.net(g.in[2]), sigs.net(g.out),
-                                   g.rstVal));
+        dffNextScratch.push_back(
+            dffNext(sigs.net(g.in[0]), sigs.net(g.in[1]),
+                    sigs.net(g.in[2]), sigs.net(g.out), g.rstVal));
     }
 
-    // ... and all memory write-port updates, before committing anything,
-    // so the edge is atomic.
-    struct PendingWrite
-    {
-        MemId mem;
-        MemAddr addr;
-        Signal we;
-        std::vector<Signal> data;
-    };
-    std::vector<PendingWrite> writes;
+    // ... and all memory write-port updates, before committing
+    // anything, so the edge is atomic.
+    activeWrites.clear();
     for (MemId m = 0; m < nl.numMemories(); ++m) {
         const MemoryDecl &decl = nl.memory(m);
         if (!decl.writable)
             continue;
-        PendingWrite w;
-        w.mem = m;
+        PendingWrite &w = writeScratch[m];
         w.we = sigs.net(decl.writeEn);
         if (w.we.known() && !w.we.asBool() && !w.we.taint)
             continue;
-        std::vector<Signal> addr(decl.writeAddr.size());
-        for (size_t i = 0; i < addr.size(); ++i)
-            addr[i] = sigs.net(decl.writeAddr[i]);
-        w.addr = decodeMemAddr(addr, decl.words, decl.maxUnknownAddrBits);
-        w.data.resize(decl.width);
+        addrScratch.resize(decl.writeAddr.size());
+        for (size_t i = 0; i < addrScratch.size(); ++i)
+            addrScratch[i] = sigs.net(decl.writeAddr[i]);
+        w.addr = decodeMemAddr(addrScratch, decl.words,
+                               decl.maxUnknownAddrBits);
         for (unsigned b = 0; b < decl.width; ++b)
             w.data[b] = sigs.net(decl.writeData[b]);
-        writes.push_back(std::move(w));
+        activeWrites.push_back(m);
     }
 
-    // Commit.
+    // Commit. A flip-flop whose output actually changed (value or
+    // taint) seeds the next cycle's dirty set through its fanout.
     size_t i = 0;
     for (GateId gid : nl.dffs()) {
         const Gate &g = nl.gate(gid);
-        if (togglesOn && sigs.net(g.out).value != dff_next[i].value)
-            ++toggles.dffToggles;
-        sigs.setNet(g.out, dff_next[i]);
+        const Signal prev = sigs.net(g.out);
+        const Signal &next = dffNextScratch[i];
         ++i;
+        if (prev == next)
+            continue;
+        if (togglesOn && prev.value != next.value)
+            ++toggles.dffToggles;
+        sigs.setNet(g.out, next);
+        if (track)
+            markNetFanoutDirty(g.out);
     }
     SimStats &st = simStats();
     ++st.clockEdges;
-    for (const PendingWrite &w : writes) {
-        const MemoryDecl &decl = nl.memory(w.mem);
-        memoryWrite(sigs.memCells(w.mem), decl.width, decl.words, w.addr,
+    for (MemId m : activeWrites) {
+        const MemoryDecl &decl = nl.memory(m);
+        const PendingWrite &w = writeScratch[m];
+        memoryWrite(sigs.memCells(m), decl.width, decl.words, w.addr,
                     w.we, w.data);
         ++st.memWriteCommits;
         if (togglesOn)
             ++toggles.memWrites;
+        // Cells may have changed: the read port must re-evaluate.
+        if (track)
+            markNodeDirty(fanout.memNode(m));
     }
 
     ++cycleCount;

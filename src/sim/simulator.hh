@@ -7,6 +7,17 @@
  *    cycle counting and energy measurement; and
  *  - symbolic simulation (X inputs) as the single-cycle step primitive
  *    of the paper's input-independent taint tracking (Algorithm 1).
+ *
+ * Scheduling is event-driven by default (DESIGN.md "Simulator
+ * scheduling"): a precomputed fanout index maps every changed net to
+ * the combinational gates and memory read ports it feeds, and
+ * evalComb() re-evaluates only those, draining per-level worklists in
+ * dependency order. Because every gate is a pure function of its input
+ * signals, a node none of whose inputs changed cannot change its
+ * output, so the event-driven settle is bit-identical (values and
+ * taints) to the full levelized sweep -- which remains available via
+ * setFullSweepMode() or the GLIFS_SIM_FULL_SWEEP=1 environment
+ * variable for A/B measurement and differential testing.
  */
 
 #ifndef GLIFS_SIM_SIMULATOR_HH
@@ -15,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "netlist/fanout.hh"
 #include "netlist/levelize.hh"
 #include "netlist/memory_array.hh"
 #include "netlist/netlist.hh"
@@ -23,6 +35,8 @@
 
 namespace glifs
 {
+
+class GliftTables;
 
 /**
  * Gate-level cycle simulator. The netlist must outlive the simulator.
@@ -37,25 +51,72 @@ class Simulator
     const SignalState &state() const { return sigs; }
 
     /** Replace the whole simulation state (used by symbolic restore). */
-    void setState(const SignalState &s) { sigs = s; }
-    void setState(SignalState &&s) { sigs = std::move(s); }
+    void
+    setState(const SignalState &s)
+    {
+        sigs = s;
+        markAllDirty();
+    }
+
+    void
+    setState(SignalState &&s)
+    {
+        sigs = std::move(s);
+        markAllDirty();
+    }
 
     /** Drive a primary input (or any undriven net). */
-    void setInput(NetId net, const Signal &s) { sigs.setNet(net, s); }
+    void setInput(NetId net, const Signal &s) { setNet(net, s); }
+
+    /**
+     * Tracked override of any net. A change marks the net's fanout
+     * dirty; if a combinational gate or memory read port drives the
+     * net, that driver is marked too, so the override cannot outlive
+     * the next evalComb() (full-sweep parity: the sweep recomputes
+     * every driven net each settle).
+     */
+    void setNet(NetId net, const Signal &s);
+
+    /**
+     * Store a concrete word into a memory block, keeping the read
+     * port's dirty tracking consistent. External writers must use this
+     * (or markMemDirty()/markAllDirty()) instead of mutating
+     * state().memCells() behind the scheduler's back.
+     */
+    void setMemWord(MemId mem, size_t word, uint64_t value,
+                    bool taint = false);
+
+    /** Mark a memory's read port for re-evaluation (cells changed). */
+    void markMemDirty(MemId mem);
+
+    /**
+     * Invalidate the whole dirty set: the next evalComb() performs a
+     * full levelized sweep. Required after any bulk mutation of the
+     * SignalState that bypasses the tracked setters (symbolic state
+     * restore, checkpoint resume, *-logic saturation).
+     */
+    void markAllDirty() { allDirty = true; }
+
+    /** Full-sweep escape hatch (also GLIFS_SIM_FULL_SWEEP=1). */
+    bool fullSweepMode() const { return fullSweep; }
+    void setFullSweepMode(bool on);
 
     /** Current value of any net (after evalComb() for comb nets). */
     Signal netValue(NetId net) const { return sigs.net(net); }
 
     /**
      * Settle all combinational logic and memory read ports for the
-     * current cycle, in levelized order.
+     * current cycle: only dirty nodes in event-driven mode, the whole
+     * levelized schedule in full-sweep mode or after markAllDirty().
      */
     void evalComb();
 
     /**
      * Advance one clock edge: latch every flip-flop (with the Figure-7
-     * reset-taint semantics) and commit memory write ports.
-     * evalComb() must have been called for the cycle.
+     * reset-taint semantics) and commit memory write ports. Flip-flops
+     * and memories whose outputs actually changed seed the next
+     * cycle's dirty set. evalComb() must have been called for the
+     * cycle.
      */
     void clockEdge();
 
@@ -78,12 +139,44 @@ class Simulator
   private:
     const Netlist &nl;
     std::vector<EvalStep> order;
+    FanoutIndex fanout;
     SignalState sigs;
     uint64_t cycleCount = 0;
     bool togglesOn = false;
     ToggleStats toggles;
 
-    void evalMemRead(MemId m);
+    // --- event-driven scheduler state --------------------------------
+    bool fullSweep = false;  ///< escape hatch: always sweep everything
+    bool allDirty = true;    ///< next settle must sweep everything
+    /** Node-space dirty bitset (deduplicates worklist inserts). */
+    std::vector<uint64_t> dirtyWords;
+    /** Per-level worklists of dirty nodes, drained in ascending order. */
+    std::vector<std::vector<uint32_t>> levelWork;
+
+    // --- reusable scratch buffers (no per-call heap allocation) ------
+    std::vector<Signal> addrScratch;
+    std::vector<Signal> dataScratch;
+    std::vector<Signal> dffNextScratch;
+
+    /** One memory write port's pending edge update. */
+    struct PendingWrite
+    {
+        MemAddr addr;
+        Signal we;
+        std::vector<Signal> data;
+    };
+    std::vector<PendingWrite> writeScratch;  ///< per-memory slot
+    std::vector<MemId> activeWrites;         ///< memories written this edge
+
+    void markNodeDirty(uint32_t node);
+    void markNetFanoutDirty(NetId net);
+
+    /** Evaluate one gate; propagate into the dirty set iff @p track. */
+    void evalGate(GateId g, const GliftTables &glift, bool track);
+    void evalMemRead(MemId m, bool track);
+
+    /** The full levelized sweep (allDirty / full-sweep mode). */
+    void evalFull();
 };
 
 } // namespace glifs

@@ -13,6 +13,9 @@ void
 SocRunner::load(const ProgramImage &image)
 {
     socRef.loadProgram(sim.state(), image);
+    // loadProgram writes memory cells directly; resync the simulator's
+    // dirty tracking (covers reloading after cycles have run).
+    sim.markAllDirty();
 }
 
 void
@@ -47,7 +50,7 @@ SocRunner::reset()
     const Netlist &nl = socRef.netlist();
     MemId ram = socRef.probes().dataMem;
     for (size_t w = 0; w < nl.memory(ram).words; ++w)
-        sim.state().setMemWord(nl, ram, w, 0);
+        sim.setMemWord(ram, w, 0);
 }
 
 void
