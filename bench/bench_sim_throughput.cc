@@ -6,12 +6,15 @@
  * merge -- the primitives the analysis engine's runtime (footnote 4)
  * is built from.
  *
- * The cycle benchmarks run under both scheduling modes (sweep:0 is the
- * event-driven default, sweep:1 the full levelized sweep; see
- * DESIGN.md "Simulator scheduling") and report evals_per_cycle /
- * skipped_per_cycle from the sim.* stats registry deltas, plus a
- * cycles_per_sec rate, so BENCH_sim_throughput.json records the
- * speedup and the gate-evaluation reduction side by side.
+ * The cycle benchmarks run the cross product of scheduling mode
+ * (sweep:0 is the event-driven default, sweep:1 the full levelized
+ * sweep; see DESIGN.md "Simulator scheduling") and evaluation backend
+ * (interp:0 is the compiled bit-packed default, interp:1 the
+ * per-signal table interpreter; DESIGN.md "Compiled evaluation"), and
+ * report evals_per_cycle / skipped_per_cycle from the sim.* stats
+ * registry deltas, plus a cycles_per_sec rate, so
+ * BENCH_sim_throughput.json records the speedup and the
+ * gate-evaluation reduction side by side.
  */
 
 #include <benchmark/benchmark.h>
@@ -91,6 +94,9 @@ BM_ConcreteCycle(benchmark::State &state)
     Soc &soc = sharedSoc();
     SocRunner runner(soc);
     runner.simulator().setFullSweepMode(state.range(0) != 0);
+    runner.simulator().setBackend(state.range(1) != 0
+                                      ? SimBackend::Interp
+                                      : SimBackend::Packed);
     runner.load(loopImage());
     runner.reset();
     const size_t gates = computeStats(soc.netlist()).trackedGates();
@@ -101,7 +107,12 @@ BM_ConcreteCycle(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * gates);
     state.counters["gates"] = static_cast<double>(gates);
 }
-BENCHMARK(BM_ConcreteCycle)->ArgName("sweep")->Arg(0)->Arg(1);
+BENCHMARK(BM_ConcreteCycle)
+    ->ArgNames({"sweep", "interp"})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1});
 
 void
 BM_SymbolicCycle(benchmark::State &state)
@@ -110,6 +121,8 @@ BM_SymbolicCycle(benchmark::State &state)
     Soc &soc = sharedSoc();
     Simulator sim(soc.netlist());
     sim.setFullSweepMode(state.range(0) != 0);
+    sim.setBackend(state.range(1) != 0 ? SimBackend::Interp
+                                       : SimBackend::Packed);
     soc.loadProgram(sim.state(), loopImage());
     sim.markAllDirty();
     const SocProbes &prb = soc.probes();
@@ -127,7 +140,12 @@ BM_SymbolicCycle(benchmark::State &state)
     sched.report(state);
     state.SetItemsProcessed(state.iterations() * gates);
 }
-BENCHMARK(BM_SymbolicCycle)->ArgName("sweep")->Arg(0)->Arg(1);
+BENCHMARK(BM_SymbolicCycle)
+    ->ArgNames({"sweep", "interp"})
+    ->Args({0, 0})
+    ->Args({1, 0})
+    ->Args({0, 1})
+    ->Args({1, 1});
 
 void
 BM_SymStateCapture(benchmark::State &state)

@@ -182,7 +182,12 @@ Registry::snapshot() const
             e.bins = d->bins();
         } else if (auto *f = dynamic_cast<const Formula *>(stat)) {
             e.kind = SnapshotEntry::Kind::Formula;
-            e.value = f->value();
+            // A formula over zero-valued inputs (0/0, x/0) yields
+            // nan/inf; snapshot consumers (reports, bench counters)
+            // treat entries as plain numbers, so clamp here rather
+            // than only at JSON render time.
+            const double v = f->value();
+            e.value = std::isfinite(v) ? v : 0.0;
         }
         snap.entries.push_back(std::move(e));
     }

@@ -1,19 +1,37 @@
 #include "batch/cache.hh"
 
+#include <dirent.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <utility>
 
 #include "base/hash.hh"
 #include "base/logging.hh"
+#include "base/stats.hh"
 
 namespace glifs::batch
 {
+
+namespace
+{
+
+/** Entries dropped because a store step failed (lazily registered). */
+stats::Scalar &
+publishFailures()
+{
+    static stats::Scalar s{
+        "batch.cache_publish_failures",
+        "cache entries dropped because writing or publishing failed"};
+    return s;
+}
+
+} // namespace
 
 std::string
 cacheKey(const JobSpec &job, const RetryConfig &retry,
@@ -30,7 +48,31 @@ cacheKey(const JobSpec &job, const RetryConfig &retry,
 
 ResultCache::ResultCache(std::string dir, bool enabled)
     : cacheDir(std::move(dir)), isEnabled(enabled)
-{}
+{
+    if (isEnabled)
+        sweepStaleTmp();
+}
+
+void
+ResultCache::sweepStaleTmp() const
+{
+    // Leftover `<key>.json.tmp.<pid>` files are the debris of a writer
+    // that died between open and rename; they are never read (lookup
+    // only opens `<key>.json`) but accumulate forever. A concurrent
+    // *live* writer whose temp file we remove just fails its rename
+    // and drops that one entry -- stores are best-effort by design.
+    DIR *d = ::opendir(cacheDir.c_str());
+    if (!d)
+        return; // not created yet (or unreadable): nothing to sweep
+    while (const dirent *ent = ::readdir(d)) {
+        if (std::strstr(ent->d_name, ".tmp.") == nullptr)
+            continue;
+        const std::string path = cacheDir + "/" + ent->d_name;
+        if (std::remove(path.c_str()) == 0)
+            GLIFS_WARN("swept stale cache temp file ", path);
+    }
+    ::closedir(d);
+}
 
 std::string
 ResultCache::entryPath(const std::string &key) const
@@ -55,10 +97,19 @@ void
 ResultCache::store(const std::string &key,
                    const std::string &reportJson)
 {
+    // The cache is an accelerator: a verdict that cannot be cached is
+    // still a verdict, so every failure path below warns, counts
+    // (batch.cache_publish_failures) and returns instead of aborting
+    // the batch that just spent its budget computing the result.
     if (!isEnabled)
         return;
-    if (::mkdir(cacheDir.c_str(), 0755) != 0 && errno != EEXIST)
-        GLIFS_FATAL("cannot create cache directory ", cacheDir);
+    if (::mkdir(cacheDir.c_str(), 0755) != 0 && errno != EEXIST) {
+        GLIFS_WARN("cannot create cache directory ", cacheDir,
+                   ": ", std::strerror(errno),
+                   "; dropping cache entry");
+        publishFailures().inc();
+        return;
+    }
 
     // Temp file + rename: a reader (or a concurrent batch) sees
     // either no entry or a complete one, never a partial write.
@@ -66,13 +117,19 @@ ResultCache::store(const std::string &key,
     std::string tmpPath =
         finalPath + ".tmp." + std::to_string(::getpid());
     std::ofstream out(tmpPath);
-    if (!out)
-        GLIFS_FATAL("cannot write cache entry ", tmpPath);
+    if (!out) {
+        GLIFS_WARN("cannot write cache entry ", tmpPath,
+                   "; dropping cache entry");
+        publishFailures().inc();
+        return;
+    }
     out << reportJson;
     out.close();
     if (!out || std::rename(tmpPath.c_str(), finalPath.c_str()) != 0) {
         std::remove(tmpPath.c_str());
-        GLIFS_FATAL("cannot publish cache entry ", finalPath);
+        GLIFS_WARN("cannot publish cache entry ", finalPath,
+                   "; dropping cache entry");
+        publishFailures().inc();
     }
 }
 

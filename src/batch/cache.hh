@@ -44,6 +44,9 @@ class ResultCache
      * @param dir      cache directory (created lazily on first store)
      * @param enabled  false = every lookup misses and stores are
      *                 dropped (the `--no-cache` behaviour)
+     *
+     * Opening an enabled cache sweeps stale `*.tmp.<pid>` files left
+     * by writers that died before publishing.
      */
     explicit ResultCache(std::string dir, bool enabled = true);
 
@@ -53,6 +56,9 @@ class ResultCache
     /**
      * Store a run report under @p key. Written via a temp file +
      * rename so concurrent batch runs never observe a torn entry.
+     * Best-effort: a failed store warns and bumps
+     * `batch.cache_publish_failures` instead of aborting the batch
+     * (the result is already computed; only the reuse is lost).
      */
     void store(const std::string &key, const std::string &reportJson);
 
@@ -65,6 +71,9 @@ class ResultCache
   private:
     std::string cacheDir;
     bool isEnabled;
+
+    /** Remove leftover `*.tmp.<pid>` files from dead writers. */
+    void sweepStaleTmp() const;
 };
 
 } // namespace glifs::batch

@@ -53,10 +53,16 @@ struct Gate
     /** The single net driven by this node. */
     NetId out = kNoNet;
 
-    /** Const: the driven value. Dff: the value loaded on reset. */
+    /**
+     * Const only: the driven value. Never set on any other gate type;
+     * a flip-flop's reset value lives in rstVal alone (historically
+     * this field doubled as the Dff reset value, and stale copies
+     * could silently disagree -- validate() now rejects a Dff with
+     * constVal set).
+     */
     bool constVal = false;
 
-    /** Dff only: value loaded on reset. */
+    /** Dff only: the value loaded on reset (the sole source). */
     bool rstVal = false;
 
     /**

@@ -41,6 +41,15 @@ validate(const Netlist &nl)
                         "') input ", i, " unconnected"));
                 }
             }
+            // rstVal is the sole reset-value source (netlist.hh); a
+            // set constVal on a flip-flop is a stale copy that some
+            // reader might trust over rstVal.
+            if (gate.constVal) {
+                error(detail::concat(
+                    "dff ", g, " (net '", nl.net(gate.out).name,
+                    "') has constVal set; the reset value must live "
+                    "in rstVal only"));
+            }
             break;
           }
           default:

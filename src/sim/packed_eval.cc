@@ -1,0 +1,122 @@
+#include "sim/packed_eval.hh"
+
+#include <bit>
+
+namespace glifs
+{
+
+using packed::Planes;
+
+PackedEval::PackedEval(const Netlist &nl,
+                       const std::vector<EvalStep> &order)
+    : cn(compileNetlist(nl, order)),
+      numUnits(static_cast<uint32_t>(cn.units.size()))
+{
+    vlo.assign(cn.planeWords, 0);
+    vhi.assign(cn.planeWords, 0);
+    vtnt.assign(cn.planeWords, 0);
+    unitDirty.assign((cn.units.size() + 63) / 64, 0);
+    dffDirty.assign((cn.dffWords.size() + 63) / 64, 0);
+    dffNextQ.resize(cn.dffWords.size());
+    changedNets.reserve(256);
+}
+
+void
+PackedEval::importState(const SignalState &sigs)
+{
+    std::fill(vlo.begin(), vlo.end(), 0);
+    std::fill(vhi.begin(), vhi.end(), 0);
+    std::fill(vtnt.begin(), vtnt.end(), 0);
+    const std::vector<Signal> &nets = sigs.rawNets();
+    for (NetId n = 0; n < nets.size(); ++n) {
+        const Signal &s = nets[n];
+        const uint32_t slot = cn.slotOfNet[n];
+        const uint64_t bit = 1ULL << (slot & 63);
+        if (s.value != Tern::One)
+            vlo[slot >> 6] |= bit;
+        if (s.value != Tern::Zero)
+            vhi[slot >> 6] |= bit;
+        if (s.taint)
+            vtnt[slot >> 6] |= bit;
+    }
+}
+
+void
+PackedEval::clearAllDirty()
+{
+    std::fill(unitDirty.begin(), unitDirty.end(), 0);
+    std::fill(dffDirty.begin(), dffDirty.end(), 0);
+}
+
+Planes
+PackedEval::gather(const OpRange &r) const
+{
+    Planes p;
+    for (const PlaneOp &op : cn.opsOf(r)) {
+        if (op.rot & PlaneOp::kBroadcast) {
+            const unsigned b = op.rot & 63;
+            p.lo |= (0 - ((vlo[op.word] >> b) & 1)) & op.mask;
+            p.hi |= (0 - ((vhi[op.word] >> b) & 1)) & op.mask;
+            p.tnt |= (0 - ((vtnt[op.word] >> b) & 1)) & op.mask;
+        } else {
+            p.lo |= std::rotl(vlo[op.word], op.rot) & op.mask;
+            p.hi |= std::rotl(vhi[op.word], op.rot) & op.mask;
+            p.tnt |= std::rotl(vtnt[op.word], op.rot) & op.mask;
+        }
+    }
+    return p;
+}
+
+size_t
+PackedEval::storeWord(uint32_t w, uint64_t mask, const Planes &out)
+{
+    const uint64_t nLo = (vlo[w] & ~mask) | (out.lo & mask);
+    const uint64_t nHi = (vhi[w] & ~mask) | (out.hi & mask);
+    const uint64_t nTnt = (vtnt[w] & ~mask) | (out.tnt & mask);
+    const uint64_t valueDiff = (vlo[w] ^ nLo) | (vhi[w] ^ nHi);
+    uint64_t diff = valueDiff | (vtnt[w] ^ nTnt);
+    if (!diff)
+        return 0;
+    vlo[w] = nLo;
+    vhi[w] = nHi;
+    vtnt[w] = nTnt;
+    const uint32_t base = w << 6;
+    while (diff) {
+        changedNets.push_back(
+            cn.slotNet[base +
+                       static_cast<uint32_t>(std::countr_zero(diff))]);
+        diff &= diff - 1;
+    }
+    return std::popcount(valueDiff);
+}
+
+size_t
+PackedEval::runBatch(uint32_t batch)
+{
+    const PackedBatch &pb = cn.batches[batch];
+    Planes in[3];
+    for (unsigned s = 0; s < pb.arity; ++s)
+        in[s] = gather(pb.gather[s]);
+    const Planes out = packed::evalKernel(pb.kind, in[0], in[1], in[2]);
+    return storeWord(pb.outWord, pb.laneMask, out);
+}
+
+void
+PackedEval::computeDffWord(uint32_t i)
+{
+    const DffWord &dw = cn.dffWords[i];
+    const Planes q = {vlo[dw.qWord], vhi[dw.qWord], vtnt[dw.qWord]};
+    dffNextQ[i] = packed::dffNextKernel(gather(dw.gatherD),
+                                        gather(dw.gatherRst),
+                                        gather(dw.gatherEn), q,
+                                        dw.rstVal);
+}
+
+size_t
+PackedEval::commitDffWord(uint32_t i)
+{
+    const DffWord &dw = cn.dffWords[i];
+    return storeWord(dw.qWord, dw.laneMask, dffNextQ[i]);
+}
+
+} // namespace glifs

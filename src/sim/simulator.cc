@@ -1,11 +1,13 @@
 #include "sim/simulator.hh"
 
+#include <bit>
 #include <cstdlib>
 
 #include "base/logging.hh"
 #include "base/stats.hh"
 #include "base/trace.hh"
 #include "logic/glift.hh"
+#include "sim/packed_eval.hh"
 
 namespace glifs
 {
@@ -28,6 +30,11 @@ struct SimStats
                                "memory read-port evaluations"};
     stats::Scalar memWriteCommits{"sim.mem_write_commits",
                                   "memory write-port commits"};
+    stats::Scalar packedWordEvals{
+        "sim.packed_word_evals",
+        "bit-packed kernel word applications (packed backend)"};
+    stats::Gauge backend{"sim.backend",
+                         "active backend: 1 = packed, 0 = interpreted"};
     stats::Formula dirtyRatio{
         "sim.dirty_ratio",
         "fraction of scheduled evaluations actually run",
@@ -57,12 +64,26 @@ simStats()
     return SimStats::simStats();
 }
 
-/** GLIFS_SIM_FULL_SWEEP=1 (anything but ""/"0") forces full sweeps. */
+/** True iff env var @p name is set to anything but "" or "0". */
+bool
+envFlag(const char *name)
+{
+    const char *e = std::getenv(name);
+    return e && *e && !(e[0] == '0' && e[1] == '\0');
+}
+
+/** GLIFS_SIM_FULL_SWEEP=1 forces full sweeps. */
 bool
 envFullSweep()
 {
-    const char *e = std::getenv("GLIFS_SIM_FULL_SWEEP");
-    return e && *e && !(e[0] == '0' && e[1] == '\0');
+    return envFlag("GLIFS_SIM_FULL_SWEEP");
+}
+
+/** GLIFS_SIM_INTERP=1 selects the interpreted backend. */
+bool
+envInterp()
+{
+    return envFlag("GLIFS_SIM_INTERP");
 }
 
 } // namespace
@@ -70,7 +91,8 @@ envFullSweep()
 Simulator::Simulator(const Netlist &netlist)
     : nl(netlist), order(levelize(netlist)),
       fanout(buildFanoutIndex(netlist, order)), sigs(netlist),
-      fullSweep(envFullSweep())
+      fullSweep(envFullSweep()),
+      backendSel(envInterp() ? SimBackend::Interp : SimBackend::Packed)
 {
     dirtyWords.assign((fanout.numNodes() + 63) / 64, 0);
     levelWork.resize(fanout.numLevels);
@@ -79,6 +101,27 @@ Simulator::Simulator(const Netlist &netlist)
     for (MemId m = 0; m < nl.numMemories(); ++m)
         writeScratch[m].data.resize(nl.memory(m).width);
     activeWrites.reserve(nl.numMemories());
+    if (backendSel == SimBackend::Packed)
+        packed = std::make_unique<PackedEval>(nl, order);
+    simStats().backend.set(backendSel == SimBackend::Packed ? 1 : 0);
+}
+
+Simulator::Simulator(Simulator &&) noexcept = default;
+
+Simulator::~Simulator() = default;
+
+void
+Simulator::setBackend(SimBackend b)
+{
+    if (b == backendSel)
+        return;
+    backendSel = b;
+    if (b == SimBackend::Packed && !packed)
+        packed = std::make_unique<PackedEval>(nl, order);
+    // Neither backend's dirty tracking covered changes made while the
+    // other one was active; start from a clean slate.
+    markAllDirty();
+    simStats().backend.set(b == SimBackend::Packed ? 1 : 0);
 }
 
 void
@@ -105,12 +148,22 @@ Simulator::setNet(NetId net, const Signal &s)
     if (sigs.net(net) == s)
         return;
     sigs.setNet(net, s);
+    // Keep the planes coherent whenever they are valid, even while
+    // allDirty/fullSweep suppress dirty tracking (e.g. an override
+    // between a stale-plane import and the next settle).
+    if (backendSel == SimBackend::Packed && planesValid)
+        packed->setNetPlanes(net, s);
     if (allDirty || fullSweep)
         return;
-    markNetFanoutDirty(net);
     // A driven net must be recomputed from its driver at the next
     // settle, so the override behaves exactly like under a full sweep
     // (visible to the clock edge, gone after the next evalComb()).
+    if (backendSel == SimBackend::Packed) {
+        packed->markConsumersDirty(net);
+        packed->markProducerDirty(net);
+        return;
+    }
+    markNetFanoutDirty(net);
     if (nl.memDriven(net)) {
         markNodeDirty(fanout.memNode(nl.memDriver(net)));
     } else {
@@ -132,7 +185,11 @@ Simulator::setMemWord(MemId mem, size_t word, uint64_t value, bool taint)
 void
 Simulator::markMemDirty(MemId mem)
 {
-    if (!allDirty && !fullSweep)
+    if (allDirty || fullSweep)
+        return;
+    if (backendSel == SimBackend::Packed)
+        packed->markMemUnitDirty(mem);
+    else
         markNodeDirty(fanout.memNode(mem));
 }
 
@@ -218,6 +275,10 @@ Simulator::evalComb()
 {
     SimStats &st = simStats();
     ++st.combEvals;
+    if (backendSel == SimBackend::Packed) {
+        evalCombPacked();
+        return;
+    }
     if (fullSweep || allDirty) {
         evalFull();
         return;
@@ -253,21 +314,8 @@ Simulator::evalComb()
 }
 
 void
-Simulator::clockEdge()
+Simulator::stageMemWrites()
 {
-    const bool track = !fullSweep && !allDirty;
-
-    // Compute all flip-flop next states from the settled nets...
-    dffNextScratch.clear();
-    for (GateId gid : nl.dffs()) {
-        const Gate &g = nl.gate(gid);
-        dffNextScratch.push_back(
-            dffNext(sigs.net(g.in[0]), sigs.net(g.in[1]),
-                    sigs.net(g.in[2]), sigs.net(g.out), g.rstVal));
-    }
-
-    // ... and all memory write-port updates, before committing
-    // anything, so the edge is atomic.
     activeWrites.clear();
     for (MemId m = 0; m < nl.numMemories(); ++m) {
         const MemoryDecl &decl = nl.memory(m);
@@ -286,6 +334,29 @@ Simulator::clockEdge()
             w.data[b] = sigs.net(decl.writeData[b]);
         activeWrites.push_back(m);
     }
+}
+
+void
+Simulator::clockEdge()
+{
+    if (backendSel == SimBackend::Packed) {
+        clockEdgePacked();
+        return;
+    }
+    const bool track = !fullSweep && !allDirty;
+
+    // Compute all flip-flop next states from the settled nets...
+    dffNextScratch.clear();
+    for (GateId gid : nl.dffs()) {
+        const Gate &g = nl.gate(gid);
+        dffNextScratch.push_back(
+            dffNext(sigs.net(g.in[0]), sigs.net(g.in[1]),
+                    sigs.net(g.in[2]), sigs.net(g.out), g.rstVal));
+    }
+
+    // ... and all memory write-port updates, before committing
+    // anything, so the edge is atomic.
+    stageMemWrites();
 
     // Commit. A flip-flop whose output actually changed (value or
     // taint) seeds the next cycle's dirty set through its fanout.
@@ -316,6 +387,197 @@ Simulator::clockEdge()
         // Cells may have changed: the read port must re-evaluate.
         if (track)
             markNodeDirty(fanout.memNode(m));
+    }
+
+    ++cycleCount;
+    if (togglesOn)
+        ++toggles.cycles;
+}
+
+// ---------------------------------------------------------------------
+// Packed backend
+// ---------------------------------------------------------------------
+
+void
+Simulator::runUnitPacked(uint32_t unit, bool track, size_t &evaluated,
+                         size_t &wordEvals)
+{
+    PackedEval &pe = *packed;
+    const EvalUnit &u = pe.program().units[unit];
+    if (u.kind == EvalUnit::Kind::MemRead) {
+        ++simStats().memReadEvals;
+        evalMemReadPacked(u.index, track);
+        ++evaluated;
+        return;
+    }
+    const PackedBatch &pb = pe.program().batches[u.index];
+    pe.changedNets.clear();
+    const size_t tog = pe.runBatch(u.index);
+    ++wordEvals;
+    evaluated += pb.lanes;
+    if (togglesOn)
+        toggles.combToggles[static_cast<size_t>(pb.kind)] += tog;
+    // Mirror into the scalar state (the readable source of truth) and
+    // propagate through the compiled consumer index.
+    for (NetId n : pe.changedNets) {
+        sigs.setNet(n, pe.signalAt(n));
+        if (track)
+            pe.markConsumersDirty(n);
+    }
+}
+
+void
+Simulator::evalMemReadPacked(MemId m, bool track)
+{
+    PackedEval &pe = *packed;
+    const MemoryDecl &decl = nl.memory(m);
+    addrScratch.resize(decl.readAddr.size());
+    for (size_t i = 0; i < addrScratch.size(); ++i)
+        addrScratch[i] = sigs.net(decl.readAddr[i]);
+
+    MemAddr ma =
+        decodeMemAddr(addrScratch, decl.words, decl.maxUnknownAddrBits);
+    if (!decl.addrTaintsRead)
+        ma.tainted = false;
+    dataScratch.resize(decl.width);
+    memoryRead(sigs.memCells(m), decl.width, decl.words, ma,
+               dataScratch);
+    for (unsigned b = 0; b < decl.width; ++b) {
+        const NetId rd = decl.readData[b];
+        if (sigs.net(rd) == dataScratch[b])
+            continue;
+        sigs.setNet(rd, dataScratch[b]);
+        pe.setNetPlanes(rd, dataScratch[b]);
+        if (track)
+            pe.markConsumersDirty(rd);
+    }
+}
+
+void
+Simulator::evalCombPacked()
+{
+    SimStats &st = simStats();
+    PackedEval &pe = *packed;
+    if (!planesValid) {
+        pe.importState(sigs);
+        planesValid = true;
+    }
+
+    size_t evaluated = 0;  // gate lanes + mem read ports actually run
+    size_t wordEvals = 0;
+    const size_t numUnits = pe.program().units.size();
+    if (fullSweep || allDirty) {
+        pe.clearAllDirty();
+        for (uint32_t u = 0; u < numUnits; ++u)
+            runUnitPacked(u, /*track=*/false, evaluated, wordEvals);
+        // The settle recomputed every comb net without tracking, so
+        // the next edge must consider every flip-flop.
+        pe.markAllDffDirty();
+        // Everything was just recomputed: pending interp-side dirty
+        // state is moot too (mirrors evalFull()).
+        for (std::vector<uint32_t> &bucket : levelWork) {
+            for (uint32_t node : bucket)
+                dirtyWords[node >> 6] &= ~(1ULL << (node & 63));
+            bucket.clear();
+        }
+        allDirty = false;
+    } else {
+        // Drain dirty units in ascending index order. Compilation
+        // guarantees every consumer unit has a strictly higher index
+        // than its producer, so marks land only ahead of the cursor
+        // and each unit runs at most once per settle.
+        std::vector<uint64_t> &ud = pe.unitDirtyWords();
+        for (size_t w = 0; w < ud.size(); ++w) {
+            while (uint64_t bits = ud[w]) {
+                const unsigned b =
+                    static_cast<unsigned>(std::countr_zero(bits));
+                ud[w] &= ~(1ULL << b);
+                runUnitPacked(static_cast<uint32_t>((w << 6) + b),
+                              /*track=*/true, evaluated, wordEvals);
+            }
+        }
+    }
+    st.gateEvals += evaluated;
+    st.gateEvalsSkipped += order.size() - evaluated;
+    st.packedWordEvals += wordEvals;
+
+    trace::Tracer &tr = trace::Tracer::instance();
+    if (tr.enabled()) {
+        tr.counter("sim", "dirty_nodes",
+                   static_cast<double>(evaluated));
+    }
+}
+
+void
+Simulator::clockEdgePacked()
+{
+    PackedEval &pe = *packed;
+    // clockEdge() may legally run while the planes are stale (e.g. a
+    // restore + override sequence that never settled); latch from a
+    // fresh mirror of the scalar state, exactly what interp reads.
+    if (!planesValid) {
+        pe.importState(sigs);
+        planesValid = true;
+    }
+    const bool track = !fullSweep && !allDirty;
+
+    // Select the flip-flop words to latch. A word none of whose
+    // D/RST/EN/Q nets changed since its last computation latches its
+    // own held value again -- skipping it is exact, not approximate.
+    dffRunScratch.clear();
+    std::vector<uint64_t> &dd = pe.dffDirtyWords();
+    if (track) {
+        for (size_t w = 0; w < dd.size(); ++w) {
+            uint64_t bits = dd[w];
+            dd[w] = 0;
+            while (bits) {
+                dffRunScratch.push_back(static_cast<uint32_t>(
+                    (w << 6) +
+                    static_cast<unsigned>(std::countr_zero(bits))));
+                bits &= bits - 1;
+            }
+        }
+    } else {
+        std::fill(dd.begin(), dd.end(), 0);
+        for (uint32_t i = 0; i < pe.program().dffWords.size(); ++i)
+            dffRunScratch.push_back(i);
+    }
+
+    // Stage everything -- flip-flop next states and memory write-port
+    // updates -- before committing anything, so the edge is atomic.
+    for (uint32_t i : dffRunScratch)
+        pe.computeDffWord(i);
+    stageMemWrites();
+
+    pe.changedNets.clear();
+    size_t tog = 0;
+    for (uint32_t i : dffRunScratch)
+        tog += pe.commitDffWord(i);
+    if (togglesOn)
+        toggles.dffToggles += tog;
+    // Mirror changed Q nets; their consumers seed the next settle and
+    // (through the Q entries of the consumer index) re-arm the dff
+    // words that must latch again next edge.
+    for (NetId n : pe.changedNets) {
+        sigs.setNet(n, pe.signalAt(n));
+        if (track)
+            pe.markConsumersDirty(n);
+    }
+
+    SimStats &st = simStats();
+    ++st.clockEdges;
+    st.packedWordEvals += dffRunScratch.size();
+    for (MemId m : activeWrites) {
+        const MemoryDecl &decl = nl.memory(m);
+        const PendingWrite &w = writeScratch[m];
+        memoryWrite(sigs.memCells(m), decl.width, decl.words, w.addr,
+                    w.we, w.data);
+        ++st.memWriteCommits;
+        if (togglesOn)
+            ++toggles.memWrites;
+        // Cells may have changed: the read port must re-evaluate.
+        if (track)
+            pe.markMemUnitDirty(m);
     }
 
     ++cycleCount;

@@ -18,12 +18,21 @@
  * taints) to the full levelized sweep -- which remains available via
  * setFullSweepMode() or the GLIFS_SIM_FULL_SWEEP=1 environment
  * variable for A/B measurement and differential testing.
+ *
+ * Evaluation itself is compiled by default (DESIGN.md "Compiled
+ * evaluation"): the netlist is lowered once into bit-packed plane
+ * programs (netlist/compile.hh) and settles run up to 64 gates per
+ * bitwise kernel application, with dirty tracking over compiled units
+ * instead of individual nodes. GLIFS_SIM_INTERP=1 (or
+ * setBackend(SimBackend::Interp)) falls back to the per-signal table
+ * interpreter; sweep mode and backend are orthogonal axes.
  */
 
 #ifndef GLIFS_SIM_SIMULATOR_HH
 #define GLIFS_SIM_SIMULATOR_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "netlist/fanout.hh"
@@ -37,6 +46,17 @@ namespace glifs
 {
 
 class GliftTables;
+class PackedEval;
+
+/**
+ * Evaluation backend. Packed (the default) runs the netlist compiled
+ * into bit-parallel plane kernels (netlist/compile.hh), 64 same-kind
+ * gates per word op; Interp is the one-signal-at-a-time table
+ * interpreter, kept as the bisection escape hatch
+ * (GLIFS_SIM_INTERP=1) and differential-test oracle. Both produce
+ * bit-identical values and taints on every net.
+ */
+enum class SimBackend : uint8_t { Packed, Interp };
 
 /**
  * Gate-level cycle simulator. The netlist must outlive the simulator.
@@ -45,6 +65,8 @@ class Simulator
 {
   public:
     explicit Simulator(const Netlist &nl);
+    Simulator(Simulator &&) noexcept;
+    ~Simulator();
 
     const Netlist &netlist() const { return nl; }
     SignalState &state() { return sigs; }
@@ -95,11 +117,22 @@ class Simulator
      * SignalState that bypasses the tracked setters (symbolic state
      * restore, checkpoint resume, *-logic saturation).
      */
-    void markAllDirty() { allDirty = true; }
+    void
+    markAllDirty()
+    {
+        allDirty = true;
+        // The packed planes may no longer mirror the SignalState;
+        // re-import before the next packed pass.
+        planesValid = false;
+    }
 
     /** Full-sweep escape hatch (also GLIFS_SIM_FULL_SWEEP=1). */
     bool fullSweepMode() const { return fullSweep; }
     void setFullSweepMode(bool on);
+
+    /** Backend selection (default Packed; also GLIFS_SIM_INTERP=1). */
+    SimBackend backend() const { return backendSel; }
+    void setBackend(SimBackend b);
 
     /** Current value of any net (after evalComb() for comb nets). */
     Signal netValue(NetId net) const { return sigs.net(net); }
@@ -148,6 +181,13 @@ class Simulator
     // --- event-driven scheduler state --------------------------------
     bool fullSweep = false;  ///< escape hatch: always sweep everything
     bool allDirty = true;    ///< next settle must sweep everything
+
+    // --- packed backend ----------------------------------------------
+    SimBackend backendSel = SimBackend::Packed;
+    /** Compiled program + planes; created on first Packed selection. */
+    std::unique_ptr<PackedEval> packed;
+    /** Planes mirror the SignalState net-for-net (else re-import). */
+    bool planesValid = false;
     /** Node-space dirty bitset (deduplicates worklist inserts). */
     std::vector<uint64_t> dirtyWords;
     /** Per-level worklists of dirty nodes, drained in ascending order. */
@@ -167,6 +207,7 @@ class Simulator
     };
     std::vector<PendingWrite> writeScratch;  ///< per-memory slot
     std::vector<MemId> activeWrites;         ///< memories written this edge
+    std::vector<uint32_t> dffRunScratch;     ///< dff words latching this edge
 
     void markNodeDirty(uint32_t node);
     void markNetFanoutDirty(NetId net);
@@ -177,6 +218,17 @@ class Simulator
 
     /** The full levelized sweep (allDirty / full-sweep mode). */
     void evalFull();
+
+    // --- packed-backend paths ----------------------------------------
+    void evalCombPacked();
+    void clockEdgePacked();
+    /** Run one compiled unit; mirrors changed nets into sigs. */
+    void runUnitPacked(uint32_t unit, bool track, size_t &evaluated,
+                       size_t &wordEvals);
+    /** Memory read port with plane mirroring + unit marking. */
+    void evalMemReadPacked(MemId m, bool track);
+    /** Stage all memory write ports (shared by both edge paths). */
+    void stageMemWrites();
 };
 
 } // namespace glifs

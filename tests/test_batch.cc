@@ -22,6 +22,7 @@
 
 #include "base/hash.hh"
 #include "base/logging.hh"
+#include "base/stats.hh"
 #include "base/version.hh"
 #include "batch/cache.hh"
 #include "batch/manifest.hh"
@@ -267,6 +268,45 @@ TEST(ResultCacheTest, RoundTripsAndHonorsDisable)
     off.store("cafe", "{}");
     ResultCache on(dir + "/c");
     EXPECT_FALSE(on.lookup("cafe").has_value());
+}
+
+TEST(ResultCacheTest, FailedStoreWarnsAndCountsInsteadOfDying)
+{
+    std::string dir = tempDir("cache_fail");
+    // A plain file where the cache directory should be makes mkdir()
+    // fail with EEXIST-but-not-a-directory downstream errors; the
+    // store must degrade to a no-op, not abort the batch.
+    writeFile(dir + "/c", "not a directory");
+    ResultCache cache(dir + "/c");
+    const double before = stats::Registry::instance().snapshot().value(
+        "batch.cache_publish_failures");
+    cache.store("deadbeef", "{}");
+    EXPECT_FALSE(cache.lookup("deadbeef").has_value());
+    const double after = stats::Registry::instance().snapshot().value(
+        "batch.cache_publish_failures");
+    EXPECT_GE(after, before + 1.0);
+}
+
+TEST(ResultCacheTest, OpenSweepsStaleTempFiles)
+{
+    std::string dir = tempDir("cache_sweep");
+    const std::string cdir = dir + "/c";
+    ::mkdir(cdir.c_str(), 0755);
+    writeFile(cdir + "/aaaa.json.tmp.12345", "torn half-write");
+    writeFile(cdir + "/bbbb.json", "{\"verdict\": \"secure\"}");
+
+    ResultCache cache(cdir);
+    EXPECT_FALSE(
+        std::filesystem::exists(cdir + "/aaaa.json.tmp.12345"));
+    // Published entries are untouched.
+    auto hit = cache.lookup("bbbb");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, "{\"verdict\": \"secure\"}");
+
+    // A disabled cache must not touch the directory at all.
+    writeFile(cdir + "/cccc.json.tmp.777", "torn");
+    ResultCache off(cdir, false);
+    EXPECT_TRUE(std::filesystem::exists(cdir + "/cccc.json.tmp.777"));
 }
 
 // ---------------------------------------------------------------------

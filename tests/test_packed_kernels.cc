@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Exhaustive equivalence proofs for the bit-packed GLIFT kernels
+ * (sim/packed_kernels.hh) against the table-driven scalar reference
+ * (logic/glift.hh), plus structural invariants of the netlist
+ * compiler (netlist/compile.hh).
+ *
+ * The signal domain is finite -- six encodings ({0,1,X} x taint) per
+ * input -- so the kernel tests enumerate *every* input combination of
+ * every gate kind, packed across lanes so the same pass also proves
+ * lane independence. dffNextKernel() is pinned against dffNext() over
+ * all 6^4 x 2 (d, rst, en, q, rstVal) combinations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "logic/glift.hh"
+#include "logic/ternary.hh"
+#include "netlist/compile.hh"
+#include "netlist/levelize.hh"
+#include "sim/packed_eval.hh"
+#include "sim/packed_kernels.hh"
+#include "soc/soc.hh"
+
+namespace glifs
+{
+namespace
+{
+
+using packed::Planes;
+
+/** The six inhabitants of the Signal domain. */
+const Signal kDomain[6] = {
+    {Tern::Zero, false}, {Tern::One, false}, {Tern::X, false},
+    {Tern::Zero, true},  {Tern::One, true},  {Tern::X, true},
+};
+
+const GateKind kAllKinds[] = {
+    GateKind::Buf, GateKind::Not,  GateKind::And,
+    GateKind::Nand, GateKind::Or,  GateKind::Nor,
+    GateKind::Xor, GateKind::Xnor, GateKind::Mux,
+};
+
+size_t
+combosOf(unsigned arity)
+{
+    size_t n = 1;
+    for (unsigned i = 0; i < arity; ++i)
+        n *= 6;
+    return n;
+}
+
+TEST(PackedKernels, EveryKindMatchesGliftTablesExhaustively)
+{
+    const GliftTables &glift = GliftTables::instance();
+    for (GateKind kind : kAllKinds) {
+        const unsigned arity = gateArity(kind);
+        const size_t combos = combosOf(arity);
+        // Pack the enumeration 64 combos per kernel application so
+        // the pass also proves lanes do not interfere.
+        for (size_t base = 0; base < combos; base += 64) {
+            const unsigned lanes =
+                static_cast<unsigned>(std::min<size_t>(64,
+                                                       combos - base));
+            Planes in[3] = {};
+            std::vector<std::array<Signal, 3>> scalarIn(lanes);
+            for (unsigned lane = 0; lane < lanes; ++lane) {
+                size_t code = base + lane;
+                for (unsigned s = 0; s < arity; ++s) {
+                    const Signal sig = kDomain[code % 6];
+                    code /= 6;
+                    scalarIn[lane][s] = sig;
+                    packed::setLane(in[s], lane, sig);
+                }
+            }
+            const Planes out =
+                packed::evalKernel(kind, in[0], in[1], in[2]);
+            for (unsigned lane = 0; lane < lanes; ++lane) {
+                const Signal expect =
+                    glift.eval(kind, scalarIn[lane].data());
+                const Signal got = packed::getLane(out, lane);
+                ASSERT_EQ(got, expect)
+                    << gateKindName(kind) << "("
+                    << scalarIn[lane][0].str() << ", "
+                    << scalarIn[lane][1].str() << ", "
+                    << scalarIn[lane][2].str() << "): kernel "
+                    << got.str() << " vs reference " << expect.str();
+            }
+        }
+    }
+}
+
+TEST(PackedKernels, DffNextMatchesScalarExhaustively)
+{
+    // All 6^4 (d, rst, en, q) combinations for both reset values.
+    const size_t combos = combosOf(4);
+    for (int rv = 0; rv < 2; ++rv) {
+        for (size_t base = 0; base < combos; base += 64) {
+            const unsigned lanes =
+                static_cast<unsigned>(std::min<size_t>(64,
+                                                       combos - base));
+            Planes d, rst, en, q;
+            std::vector<std::array<Signal, 4>> scalarIn(lanes);
+            for (unsigned lane = 0; lane < lanes; ++lane) {
+                size_t code = base + lane;
+                Planes *slot[4] = {&d, &rst, &en, &q};
+                for (unsigned s = 0; s < 4; ++s) {
+                    const Signal sig = kDomain[code % 6];
+                    code /= 6;
+                    scalarIn[lane][s] = sig;
+                    packed::setLane(*slot[s], lane, sig);
+                }
+            }
+            const uint64_t rstVal = rv ? ~0ULL : 0;
+            const Planes out =
+                packed::dffNextKernel(d, rst, en, q, rstVal);
+            for (unsigned lane = 0; lane < lanes; ++lane) {
+                const auto &si = scalarIn[lane];
+                const Signal expect =
+                    dffNext(si[0], si[1], si[2], si[3], rv != 0);
+                const Signal got = packed::getLane(out, lane);
+                ASSERT_EQ(got, expect)
+                    << "dffNext(d=" << si[0].str()
+                    << ", rst=" << si[1].str() << ", en=" << si[2].str()
+                    << ", q=" << si[3].str() << ", rstVal=" << rv
+                    << "): kernel " << got.str() << " vs scalar "
+                    << expect.str();
+            }
+        }
+    }
+}
+
+TEST(PackedKernels, MixedRstValLanesAreIndependent)
+{
+    // Adjacent lanes with opposite reset values: the per-lane rstVal
+    // mask must not leak across lanes. Exercise the reset-sensitive
+    // corner (rst tainted or X) for every (d, q) pair.
+    std::mt19937 rng(1234);
+    for (int iter = 0; iter < 2000; ++iter) {
+        Planes d, rst, en, q;
+        uint64_t rstVal = 0;
+        std::array<Signal, 4> si[64];
+        for (unsigned lane = 0; lane < 64; ++lane) {
+            Planes *slot[4] = {&d, &rst, &en, &q};
+            for (unsigned s = 0; s < 4; ++s) {
+                si[lane][s] = kDomain[rng() % 6];
+                packed::setLane(*slot[s], lane, si[lane][s]);
+            }
+            if (rng() & 1)
+                rstVal |= 1ULL << lane;
+        }
+        const Planes out = packed::dffNextKernel(d, rst, en, q, rstVal);
+        for (unsigned lane = 0; lane < 64; ++lane) {
+            const Signal expect =
+                dffNext(si[lane][0], si[lane][1], si[lane][2],
+                        si[lane][3], (rstVal >> lane) & 1);
+            ASSERT_EQ(packed::getLane(out, lane), expect)
+                << "lane " << lane << " iter " << iter;
+        }
+    }
+}
+
+// --- compiler invariants ---------------------------------------------
+
+TEST(CompiledNetlist, SocProgramInvariantsHold)
+{
+    Soc soc;
+    const Netlist &nl = soc.netlist();
+    const std::vector<EvalStep> order = levelize(nl);
+    const CompiledNetlist cn = compileNetlist(nl, order);
+
+    // The slot map is a bijection: every net has a slot inside the
+    // plane space and every used slot maps back to its net.
+    ASSERT_EQ(cn.slotOfNet.size(), nl.numNets());
+    ASSERT_EQ(cn.slotNet.size(), cn.planeWords * 64);
+    size_t used = 0;
+    for (uint32_t slot = 0; slot < cn.slotNet.size(); ++slot) {
+        if (cn.slotNet[slot] == kNoNet)
+            continue;
+        ++used;
+        EXPECT_EQ(cn.slotOfNet[cn.slotNet[slot]], slot);
+    }
+    EXPECT_EQ(used, nl.numNets());
+
+    // Batches are well-formed: live lanes, low-bit lane masks, gather
+    // ops only for real input slots and only into valid plane words.
+    size_t lanes = 0;
+    for (const PackedBatch &b : cn.batches) {
+        ASSERT_GE(b.lanes, 1u);
+        ASSERT_LE(b.lanes, 64u);
+        lanes += b.lanes;
+        EXPECT_EQ(b.laneMask, b.lanes == 64
+                                  ? ~0ULL
+                                  : (1ULL << b.lanes) - 1);
+        EXPECT_LT(b.outWord, cn.planeWords);
+        EXPECT_EQ(b.arity, gateArity(b.kind));
+        for (unsigned s = 0; s < 3; ++s) {
+            for (const PlaneOp &op : cn.opsOf(b.gather[s])) {
+                EXPECT_LT(op.word, cn.planeWords);
+                EXPECT_NE(op.mask & b.laneMask, 0u);
+                if (s >= b.arity)
+                    ADD_FAILURE() << "gather for unused input slot";
+            }
+        }
+    }
+    EXPECT_EQ(lanes, cn.combLanes);
+
+    // Every producer unit strictly precedes all of its consuming
+    // units, so the ascending dirty-unit drain settles in one pass.
+    for (NetId n = 0; n < nl.numNets(); ++n) {
+        const int32_t p = cn.producerUnit[n];
+        for (uint32_t t : cn.consumersOf(n)) {
+            if (t < cn.units.size() && p >= 0) {
+                EXPECT_GT(t, static_cast<uint32_t>(p)) << "net " << n;
+            }
+        }
+    }
+
+    // Dff words cover every flip-flop exactly once.
+    size_t dffLanes = 0;
+    for (const DffWord &dw : cn.dffWords) {
+        ASSERT_GE(dw.lanes, 1u);
+        ASSERT_LE(dw.lanes, 64u);
+        dffLanes += dw.lanes;
+        EXPECT_LT(dw.qWord, cn.planeWords);
+        EXPECT_EQ(dw.rstVal & ~dw.laneMask, 0u);
+    }
+    EXPECT_EQ(dffLanes, nl.dffs().size());
+}
+
+TEST(PackedEvalState, ImportRoundTripsEverySignal)
+{
+    Soc soc;
+    const Netlist &nl = soc.netlist();
+    const std::vector<EvalStep> order = levelize(nl);
+    PackedEval pe(nl, order);
+
+    SignalState sigs(nl);
+    std::mt19937 rng(99);
+    for (NetId n = 0; n < nl.numNets(); ++n) {
+        const Tern v[] = {Tern::Zero, Tern::One, Tern::X};
+        sigs.setNet(n, Signal{v[rng() % 3], (rng() & 4) != 0});
+    }
+    pe.importState(sigs);
+    for (NetId n = 0; n < nl.numNets(); ++n)
+        ASSERT_EQ(pe.signalAt(n), sigs.net(n)) << "net " << n;
+
+    // Point writes after the import keep the mirror exact.
+    for (int i = 0; i < 1000; ++i) {
+        const NetId n = rng() % nl.numNets();
+        const Tern v[] = {Tern::Zero, Tern::One, Tern::X};
+        const Signal s{v[rng() % 3], (rng() & 4) != 0};
+        sigs.setNet(n, s);
+        pe.setNetPlanes(n, s);
+        ASSERT_EQ(pe.signalAt(n), s);
+    }
+    for (NetId n = 0; n < nl.numNets(); ++n)
+        ASSERT_EQ(pe.signalAt(n), sigs.net(n)) << "net " << n;
+}
+
+} // namespace
+} // namespace glifs

@@ -5,12 +5,15 @@
  *
  * The event-driven evalComb() must be bit-identical -- values *and*
  * taints, every net and every memory cell, every cycle -- to the
- * unconditional sweep it replaced. This file proves it three ways:
+ * unconditional sweep it replaced, and the compiled bit-packed
+ * backend (DESIGN.md "Compiled evaluation") must be bit-identical to
+ * the table interpreter it replaced. This file proves it three ways:
  * randomized netlists driven with randomized ternary/tainted stimulus
  * (including mid-cycle net overrides, external memory stores and dirty
- * -set invalidation), the IoT430 SoC stepped symbolically in lockstep
- * comparing SymState captures, and whole analysis-engine runs over
- * benchmark workloads under GLIFS_SIM_FULL_SWEEP A/B.
+ * -set invalidation) stepped as a packed / interpreted-event /
+ * interpreted-sweep trio, the IoT430 SoC stepped symbolically in
+ * lockstep comparing SymState captures, and whole analysis-engine
+ * runs over benchmark workloads under GLIFS_SIM_FULL_SWEEP A/B.
  */
 
 #include <gtest/gtest.h>
@@ -190,18 +193,26 @@ runDifferential(uint32_t seed, int cycles)
     std::mt19937 rng(seed);
     RandomDesign d = buildRandomDesign(rng);
 
+    // Three-way: the compiled packed backend (the event-driven
+    // default), the interpreted event-driven scheduler and the
+    // interpreted full sweep must agree bit for bit, every cycle.
     Simulator evt(d.nl);
+    Simulator interpEvt(d.nl);
+    interpEvt.setBackend(SimBackend::Interp);
     Simulator full(d.nl);
+    full.setBackend(SimBackend::Interp);
     full.setFullSweepMode(true);
     ASSERT_FALSE(evt.fullSweepMode());
+    ASSERT_EQ(evt.backend(), SimBackend::Packed);
+    Simulator *const sims[] = {&evt, &interpEvt, &full};
 
-    // Identical ROM contents on both sides.
+    // Identical ROM contents on all sides.
     const MemoryDecl &rom = d.nl.memory(d.rom);
     for (size_t w = 0; w < rom.words; ++w) {
         const uint64_t v = rng() & ((1ULL << rom.width) - 1);
         const bool taint = (rng() & 1) != 0;
-        evt.setMemWord(d.rom, w, v, taint);
-        full.setMemWord(d.rom, w, v, taint);
+        for (Simulator *s : sims)
+            s->setMemWord(d.rom, w, v, taint);
     }
 
     for (int c = 0; c < cycles; ++c) {
@@ -209,38 +220,48 @@ runDifferential(uint32_t seed, int cycles)
             if (rng() & 1)
                 continue;  // hold the previous drive
             Signal s = randSignal(rng);
-            evt.setInput(in, s);
-            full.setInput(in, s);
+            for (Simulator *sim : sims)
+                sim->setInput(in, s);
         }
         if (rng() % 7 == 0) {
             const MemoryDecl &ram = d.nl.memory(d.ram);
             const size_t w = rng() % ram.words;
             const uint64_t v = rng() & ((1ULL << ram.width) - 1);
             const bool taint = (rng() & 1) != 0;
-            evt.setMemWord(d.ram, w, v, taint);
-            full.setMemWord(d.ram, w, v, taint);
+            for (Simulator *sim : sims)
+                sim->setMemWord(d.ram, w, v, taint);
         }
         if (rng() % 11 == 0)
             evt.markAllDirty();  // invalidation must stay sound
+        if (rng() % 13 == 0)
+            interpEvt.markAllDirty();
 
-        evt.evalComb();
-        full.evalComb();
+        for (Simulator *sim : sims)
+            sim->evalComb();
         ASSERT_TRUE(statesEqual(d.nl, evt, full))
-            << "after evalComb, cycle " << c << ", seed " << seed;
+            << "packed after evalComb, cycle " << c << ", seed "
+            << seed;
+        ASSERT_TRUE(statesEqual(d.nl, interpEvt, full))
+            << "interp-event after evalComb, cycle " << c << ", seed "
+            << seed;
 
         if (rng() % 5 == 0) {
             // Post-settle override of an arbitrary net, the por-fork
             // pattern: visible to the edge, recomputed next settle.
             const NetId n = rng() % d.nl.numNets();
             Signal s = randSignal(rng);
-            evt.setNet(n, s);
-            full.setNet(n, s);
+            for (Simulator *sim : sims)
+                sim->setNet(n, s);
         }
 
-        evt.clockEdge();
-        full.clockEdge();
+        for (Simulator *sim : sims)
+            sim->clockEdge();
         ASSERT_TRUE(statesEqual(d.nl, evt, full))
-            << "after clockEdge, cycle " << c << ", seed " << seed;
+            << "packed after clockEdge, cycle " << c << ", seed "
+            << seed;
+        ASSERT_TRUE(statesEqual(d.nl, interpEvt, full))
+            << "interp-event after clockEdge, cycle " << c
+            << ", seed " << seed;
     }
 }
 
@@ -248,6 +269,33 @@ TEST(SimEventFuzz, RandomNetlistsMatchFullSweep)
 {
     for (uint32_t seed = 1; seed <= 20; ++seed)
         runDifferential(seed, 150);
+}
+
+TEST(SimEventFuzz, BackendSwitchMidRunStaysConsistent)
+{
+    std::mt19937 rng(42);
+    RandomDesign d = buildRandomDesign(rng);
+    Simulator ab(d.nl);      // flips backend every few cycles
+    Simulator oracle(d.nl);
+    oracle.setBackend(SimBackend::Interp);
+    oracle.setFullSweepMode(true);
+
+    for (int c = 0; c < 120; ++c) {
+        if (c % 4 == 0) {
+            ab.setBackend((c / 4) % 2 ? SimBackend::Interp
+                                      : SimBackend::Packed);
+        }
+        for (NetId in : d.inputs) {
+            if (rng() & 1)
+                continue;
+            Signal s = randSignal(rng);
+            ab.setInput(in, s);
+            oracle.setInput(in, s);
+        }
+        ab.step();
+        oracle.step();
+        ASSERT_TRUE(statesEqual(d.nl, ab, oracle)) << "cycle " << c;
+    }
 }
 
 TEST(SimEventFuzz, SkippedEvalsAreCountedAndBounded)
@@ -289,6 +337,22 @@ TEST(SimEventFuzz, FullSweepEnvSelectsSweep)
     Simulator event(nl);
     EXPECT_TRUE(swept.fullSweepMode());
     EXPECT_FALSE(event.fullSweepMode());
+}
+
+TEST(SimEventFuzz, InterpEnvSelectsInterpreter)
+{
+    Netlist nl;
+    NetId a = nl.addInput("a");
+    nl.addComb(GateKind::Not, a);
+    setenv("GLIFS_SIM_INTERP", "1", 1);
+    Simulator interp(nl);
+    unsetenv("GLIFS_SIM_INTERP");
+    Simulator packed(nl);
+    EXPECT_EQ(interp.backend(), SimBackend::Interp);
+    EXPECT_EQ(packed.backend(), SimBackend::Packed);
+    EXPECT_EQ(stats::Registry::instance().snapshot().value(
+                  "sim.backend"),
+              1.0);
 }
 
 // --- fanout index unit checks ---------------------------------------

@@ -144,6 +144,23 @@ TEST(StatKinds, FormulaEvaluatesLazily)
     EXPECT_DOUBLE_EQ(f.value(), 5.0);
 }
 
+TEST(StatKinds, NonFiniteFormulaSnapshotsAsZero)
+{
+    // Ratio formulas hit 0/0 before their inputs tick; the snapshot
+    // (and thus every report built from it) must stay finite.
+    Formula fnan{"test_stats.fnan", "0/0",
+                 [] { return 0.0 / 0.0; }};
+    Formula finf{"test_stats.finf", "1/0",
+                 [] { return 1.0 / 0.0; }};
+    Snapshot snap = Registry::instance().snapshot();
+    EXPECT_DOUBLE_EQ(snap.value("test_stats.fnan"), 0.0);
+    EXPECT_DOUBLE_EQ(snap.value("test_stats.finf"), 0.0);
+    const std::string json = snap.json();
+    EXPECT_EQ(json.find(": nan"), std::string::npos);
+    EXPECT_EQ(json.find(": inf"), std::string::npos);
+    EXPECT_EQ(json.find(": -inf"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------
 // Snapshot / reset
 // ---------------------------------------------------------------------
