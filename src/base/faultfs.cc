@@ -1,0 +1,309 @@
+#include "base/faultfs.hh"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/stats.hh"
+#include "base/strutil.hh"
+
+namespace glifs::faultfs
+{
+
+namespace
+{
+
+enum class Op : uint8_t
+{
+    Open,
+    Write,
+    Rename,
+    Fsync,
+    Unlink,
+    Fork,
+    Waitpid,
+    Count_,
+};
+
+constexpr size_t kOpCount = static_cast<size_t>(Op::Count_);
+
+const char *const kOpNames[kOpCount] = {
+    "open", "write", "rename", "fsync", "unlink", "fork", "waitpid",
+};
+
+/** What an armed clause does when its call count comes up. */
+enum class Action : uint8_t
+{
+    Errno, ///< fail the call with `errnoValue`, op not performed
+    Short, ///< (write only) write half the bytes, return the count
+    Crash, ///< _exit(137) before the op: kill -9 at this boundary
+};
+
+struct Clause
+{
+    Op op;
+    uint64_t nth = 0;  ///< fire on the nth call (1-based)
+    Action action = Action::Errno;
+    int errnoValue = EIO;
+    bool fired = false;
+};
+
+struct PlanState
+{
+    bool loadedEnv = false;
+    bool hasPlan = false;
+    std::vector<Clause> clauses;
+    uint64_t calls[kOpCount] = {};
+    bool lastInjected = false;
+};
+
+PlanState &
+state()
+{
+    static PlanState s;
+    return s;
+}
+
+stats::Scalar &
+injectedStat()
+{
+    static stats::Scalar s{"batch.fault_injected",
+                           "faults injected by the GLIFS_FAULT_PLAN "
+                           "syscall-fault layer"};
+    return s;
+}
+
+int
+errnoByName(const std::string &name)
+{
+    if (name == "ENOSPC") return ENOSPC;
+    if (name == "EAGAIN") return EAGAIN;
+    if (name == "EINTR") return EINTR;
+    if (name == "EIO") return EIO;
+    if (name == "EMFILE") return EMFILE;
+    if (name == "ENOMEM") return ENOMEM;
+    if (name == "EACCES") return EACCES;
+    return -1;
+}
+
+std::vector<Clause>
+parsePlan(const std::string &plan)
+{
+    std::vector<Clause> out;
+    for (const std::string &part : split(plan, ',')) {
+        std::string clause = trim(part);
+        if (clause.empty())
+            continue;
+        std::vector<std::string> f = split(clause, ':');
+        if (f.size() != 3)
+            GLIFS_FATAL("fault plan clause '", clause,
+                        "' is not op:N:action");
+        Clause c;
+        bool known = false;
+        for (size_t i = 0; i < kOpCount; ++i) {
+            if (f[0] == kOpNames[i]) {
+                c.op = static_cast<Op>(i);
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            GLIFS_FATAL("fault plan: unknown op '", f[0], "'");
+        auto n = parseInt(f[1]);
+        if (!n || *n < 1)
+            GLIFS_FATAL("fault plan: bad call index '", f[1], "'");
+        c.nth = static_cast<uint64_t>(*n);
+        if (f[2] == "crash") {
+            c.action = Action::Crash;
+        } else if (f[2] == "short") {
+            if (c.op != Op::Write)
+                GLIFS_FATAL("fault plan: 'short' only applies to "
+                            "write");
+            c.action = Action::Short;
+        } else {
+            int e = errnoByName(f[2]);
+            if (e < 0)
+                GLIFS_FATAL("fault plan: unknown action '", f[2], "'");
+            c.action = Action::Errno;
+            c.errnoValue = e;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+void
+loadEnvOnce()
+{
+    PlanState &s = state();
+    if (s.loadedEnv)
+        return;
+    s.loadedEnv = true;
+    const char *env = std::getenv("GLIFS_FAULT_PLAN");
+    if (env && *env) {
+        s.clauses = parsePlan(env);
+        s.hasPlan = !s.clauses.empty();
+        if (s.hasPlan)
+            GLIFS_WARN("fault injection armed: GLIFS_FAULT_PLAN=",
+                       env);
+    }
+}
+
+/**
+ * Count one call of @p op; returns the armed clause if this call must
+ * fail, after handling the crash action (which never returns).
+ */
+const Clause *
+arm(Op op)
+{
+    PlanState &s = state();
+    s.lastInjected = false;
+    if (!s.loadedEnv)
+        loadEnvOnce();
+    if (!s.hasPlan)
+        return nullptr;
+    uint64_t n = ++s.calls[static_cast<size_t>(op)];
+    for (Clause &c : s.clauses) {
+        if (c.fired || c.op != op || c.nth != n)
+            continue;
+        c.fired = true;
+        ++injectedStat();
+        s.lastInjected = true;
+        if (c.action == Action::Crash) {
+            // Simulated kill -9: no atexit handlers, no stream
+            // flushes, nothing — exactly what SIGKILL leaves behind.
+            ::_exit(137);
+        }
+        return &c;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+void
+setPlan(const std::string &plan)
+{
+    PlanState &s = state();
+    s.loadedEnv = true; // programmatic plan overrides the environment
+    s.clauses = parsePlan(plan);
+    s.hasPlan = !s.clauses.empty();
+    for (uint64_t &c : s.calls)
+        c = 0;
+    s.lastInjected = false;
+}
+
+void
+clearPlan()
+{
+    setPlan("");
+}
+
+bool
+active()
+{
+    loadEnvOnce();
+    return state().hasPlan;
+}
+
+int
+open(const char *path, int flags, mode_t mode)
+{
+    if (const Clause *c = arm(Op::Open)) {
+        errno = c->errnoValue;
+        return -1;
+    }
+    return ::open(path, flags, mode);
+}
+
+ssize_t
+write(int fd, const void *buf, size_t count)
+{
+    if (const Clause *c = arm(Op::Write)) {
+        if (c->action == Action::Short)
+            return ::write(fd, buf, count / 2);
+        errno = c->errnoValue;
+        return -1;
+    }
+    return ::write(fd, buf, count);
+}
+
+int
+rename(const char *oldPath, const char *newPath)
+{
+    if (const Clause *c = arm(Op::Rename)) {
+        errno = c->errnoValue;
+        return -1;
+    }
+    return ::rename(oldPath, newPath);
+}
+
+int
+fsync(int fd)
+{
+    if (const Clause *c = arm(Op::Fsync)) {
+        errno = c->errnoValue;
+        return -1;
+    }
+    return ::fsync(fd);
+}
+
+int
+unlink(const char *path)
+{
+    if (const Clause *c = arm(Op::Unlink)) {
+        errno = c->errnoValue;
+        return -1;
+    }
+    return ::unlink(path);
+}
+
+pid_t
+fork()
+{
+    if (const Clause *c = arm(Op::Fork)) {
+        errno = c->errnoValue;
+        return -1;
+    }
+    return ::fork();
+}
+
+pid_t
+waitpid(pid_t pid, int *status, int options)
+{
+    if (const Clause *c = arm(Op::Waitpid)) {
+        errno = c->errnoValue;
+        return -1;
+    }
+    return ::waitpid(pid, status, options);
+}
+
+ssize_t
+writeFull(int fd, const void *buf, size_t count)
+{
+    const char *p = static_cast<const char *>(buf);
+    size_t done = 0;
+    while (done < count) {
+        ssize_t n = write(fd, p + done, count - done);
+        if (n < 0) {
+            if (errno == EINTR && !state().lastInjected)
+                continue;
+            return -1;
+        }
+        done += static_cast<size_t>(n);
+        if (state().lastInjected && done < count) {
+            // An injected short write must stay torn — report the
+            // failure instead of quietly completing the write.
+            errno = ENOSPC;
+            return -1;
+        }
+    }
+    return static_cast<ssize_t>(done);
+}
+
+} // namespace glifs::faultfs

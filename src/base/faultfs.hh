@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic OS-fault injection for the batch subsystem
+ * (docs/ROBUSTNESS.md, "Crash recovery").
+ *
+ * The batch layer performs all of its crash-critical file and process
+ * syscalls through these thin wrappers. When no fault plan is active
+ * they are a single predicted branch away from the raw syscall; when
+ * `GLIFS_FAULT_PLAN` (or setPlan()) installs a plan, the Nth call of a
+ * named operation can
+ *
+ *   - fail with a chosen errno (`write:3:ENOSPC`),
+ *   - perform a short write of half the requested bytes
+ *     (`write:2:short`),
+ *   - or hard-abort the process mid-operation (`rename:2:crash`,
+ *     `_exit(137)` before the operation executes — a deterministic
+ *     kill -9 at exactly that syscall boundary).
+ *
+ * Plan grammar: comma-separated `op:N:action` clauses, where
+ * `op` ∈ {open, write, rename, fsync, fork, waitpid, unlink},
+ * `N` >= 1 counts calls of that op process-wide, and `action` is
+ * `crash`, `short` (write only), or an errno name from
+ * {ENOSPC, EAGAIN, EINTR, EIO, EMFILE, ENOMEM, EACCES}.
+ *
+ * Every injected fault increments `batch.fault_injected`; the same
+ * guard-the-guards idea as tests/test_fault_injection.cc, extended
+ * from the logic oracles to the OS boundary.
+ */
+
+#ifndef GLIFS_BASE_FAULTFS_HH
+#define GLIFS_BASE_FAULTFS_HH
+
+#include <sys/types.h>
+
+#include <string>
+
+namespace glifs::faultfs
+{
+
+/**
+ * Install a fault plan programmatically (tests); an empty string
+ * clears the plan. Call counters restart from zero.
+ * @throws FatalError on malformed plan grammar.
+ */
+void setPlan(const std::string &plan);
+
+/** Remove any active plan and reset the call counters. */
+void clearPlan();
+
+/**
+ * True if a plan is active. The first call (per process) also reads
+ * `GLIFS_FAULT_PLAN` from the environment, so a spawned tool picks up
+ * the plan with no code changes.
+ */
+bool active();
+
+// -------------------------------------------------------------------
+// Syscall wrappers. Signatures mirror the raw calls; when no plan is
+// active each is a passthrough.
+// -------------------------------------------------------------------
+
+int open(const char *path, int flags, mode_t mode);
+ssize_t write(int fd, const void *buf, size_t count);
+int rename(const char *oldPath, const char *newPath);
+int fsync(int fd);
+int unlink(const char *path);
+pid_t fork();
+pid_t waitpid(pid_t pid, int *status, int options);
+
+/**
+ * Write all of @p count bytes, retrying genuine short writes from the
+ * OS but *not* masking injected failures: an injected short write or
+ * errno surfaces to the caller exactly once, so torn-write handling
+ * can be exercised. Returns @p count on success, -1 with errno set on
+ * failure (possibly after a partial write).
+ */
+ssize_t writeFull(int fd, const void *buf, size_t count);
+
+} // namespace glifs::faultfs
+
+#endif // GLIFS_BASE_FAULTFS_HH

@@ -161,4 +161,31 @@ sha256Hex(const std::string &s)
     return h.hexDigest();
 }
 
+uint32_t
+crc32(const void *data, size_t len, uint32_t seed)
+{
+    // Table-driven CRC-32 (IEEE 802.3 polynomial, reflected).
+    static const auto table = [] {
+        std::array<uint32_t, 256> t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+    uint32_t crc = ~seed;
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < len; ++i)
+        crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+    return ~crc;
+}
+
+uint32_t
+crc32(const std::string &s, uint32_t seed)
+{
+    return crc32(s.data(), s.size(), seed);
+}
+
 } // namespace glifs

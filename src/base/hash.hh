@@ -58,6 +58,16 @@ class Sha256
 /** One-shot helper: SHA-256 of @p s as lowercase hex. */
 std::string sha256Hex(const std::string &s);
 
+/**
+ * CRC-32 (IEEE 802.3, the zlib polynomial) of @p len bytes at
+ * @p data. Chainable: pass a previous result as @p seed to extend the
+ * checksum. Used for cheap per-record integrity (the batch journal,
+ * checkpoint payloads) where SHA-256 would be overkill: CRC-32 detects
+ * all burst errors up to 32 bits and any odd number of bit flips.
+ */
+uint32_t crc32(const void *data, size_t len, uint32_t seed = 0);
+uint32_t crc32(const std::string &s, uint32_t seed = 0);
+
 } // namespace glifs
 
 #endif // GLIFS_BASE_HASH_HH

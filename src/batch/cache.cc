@@ -1,19 +1,23 @@
 #include "batch/cache.hh"
 
 #include <dirent.h>
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <sstream>
 #include <utility>
 
+#include "base/faultfs.hh"
 #include "base/hash.hh"
 #include "base/logging.hh"
 #include "base/stats.hh"
+#include "base/strutil.hh"
 
 namespace glifs::batch
 {
@@ -21,13 +25,29 @@ namespace glifs::batch
 namespace
 {
 
-/** Entries dropped because a store step failed (lazily registered). */
-stats::Scalar &
-publishFailures()
+/** Entry-file header magic; the rest of the line is `<sha256> <size>`.
+ *  Entries written before integrity checksums (no header) read as
+ *  misses: re-running a job is always safe, trusting bytes is not. */
+constexpr const char *kEntryMagic = "glifs-cache-v2";
+
+struct CacheStats
 {
-    static stats::Scalar s{
+    stats::Scalar publishFailures{
         "batch.cache_publish_failures",
         "cache entries dropped because writing or publishing failed"};
+    stats::Scalar integrityMisses{
+        "batch.cache_integrity_misses",
+        "cache lookups that found a corrupt, truncated or "
+        "foreign-format entry (evicted, served as a miss)"};
+    stats::Scalar tmpSwept{
+        "batch.cache_tmp_swept",
+        "stale temp files removed by the open-time sweep"};
+};
+
+CacheStats &
+cacheStats()
+{
+    static CacheStats s;
     return s;
 }
 
@@ -58,18 +78,28 @@ ResultCache::sweepStaleTmp() const
 {
     // Leftover `<key>.json.tmp.<pid>` files are the debris of a writer
     // that died between open and rename; they are never read (lookup
-    // only opens `<key>.json`) but accumulate forever. A concurrent
-    // *live* writer whose temp file we remove just fails its rename
-    // and drops that one entry -- stores are best-effort by design.
+    // only opens `<key>.json`) but accumulate forever. A *live*
+    // concurrent writer also has a temp file open right now, so only
+    // temp files old enough that no live writer can plausibly own
+    // them (mtime older than kStaleTmpSeconds) are removed — sweeping
+    // a live writer's file would silently drop its entry.
     DIR *d = ::opendir(cacheDir.c_str());
     if (!d)
         return; // not created yet (or unreadable): nothing to sweep
+    const std::time_t now = std::time(nullptr);
     while (const dirent *ent = ::readdir(d)) {
         if (std::strstr(ent->d_name, ".tmp.") == nullptr)
             continue;
         const std::string path = cacheDir + "/" + ent->d_name;
-        if (std::remove(path.c_str()) == 0)
+        struct stat st;
+        if (::stat(path.c_str(), &st) != 0)
+            continue;
+        if (now - st.st_mtime < kStaleTmpSeconds)
+            continue; // plausibly a live concurrent writer
+        if (std::remove(path.c_str()) == 0) {
             GLIFS_WARN("swept stale cache temp file ", path);
+            ++cacheStats().tmpSwept;
+        }
     }
     ::closedir(d);
 }
@@ -85,15 +115,42 @@ ResultCache::lookup(const std::string &key) const
 {
     if (!isEnabled)
         return std::nullopt;
-    std::ifstream in(entryPath(key));
+    const std::string path = entryPath(key);
+    std::ifstream in(path, std::ios::binary);
     if (!in)
         return std::nullopt;
     std::ostringstream oss;
     oss << in.rdbuf();
-    return oss.str();
+    const std::string raw = oss.str();
+
+    // Verify the integrity header: `glifs-cache-v2 <sha256> <size>\n`
+    // followed by exactly <size> payload bytes hashing to <sha256>.
+    // Anything else — truncation, bit flips, a half-written or
+    // pre-checksum entry — is evicted and served as a clean miss:
+    // the worst case is recomputing one verdict.
+    auto corrupt = [&](const char *why) -> std::optional<std::string> {
+        GLIFS_WARN("cache entry ", path, " failed integrity check (",
+                   why, "); evicting");
+        ++cacheStats().integrityMisses;
+        std::remove(path.c_str());
+        return std::nullopt;
+    };
+    size_t eol = raw.find('\n');
+    if (eol == std::string::npos)
+        return corrupt("no header line");
+    std::vector<std::string> h = split(raw.substr(0, eol), ' ');
+    if (h.size() != 3 || h[0] != kEntryMagic)
+        return corrupt("bad header");
+    auto size = parseInt(h[2]);
+    std::string payload = raw.substr(eol + 1);
+    if (!size || static_cast<uint64_t>(*size) != payload.size())
+        return corrupt("size mismatch");
+    if (sha256Hex(payload) != h[1])
+        return corrupt("checksum mismatch");
+    return payload;
 }
 
-void
+bool
 ResultCache::store(const std::string &key,
                    const std::string &reportJson)
 {
@@ -102,35 +159,48 @@ ResultCache::store(const std::string &key,
     // (batch.cache_publish_failures) and returns instead of aborting
     // the batch that just spent its budget computing the result.
     if (!isEnabled)
-        return;
+        return false;
     if (::mkdir(cacheDir.c_str(), 0755) != 0 && errno != EEXIST) {
         GLIFS_WARN("cannot create cache directory ", cacheDir,
                    ": ", std::strerror(errno),
                    "; dropping cache entry");
-        publishFailures().inc();
-        return;
+        ++cacheStats().publishFailures;
+        return false;
     }
 
     // Temp file + rename: a reader (or a concurrent batch) sees
-    // either no entry or a complete one, never a partial write.
+    // either no entry or a complete one, never a partial write. All
+    // syscalls go through faultfs so crash/ENOSPC/short-write plans
+    // can exercise every failure path deterministically.
     std::string finalPath = entryPath(key);
     std::string tmpPath =
         finalPath + ".tmp." + std::to_string(::getpid());
-    std::ofstream out(tmpPath);
-    if (!out) {
-        GLIFS_WARN("cannot write cache entry ", tmpPath,
-                   "; dropping cache entry");
-        publishFailures().inc();
-        return;
+    std::string blob = std::string(kEntryMagic) + " " +
+                       sha256Hex(reportJson) + " " +
+                       std::to_string(reportJson.size()) + "\n" +
+                       reportJson;
+
+    auto fail = [&](const char *what) {
+        faultfs::unlink(tmpPath.c_str());
+        GLIFS_WARN("cannot ", what, " cache entry ", finalPath, ": ",
+                   std::strerror(errno), "; dropping cache entry");
+        ++cacheStats().publishFailures;
+        return false;
+    };
+
+    int fd = faultfs::open(tmpPath.c_str(),
+                           O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        return fail("write");
+    if (faultfs::writeFull(fd, blob.data(), blob.size()) < 0 ||
+        faultfs::fsync(fd) != 0) {
+        ::close(fd);
+        return fail("write");
     }
-    out << reportJson;
-    out.close();
-    if (!out || std::rename(tmpPath.c_str(), finalPath.c_str()) != 0) {
-        std::remove(tmpPath.c_str());
-        GLIFS_WARN("cannot publish cache entry ", finalPath,
-                   "; dropping cache entry");
-        publishFailures().inc();
-    }
+    ::close(fd);
+    if (faultfs::rename(tmpPath.c_str(), finalPath.c_str()) != 0)
+        return fail("publish");
+    return true;
 }
 
 } // namespace glifs::batch

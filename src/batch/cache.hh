@@ -12,11 +12,17 @@
  * firmware always does.
  *
  * Storage is one file per key under the cache directory
- * (`.glifs-cache/` by default): `<hex-key>.json` holding the worker's
- * `glifs.run_report.v1` report verbatim. Only *definitive* outcomes
- * (exit 0 secure / exit 1 violations) are stored — a degraded exit 2
- * answer is a budget artifact, not a property of the inputs, and
- * re-running it is the useful behaviour.
+ * (`.glifs-cache/` by default): `<hex-key>.json` holding a one-line
+ * integrity header (`glifs-cache-v2 <sha256> <size>`) followed by the
+ * worker's `glifs.run_report.v1` report verbatim. Only *definitive*
+ * outcomes (exit 0 secure / exit 1 violations) are stored — a degraded
+ * exit 2 answer is a budget artifact, not a property of the inputs,
+ * and re-running it is the useful behaviour.
+ *
+ * Lookups verify the header before trusting the payload: a truncated,
+ * bit-flipped or torn entry is evicted and served as a clean miss
+ * (`batch.cache_integrity_misses`), never a crash and never a stale
+ * verdict handed to a report.
  */
 
 #ifndef GLIFS_BATCH_CACHE_HH
@@ -33,6 +39,10 @@ namespace glifs::batch
 /** The default cache directory (relative to the working directory). */
 inline const char *const kDefaultCacheDir = ".glifs-cache";
 
+/** Temp files younger than this survive the open-time sweep — they
+ *  may belong to a live concurrent writer mid-publish. */
+inline constexpr long kStaleTmpSeconds = 3600;
+
 /** SHA-256 cache key of one job (see file comment for the recipe). */
 std::string cacheKey(const JobSpec &job, const RetryConfig &retry,
                      const std::string &toolVersion);
@@ -46,11 +56,16 @@ class ResultCache
      *                 dropped (the `--no-cache` behaviour)
      *
      * Opening an enabled cache sweeps stale `*.tmp.<pid>` files left
-     * by writers that died before publishing.
+     * by writers that died before publishing — but only ones older
+     * than kStaleTmpSeconds, so a live concurrent writer's temp file
+     * is never yanked out from under it.
      */
     explicit ResultCache(std::string dir, bool enabled = true);
 
-    /** Cached run-report JSON for @p key, if present. */
+    /**
+     * Cached run-report JSON for @p key, if present and its integrity
+     * header verifies; a corrupt entry is evicted and misses.
+     */
     std::optional<std::string> lookup(const std::string &key) const;
 
     /**
@@ -59,8 +74,11 @@ class ResultCache
      * Best-effort: a failed store warns and bumps
      * `batch.cache_publish_failures` instead of aborting the batch
      * (the result is already computed; only the reuse is lost).
+     *
+     * @return true when the entry was durably published — the signal
+     *         the batch journal uses for `cache published` records.
      */
-    void store(const std::string &key, const std::string &reportJson);
+    bool store(const std::string &key, const std::string &reportJson);
 
     /** Where @p key lives (whether or not it exists yet). */
     std::string entryPath(const std::string &key) const;

@@ -1,0 +1,401 @@
+#include "batch/journal.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "base/faultfs.hh"
+#include "base/hash.hh"
+#include "base/logging.hh"
+#include "base/stats.hh"
+
+namespace glifs::batch
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'G', 'L', 'F', 'S', 'J', 'R', 'N', 'L'};
+
+enum RecordType : uint8_t
+{
+    kRecManifest = 1,
+    kRecJobStarted = 2,
+    kRecCachePublished = 3,
+    kRecJobFinished = 4,
+};
+
+/** The largest record replay() will believe (64 MiB). */
+constexpr uint32_t kMaxRecord = 1u << 26;
+
+stats::Scalar &
+writeFailures()
+{
+    static stats::Scalar s{"batch.journal_write_failures",
+                           "journal appends abandoned because a write "
+                           "or fsync failed (journaling disables "
+                           "itself)"};
+    return s;
+}
+
+stats::Scalar &
+recordsWritten()
+{
+    static stats::Scalar s{"batch.journal_records",
+                           "records appended to the batch journal"};
+    return s;
+}
+
+stats::Scalar &
+tornReplays()
+{
+    static stats::Scalar s{"batch.journal_torn_replays",
+                           "journal replays that truncated an invalid "
+                           "tail"};
+    return s;
+}
+
+// ---------------------------------------------------------------------
+// Little-endian payload encoding into / out of std::string.
+// ---------------------------------------------------------------------
+
+void
+putU8(std::string &out, uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+void
+putU32(std::string &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        putU8(out, static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void
+putU64(std::string &out, uint64_t v)
+{
+    putU32(out, static_cast<uint32_t>(v));
+    putU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void
+putStr(std::string &out, const std::string &s)
+{
+    putU32(out, static_cast<uint32_t>(s.size()));
+    out.append(s);
+}
+
+void
+putDouble(std::string &out, double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+/** Bounds-checked reader; sets `bad` instead of throwing so replay
+ *  can treat a malformed payload like a torn record. */
+struct PayloadReader
+{
+    const std::string &buf;
+    size_t pos = 0;
+    bool bad = false;
+
+    uint8_t
+    u8()
+    {
+        if (pos + 1 > buf.size()) {
+            bad = true;
+            return 0;
+        }
+        return static_cast<uint8_t>(buf[pos++]);
+    }
+
+    uint32_t
+    u32()
+    {
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= uint32_t{u8()} << (8 * i);
+        return v;
+    }
+
+    uint64_t
+    u64()
+    {
+        uint64_t lo = u32();
+        return lo | (uint64_t{u32()} << 32);
+    }
+
+    std::string
+    str()
+    {
+        uint32_t n = u32();
+        if (bad || pos + n > buf.size()) {
+            bad = true;
+            return "";
+        }
+        std::string s = buf.substr(pos, n);
+        pos += n;
+        return s;
+    }
+
+    double
+    real()
+    {
+        uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+};
+
+} // namespace
+
+std::string
+manifestFingerprint(const Manifest &manifest)
+{
+    Sha256 h;
+    h.section("manifest", manifest.name);
+    h.section("retry", manifest.retry.canonical());
+    for (const JobSpec &job : manifest.jobs) {
+        h.section("job", job.name);
+        h.section("firmware", job.firmwareText);
+        h.section("policy", job.policyText);
+        h.section("budgets", job.budgets.canonical());
+    }
+    return h.hexDigest();
+}
+
+BatchJournal
+BatchJournal::create(const std::string &path,
+                     const std::string &fingerprint)
+{
+    int fd = faultfs::open(path.c_str(),
+                           O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        GLIFS_WARN("cannot create batch journal ", path, ": ",
+                   std::strerror(errno),
+                   "; continuing without crash resumability");
+        ++writeFailures();
+        return BatchJournal{};
+    }
+    std::string header(kMagic, sizeof(kMagic));
+    putU32(header, kVersion);
+    BatchJournal j(fd);
+    if (faultfs::writeFull(fd, header.data(), header.size()) < 0) {
+        GLIFS_WARN("cannot write batch journal header ", path, ": ",
+                   std::strerror(errno),
+                   "; continuing without crash resumability");
+        ++writeFailures();
+        ::close(fd);
+        return BatchJournal{};
+    }
+    std::string payload;
+    putStr(payload, fingerprint);
+    j.append(kRecManifest, payload);
+    return j;
+}
+
+BatchJournal::BatchJournal(BatchJournal &&other) noexcept
+    : fd(std::exchange(other.fd, -1))
+{}
+
+BatchJournal &
+BatchJournal::operator=(BatchJournal &&other) noexcept
+{
+    if (this != &other) {
+        if (fd >= 0)
+            ::close(fd);
+        fd = std::exchange(other.fd, -1);
+    }
+    return *this;
+}
+
+BatchJournal::~BatchJournal()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+void
+BatchJournal::append(uint8_t type, const std::string &payload)
+{
+    if (fd < 0)
+        return;
+    std::string body;
+    putU8(body, type);
+    body.append(payload);
+    std::string frame;
+    putU32(frame, static_cast<uint32_t>(payload.size()));
+    frame.append(body);
+    putU32(frame, crc32(body));
+    // One write per record keeps every journal state reachable by a
+    // crash at a syscall boundary; the fsync makes the record durable
+    // before the action it logs is considered done.
+    if (faultfs::writeFull(fd, frame.data(), frame.size()) < 0 ||
+        faultfs::fsync(fd) != 0) {
+        GLIFS_WARN("batch journal write failed: ",
+                   std::strerror(errno),
+                   "; journaling disabled for the rest of this run");
+        ++writeFailures();
+        ::close(fd);
+        fd = -1;
+        return;
+    }
+    ++recordsWritten();
+}
+
+void
+BatchJournal::jobStarted(uint32_t index, const std::string &name,
+                         const std::string &cacheKey)
+{
+    std::string p;
+    putU32(p, index);
+    putStr(p, name);
+    putStr(p, cacheKey);
+    append(kRecJobStarted, p);
+}
+
+void
+BatchJournal::cachePublished(uint32_t index,
+                             const std::string &cacheKey)
+{
+    std::string p;
+    putU32(p, index);
+    putStr(p, cacheKey);
+    append(kRecCachePublished, p);
+}
+
+void
+BatchJournal::jobFinished(uint32_t index, const JobOutcome &outcome)
+{
+    std::string p;
+    putU32(p, index);
+    putStr(p, outcome.name);
+    putStr(p, outcome.verdict);
+    putU32(p, static_cast<uint32_t>(outcome.exitCode));
+    putU8(p, static_cast<uint8_t>(outcome.cache));
+    putU32(p, outcome.attempts);
+    putU8(p, outcome.resumed ? 1 : 0);
+    putDouble(p, outcome.wallSeconds);
+    putU64(p, outcome.violationCount);
+    putStr(p, outcome.violationsJson);
+    putStr(p, outcome.detail);
+    append(kRecJobFinished, p);
+}
+
+BatchJournal::Replay
+BatchJournal::replay(const std::string &path)
+{
+    Replay out;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        GLIFS_WARN("batch journal ", path,
+                   " is missing or unreadable; resuming nothing");
+        out.torn = true;
+        return out;
+    }
+    char magic[8] = {};
+    in.read(magic, sizeof(magic));
+    uint8_t verBytes[4] = {};
+    in.read(reinterpret_cast<char *>(verBytes), sizeof(verBytes));
+    uint32_t version = static_cast<uint32_t>(verBytes[0]) |
+                       (uint32_t{verBytes[1]} << 8) |
+                       (uint32_t{verBytes[2]} << 16) |
+                       (uint32_t{verBytes[3]} << 24);
+    if (!in || !std::equal(magic, magic + sizeof(magic), kMagic) ||
+        version != kVersion) {
+        GLIFS_WARN("batch journal ", path,
+                   " has a torn or foreign header; resuming nothing");
+        out.torn = true;
+        ++tornReplays();
+        return out;
+    }
+
+    while (true) {
+        uint8_t lenBytes[4] = {};
+        in.read(reinterpret_cast<char *>(lenBytes), sizeof(lenBytes));
+        if (in.gcount() == 0)
+            break; // clean end of journal
+        uint32_t len = static_cast<uint32_t>(lenBytes[0]) |
+                       (uint32_t{lenBytes[1]} << 8) |
+                       (uint32_t{lenBytes[2]} << 16) |
+                       (uint32_t{lenBytes[3]} << 24);
+        if (in.gcount() != sizeof(lenBytes) || len > kMaxRecord) {
+            out.torn = true;
+            break;
+        }
+        std::string body(size_t{len} + 1, '\0');
+        in.read(body.data(), static_cast<std::streamsize>(body.size()));
+        if (static_cast<size_t>(in.gcount()) != body.size()) {
+            out.torn = true;
+            break;
+        }
+        uint8_t crcBytes[4] = {};
+        in.read(reinterpret_cast<char *>(crcBytes), sizeof(crcBytes));
+        uint32_t want = static_cast<uint32_t>(crcBytes[0]) |
+                        (uint32_t{crcBytes[1]} << 8) |
+                        (uint32_t{crcBytes[2]} << 16) |
+                        (uint32_t{crcBytes[3]} << 24);
+        if (in.gcount() != sizeof(crcBytes) || crc32(body) != want) {
+            out.torn = true;
+            break;
+        }
+
+        uint8_t type = static_cast<uint8_t>(body[0]);
+        std::string payload = body.substr(1);
+        PayloadReader r{payload};
+        switch (type) {
+          case kRecManifest:
+            out.fingerprint = r.str();
+            break;
+          case kRecJobStarted:
+          case kRecCachePublished:
+            // Presence-only records: nothing to recover, but their
+            // CRCs anchor the valid prefix.
+            break;
+          case kRecJobFinished: {
+            uint32_t index = r.u32();
+            JobOutcome o;
+            o.name = r.str();
+            o.verdict = r.str();
+            o.exitCode = static_cast<int>(r.u32());
+            uint8_t cacheByte = r.u8();
+            if (cacheByte > static_cast<uint8_t>(CacheStatus::Disabled))
+                r.bad = true;
+            o.cache = static_cast<CacheStatus>(cacheByte);
+            o.attempts = r.u32();
+            o.resumed = r.u8() != 0;
+            o.wallSeconds = r.real();
+            o.violationCount = r.u64();
+            o.violationsJson = r.str();
+            o.detail = r.str();
+            if (!r.bad)
+                out.finished[index] = std::move(o);
+            break;
+          }
+          default:
+            break; // unknown record type: skip, stay compatible
+        }
+        if (r.bad) {
+            out.torn = true;
+            break;
+        }
+        ++out.records;
+    }
+    if (out.torn) {
+        GLIFS_WARN("batch journal ", path, " has an invalid tail; "
+                   "replayed the first ", out.records, " record(s)");
+        ++tornReplays();
+    }
+    return out;
+}
+
+} // namespace glifs::batch

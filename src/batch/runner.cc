@@ -9,12 +9,14 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 
 #include "base/logging.hh"
 #include "base/strutil.hh"
 #include "base/version.hh"
 #include "batch/cache.hh"
+#include "batch/journal.hh"
 #include "batch/retry.hh"
 #include "batch/scheduler.hh"
 
@@ -228,7 +230,25 @@ struct JobRun
     std::string reportFile;     ///< per-attempt run report (rewritten)
     JobOutcome outcome;
     unsigned attempt = 0;       ///< attempts launched so far
+    bool fromJournal = false;   ///< outcome replayed; never ran here
+    bool resumeCheckpoint = false; ///< crashed run left a checkpoint
 };
+
+/** Per-job jitter seed: the first 16 hex digits of the cache key, so
+ *  the backoff ladder is deterministic per job but fleet-decorrelated. */
+uint64_t
+jitterSeed(const std::string &cacheKey)
+{
+    uint64_t seed = 0;
+    for (size_t i = 0; i < 16 && i < cacheKey.size(); ++i) {
+        char c = cacheKey[i];
+        uint64_t nibble =
+            c >= 'a' ? static_cast<uint64_t>(c - 'a' + 10)
+                     : static_cast<uint64_t>(c - '0');
+        seed = (seed << 4) | (nibble & 0xF);
+    }
+    return seed;
+}
 
 } // namespace
 
@@ -338,6 +358,32 @@ runBatch(const Manifest &manifest, const BatchOptions &options)
     ResultCache cache(options.cacheDir, !options.noCache);
     RetryLadder ladder(manifest.retry);
 
+    // Crash resumability: replay any prior journal *before* creating
+    // (truncating) this run's journal — they may be the same file.
+    const std::string fingerprint = manifestFingerprint(manifest);
+    std::map<uint32_t, JobOutcome> alreadyFinished;
+    if (!options.resumeJournalPath.empty()) {
+        BatchJournal::Replay prior =
+            BatchJournal::replay(options.resumeJournalPath);
+        if (!prior.fingerprint.empty() &&
+            prior.fingerprint != fingerprint) {
+            GLIFS_FATAL("journal ", options.resumeJournalPath,
+                        " belongs to a different manifest; refusing "
+                        "to resume (re-run without --resume-batch)");
+        }
+        if (prior.fingerprint.empty() && prior.records == 0) {
+            GLIFS_WARN("journal ", options.resumeJournalPath,
+                       " recovered nothing; running the full batch");
+        }
+        alreadyFinished = std::move(prior.finished);
+    }
+
+    std::string journalPath = options.journalPath.empty()
+                                  ? workDir + "/batch.journal"
+                                  : options.journalPath;
+    BatchJournal journal = BatchJournal::create(journalPath,
+                                               fingerprint);
+
     BatchReport report;
     report.manifestName = manifest.name;
     report.manifestPath = manifest.path;
@@ -397,11 +443,25 @@ runBatch(const Manifest &manifest, const BatchOptions &options)
         t.argv.push_back(run.reportFile);
         t.argv.push_back("--checkpoint");
         t.argv.push_back(run.checkpointFile);
-        if (run.attempt > 1 && fileExists(run.checkpointFile)) {
+        if ((run.attempt > 1 || run.resumeCheckpoint) &&
+            fileExists(run.checkpointFile)) {
             t.argv.push_back("--resume");
             t.argv.push_back(run.checkpointFile);
             run.outcome.resumed = true;
         }
+        if (options.stallTimeoutSeconds > 0) {
+            // Heartbeat into the worker log (stderr is redirected
+            // there) several times per stall window, so a live-but-
+            // slow worker always grows its log under the watchdog.
+            double period =
+                std::max(options.stallTimeoutSeconds / 4.0, 0.05);
+            std::ostringstream flag;
+            flag << "--progress=" << period;
+            t.argv.push_back(flag.str());
+            t.stallTimeoutSeconds = options.stallTimeoutSeconds;
+        }
+        t.startDelaySeconds =
+            ladder.backoffFor(run.attempt, jitterSeed(run.key));
         t.outputPath = workDir + "/" + fileStem(idx, job.name) +
                        ".attempt" + std::to_string(run.attempt) +
                        ".log";
@@ -417,6 +477,24 @@ runBatch(const Manifest &manifest, const BatchOptions &options)
         run.outcome.cache = options.noCache ? CacheStatus::Disabled
                                             : CacheStatus::Miss;
 
+        // Resumed batch: a job the crashed run finished is reported
+        // from its journal record verbatim, and re-recorded into this
+        // run's journal so a second crash still resumes everything.
+        auto prior = alreadyFinished.find(static_cast<uint32_t>(i));
+        if (prior != alreadyFinished.end()) {
+            run.outcome = prior->second;
+            run.outcome.name = job.name;
+            run.fromJournal = true;
+            journal.jobFinished(static_cast<uint32_t>(i),
+                                run.outcome);
+            if (options.verbose) {
+                std::printf("[%s] resumed from journal: %s\n",
+                            job.name.c_str(),
+                            run.outcome.verdict.c_str());
+            }
+            continue;
+        }
+
         if (auto cached = cache.lookup(run.key)) {
             run.outcome.cache = CacheStatus::Hit;
             run.outcome.verdict = "unknown-degraded";
@@ -430,6 +508,8 @@ runBatch(const Manifest &manifest, const BatchOptions &options)
                 if (v)
                     run.outcome.exitCode = static_cast<int>(*v);
             }
+            journal.jobFinished(static_cast<uint32_t>(i),
+                                run.outcome);
             if (options.verbose) {
                 std::printf("[%s] cache hit: %s\n", job.name.c_str(),
                             run.outcome.verdict.c_str());
@@ -451,8 +531,14 @@ runBatch(const Manifest &manifest, const BatchOptions &options)
         run.checkpointFile = workDir + "/" + stem + ".ckpt";
         run.reportFile = workDir + "/" + stem + ".report.json";
         // A stale checkpoint from an earlier batch must not leak into
-        // this run's first attempt.
-        std::remove(run.checkpointFile.c_str());
+        // this run's first attempt — unless this *is* a resume, where
+        // a crashed worker's checkpoint is exactly the state to keep.
+        if (options.resumeJournalPath.empty())
+            std::remove(run.checkpointFile.c_str());
+        else
+            run.resumeCheckpoint = fileExists(run.checkpointFile);
+        journal.jobStarted(static_cast<uint32_t>(i), job.name,
+                           run.key);
         submitAttempt(i);
     }
 
@@ -463,10 +549,17 @@ runBatch(const Manifest &manifest, const BatchOptions &options)
         out.wallSeconds += res.wallSeconds;
 
         // Map abnormal ends onto the exit-code contract: a backstop
-        // kill is a degraded run (retryable); a crash or exec failure
-        // is a hard per-job error.
+        // or watchdog kill is a degraded run (retryable, and the
+        // SIGTERM gave the worker a checkpoint to resume); a crash,
+        // spawn failure or exec failure is a hard per-job error.
         int code;
-        if (res.killedOnTimeout) {
+        if (res.spawnFailed) {
+            code = 3;
+            out.detail = "could not spawn worker (fork kept failing)";
+        } else if (res.stalled) {
+            code = 2;
+            out.detail = "killed by stall watchdog (no progress)";
+        } else if (res.killedOnTimeout) {
             code = 2;
             out.detail = "killed by scheduler backstop timeout";
         } else if (res.crashed) {
@@ -505,9 +598,11 @@ runBatch(const Manifest &manifest, const BatchOptions &options)
         std::string rep = readFileIfAny(run.reportFile);
         if (!rep.empty()) {
             applyReport(out, rep);
-            if (code <= 1)
-                cache.store(run.key, rep);
+            if (code <= 1 && cache.store(run.key, rep))
+                journal.cachePublished(static_cast<uint32_t>(idx),
+                                       run.key);
         }
+        journal.jobFinished(static_cast<uint32_t>(idx), out);
         if (options.verbose) {
             std::printf("[%s] %s (exit %d, %u attempt(s), %.2fs)\n",
                         out.name.c_str(), out.verdict.c_str(), code,

@@ -74,6 +74,22 @@ struct BatchOptions
      *  and checkpoints ("" = <cacheDir>/work). */
     std::string workDir;
     bool verbose = true;           ///< per-job progress lines to stdout
+    /** Write-ahead journal path ("" = <workDir>/batch.journal). */
+    std::string journalPath;
+    /**
+     * Journal of a crashed run to resume ("" = fresh run): finished
+     * jobs are reported from the journal without re-running; the rest
+     * run normally. The journal must belong to the same manifest
+     * (fingerprint-checked) — resuming a different fleet's journal is
+     * a FatalError, never silently wrong results.
+     */
+    std::string resumeJournalPath;
+    /**
+     * Stall watchdog (0 = off): workers whose log stops growing for
+     * this many seconds get SIGTERM (checkpoint-then-exit), then
+     * SIGKILL. Enables the worker's `--progress` heartbeat.
+     */
+    double stallTimeoutSeconds = 0;
 };
 
 /**

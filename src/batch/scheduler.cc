@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <signal.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -11,19 +12,70 @@
 #include <thread>
 #include <utility>
 
+#include "base/faultfs.hh"
 #include "base/logging.hh"
+#include "base/stats.hh"
 
 namespace glifs::batch
 {
 
+namespace
+{
+
 using Clock = std::chrono::steady_clock;
+
+struct SchedulerStats
+{
+    stats::Scalar forkRetries{"batch.fork_retries",
+                              "transient fork failures retried with "
+                              "backoff"};
+    stats::Scalar spawnFailures{"batch.spawn_failures",
+                                "tasks abandoned because fork kept "
+                                "failing past the retry cap"};
+    stats::Scalar stallSigterm{"batch.stall_sigterm",
+                               "workers SIGTERMed by the progress "
+                               "watchdog"};
+    stats::Scalar stallSigkill{"batch.stall_sigkill",
+                               "stalled workers that ignored SIGTERM "
+                               "and were SIGKILLed"};
+};
+
+SchedulerStats &
+schedStats()
+{
+    static SchedulerStats s;
+    return s;
+}
+
+double
+secondsSince(Clock::time_point t)
+{
+    return std::chrono::duration<double>(Clock::now() - t).count();
+}
+
+/** Size of @p path, or -1 when it cannot be statted. */
+int64_t
+fileSize(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        return -1;
+    return static_cast<int64_t>(st.st_size);
+}
+
+} // namespace
 
 struct ProcessScheduler::Running
 {
     ProcTask task;
     pid_t pid = -1;
     Clock::time_point started;
-    bool killed = false;
+    bool killed = false;       ///< SIGKILL sent (backstop or stall)
+    // Stall-watchdog state.
+    Clock::time_point lastProgress;
+    int64_t lastLogSize = -1;
+    bool termSent = false;
+    Clock::time_point termTime;
 };
 
 ProcessScheduler::ProcessScheduler(unsigned jobs)
@@ -34,10 +86,10 @@ void
 ProcessScheduler::submit(ProcTask task)
 {
     GLIFS_ASSERT(!task.argv.empty(), "ProcTask needs an argv");
-    pending.push_back(std::move(task));
+    pending.push_back(Queued{std::move(task), Clock::now()});
 }
 
-void
+bool
 ProcessScheduler::spawn(ProcTask task, std::vector<Running> &running)
 {
     // Build the char* view before forking; the vector owns the bytes.
@@ -47,9 +99,28 @@ ProcessScheduler::spawn(ProcTask task, std::vector<Running> &running)
         argv.push_back(arg.data());
     argv.push_back(nullptr);
 
-    pid_t pid = ::fork();
-    if (pid < 0)
-        GLIFS_FATAL("fork failed: ", std::strerror(errno));
+    // A loaded box can transiently refuse to fork (EAGAIN: pid/rlimit
+    // pressure; ENOMEM). Backing off and retrying turns a fatal batch
+    // abort into a hiccup; anything still failing after the capped
+    // ladder is reported as a spawn failure for that one task.
+    pid_t pid = -1;
+    for (unsigned attempt = 0; attempt < 6; ++attempt) {
+        if (attempt > 0) {
+            ++schedStats().forkRetries;
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                std::min(10u << (attempt - 1), 160u)));
+        }
+        pid = faultfs::fork();
+        if (pid >= 0 ||
+            (errno != EAGAIN && errno != ENOMEM && errno != EINTR))
+            break;
+    }
+    if (pid < 0) {
+        GLIFS_WARN("fork failed persistently for task ", task.id,
+                   ": ", std::strerror(errno));
+        ++schedStats().spawnFailures;
+        return false;
+    }
     if (pid == 0) {
         // Child: redirect stdout+stderr to the worker log, then exec.
         // Only async-signal-safe calls from here on.
@@ -71,7 +142,63 @@ ProcessScheduler::spawn(ProcTask task, std::vector<Running> &running)
     r.task = std::move(task);
     r.pid = pid;
     r.started = Clock::now();
+    r.lastProgress = r.started;
     running.push_back(std::move(r));
+    return true;
+}
+
+/**
+ * Stall detection: the worker's heartbeat (and all its other output)
+ * lands in its log file, so a log that stops growing for the stall
+ * timeout means the worker is no longer reaching its governor poll
+ * point — wedged, not just slow. Escalate SIGTERM (the worker
+ * checkpoints and exits like any governed stop) and, after a grace
+ * period, SIGKILL. Both are distinct from the wall-clock backstop:
+ * a slow-but-heartbeating worker is never touched by the watchdog.
+ */
+void
+ProcessScheduler::watchdog(Running &r)
+{
+    if (r.killed)
+        return;
+
+    const double elapsed = secondsSince(r.started);
+    if (r.task.killAfterSeconds > 0 &&
+        elapsed > r.task.killAfterSeconds) {
+        ::kill(r.pid, SIGKILL);
+        r.killed = true;
+        return;
+    }
+
+    if (r.task.stallTimeoutSeconds <= 0 || r.task.outputPath.empty())
+        return;
+
+    if (r.termSent) {
+        if (secondsSince(r.termTime) > kTermGraceSeconds) {
+            GLIFS_WARN("worker ", r.pid,
+                       " ignored the stall SIGTERM; sending SIGKILL");
+            ::kill(r.pid, SIGKILL);
+            r.killed = true;
+            ++schedStats().stallSigkill;
+        }
+        return;
+    }
+
+    int64_t size = fileSize(r.task.outputPath);
+    if (size != r.lastLogSize) {
+        r.lastLogSize = size;
+        r.lastProgress = Clock::now();
+        return;
+    }
+    if (secondsSince(r.lastProgress) > r.task.stallTimeoutSeconds) {
+        GLIFS_WARN("worker ", r.pid, " made no progress for ",
+                   r.task.stallTimeoutSeconds,
+                   "s; sending SIGTERM (checkpoint-then-exit)");
+        ::kill(r.pid, SIGTERM);
+        r.termSent = true;
+        r.termTime = Clock::now();
+        ++schedStats().stallSigterm;
+    }
 }
 
 void
@@ -80,42 +207,68 @@ ProcessScheduler::run(const DoneFn &onDone)
     std::vector<Running> running;
 
     while (!pending.empty() || !running.empty()) {
-        while (!pending.empty() && running.size() < jobs) {
-            ProcTask t = std::move(pending.front());
+        // Launch ready tasks; rotate delayed ones to the back so a
+        // backoff at the queue head never blocks ready work.
+        size_t considered = pending.size();
+        while (considered-- > 0 && !pending.empty() &&
+               running.size() < jobs) {
+            Queued q = std::move(pending.front());
             pending.pop_front();
-            spawn(std::move(t), running);
+            if (q.task.startDelaySeconds > 0 &&
+                secondsSince(q.submitted) < q.task.startDelaySeconds) {
+                pending.push_back(std::move(q));
+                continue;
+            }
+            uint64_t id = q.task.id;
+            if (!spawn(std::move(q.task), running)) {
+                ProcResult res;
+                res.id = id;
+                res.spawnFailed = true;
+                onDone(res);
+            }
         }
 
         bool reaped = false;
         for (size_t i = 0; i < running.size();) {
             Running &r = running[i];
             int status = 0;
-            pid_t got = ::waitpid(r.pid, &status, WNOHANG);
+            pid_t got = faultfs::waitpid(r.pid, &status, WNOHANG);
             if (got == 0) {
-                // Still going; apply the kill backstop if overdue.
-                double elapsed =
-                    std::chrono::duration<double>(Clock::now() -
-                                                  r.started)
-                        .count();
-                if (!r.killed && r.task.killAfterSeconds > 0 &&
-                    elapsed > r.task.killAfterSeconds) {
-                    ::kill(r.pid, SIGKILL);
-                    r.killed = true;
-                }
+                watchdog(r);
                 ++i;
                 continue;
             }
-            if (got < 0 && errno == EINTR)
+            if (got < 0) {
+                if (errno == EINTR)
+                    continue; // retry the same pid
+                // ECHILD or another surprise: the child is gone and
+                // unreapable. Report a crash instead of asserting —
+                // losing one worker must not lose the batch.
+                GLIFS_WARN("waitpid(", r.pid, ") failed: ",
+                           std::strerror(errno),
+                           "; treating worker as crashed");
+                ProcResult res;
+                res.id = r.task.id;
+                res.crashed = true;
+                res.stalled = r.termSent;
+                res.wallSeconds = secondsSince(r.started);
+                running.erase(running.begin() + i);
+                reaped = true;
+                onDone(res);
                 continue;
+            }
             GLIFS_ASSERT(got == r.pid, "waitpid returned ", got);
 
             ProcResult res;
             res.id = r.task.id;
-            res.wallSeconds =
-                std::chrono::duration<double>(Clock::now() - r.started)
-                    .count();
+            res.wallSeconds = secondsSince(r.started);
             if (WIFEXITED(status)) {
+                // A worker that caught the stall SIGTERM and exited
+                // normally speaks for itself; its exit code stands.
                 res.exitCode = WEXITSTATUS(status);
+            } else if (r.termSent) {
+                // Died on our SIGTERM/SIGKILL stall escalation.
+                res.stalled = true;
             } else if (r.killed) {
                 res.killedOnTimeout = true;
             } else {
@@ -128,6 +281,8 @@ ProcessScheduler::run(const DoneFn &onDone)
         }
 
         if (!reaped && !running.empty())
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        else if (!reaped && running.empty() && !pending.empty())
             std::this_thread::sleep_for(std::chrono::milliseconds(10));
     }
 }

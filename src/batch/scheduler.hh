@@ -12,6 +12,21 @@
  * completion callback, which may submit follow-up work (that is how
  * the retry ladder re-queues escalated attempts).
  *
+ * Failure hardening (docs/ROBUSTNESS.md, "Crash recovery"):
+ *
+ *   - fork() transients (EAGAIN/ENOMEM) are retried with capped
+ *     exponential backoff; only a persistently unforkable task is
+ *     surfaced, as a `spawnFailed` result, never a fatal abort;
+ *   - the reap loop is EINTR-safe and treats unexpected waitpid
+ *     errors as a crashed worker rather than an invariant violation;
+ *   - a per-task progress watchdog watches the worker's log file
+ *     (where the governor heartbeat lands) and escalates
+ *     SIGTERM → SIGKILL on stall. SIGTERM first, because a live
+ *     worker snapshots its checkpoint on SIGTERM — the watchdog
+ *     recovers wedged workers without losing their state. This is
+ *     distinct from `killAfterSeconds`, the wall-clock SIGKILL
+ *     backstop.
+ *
  * Per-job analysis timeouts are the worker's own `--deadline` budget
  * (the engine degrades gracefully and exits 2); the scheduler's
  * `killAfterSeconds` is only a last-resort backstop for a worker that
@@ -22,6 +37,7 @@
 #ifndef GLIFS_BATCH_SCHEDULER_HH
 #define GLIFS_BATCH_SCHEDULER_HH
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -38,6 +54,16 @@ struct ProcTask
     std::vector<std::string> argv;   ///< argv[0] = executable path
     std::string outputPath;          ///< stdout+stderr log ("" = inherit)
     double killAfterSeconds = 0;     ///< SIGKILL backstop (0 = never)
+    /**
+     * Stall watchdog (0 = off): if `outputPath` stops growing for this
+     * many seconds the worker is presumed wedged and SIGTERMed (it can
+     * still checkpoint); SIGKILL follows if it ignores the SIGTERM.
+     * Only meaningful when the worker emits a heartbeat into its log
+     * (`--progress`) faster than this period.
+     */
+    double stallTimeoutSeconds = 0;
+    /** Earliest start, seconds after submit (retry backoff jitter). */
+    double startDelaySeconds = 0;
 };
 
 /** What happened to one process. */
@@ -47,7 +73,9 @@ struct ProcResult
     /** Exit code 0..255; -1 when the process did not exit normally. */
     int exitCode = -1;
     bool killedOnTimeout = false;    ///< we SIGKILLed it (backstop)
+    bool stalled = false;            ///< stall watchdog escalated on it
     bool crashed = false;            ///< died on a signal (not ours)
+    bool spawnFailed = false;        ///< fork kept failing; never ran
     double wallSeconds = 0;          ///< spawn-to-reap wall time
 };
 
@@ -70,13 +98,25 @@ class ProcessScheduler
 
     unsigned concurrency() const { return jobs; }
 
+    /** How long a SIGTERMed staller gets before the SIGKILL. */
+    static constexpr double kTermGraceSeconds = 5.0;
+
   private:
     struct Running;
 
-    void spawn(ProcTask task, std::vector<Running> &running);
+    /** A task waiting to launch (possibly delayed by backoff). */
+    struct Queued
+    {
+        ProcTask task;
+        std::chrono::steady_clock::time_point submitted;
+    };
+
+    /** Fork/exec @p task; false if fork failed past the retry cap. */
+    bool spawn(ProcTask task, std::vector<Running> &running);
+    void watchdog(Running &r);
 
     unsigned jobs;
-    std::deque<ProcTask> pending;
+    std::deque<Queued> pending;
 };
 
 } // namespace glifs::batch

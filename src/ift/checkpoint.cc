@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <fstream>
+#include <sstream>
 
+#include "base/hash.hh"
 #include "base/logging.hh"
 #include "base/stats.hh"
 #include "base/trace.hh"
@@ -190,12 +192,13 @@ EngineCheckpoint::save(const std::string &path) const
 {
     GLIFS_TRACE_SCOPE("checkpoint", "save");
     const auto t0 = std::chrono::steady_clock::now();
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
-        GLIFS_RECOVERABLE("checkpoint: cannot write ", path);
-    Writer w(out);
-    out.write(kMagic, sizeof(kMagic));
-    w.u32(kVersion);
+
+    // Serialize the body to a buffer first so its CRC-32 can sit in
+    // the header: load() then verifies the whole body before parsing
+    // a byte of it, turning any on-disk corruption into one clean
+    // RecoverableError instead of a garbage parse.
+    std::ostringstream body;
+    Writer w(body);
     w.u64(fingerprint);
     w.u64(totalCycles);
     w.u64(pathsExplored);
@@ -248,6 +251,17 @@ EngineCheckpoint::save(const std::string &path) const
         w.u8(static_cast<uint8_t>(n.end));
     }
 
+    const std::string bytes = body.str();
+
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        GLIFS_RECOVERABLE("checkpoint: cannot write ", path);
+    out.write(kMagic, sizeof(kMagic));
+    Writer hdr(out);
+    hdr.u32(kVersion);
+    hdr.u32(crc32(bytes));
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
     out.flush();
     if (!out)
         GLIFS_RECOVERABLE("checkpoint: write to ", path, " failed");
@@ -275,12 +289,25 @@ EngineCheckpoint::load(const std::string &path)
         GLIFS_RECOVERABLE("checkpoint: ", path,
                           " is not a glifs checkpoint");
     }
-    Reader r(in);
-    uint32_t version = r.u32();
+    Reader hdr(in);
+    uint32_t version = hdr.u32();
     if (version != kVersion) {
         GLIFS_RECOVERABLE("checkpoint: version ", version,
                           " unsupported (expected ", kVersion, ")");
     }
+    uint32_t wantCrc = hdr.u32();
+
+    // Slurp and verify the body before parsing: a bit flip anywhere
+    // must become this one error, not a semi-plausible parse.
+    std::ostringstream slurp;
+    slurp << in.rdbuf();
+    const std::string bytes = slurp.str();
+    if (crc32(bytes) != wantCrc)
+        GLIFS_RECOVERABLE("checkpoint: ", path,
+                          " failed its integrity check (corrupt or "
+                          "truncated body)");
+    std::istringstream bodyIn(bytes);
+    Reader r(bodyIn);
 
     EngineCheckpoint c;
     c.fingerprint = r.u64();
@@ -365,8 +392,8 @@ EngineCheckpoint::load(const std::string &path)
 
     CheckpointStats &st = ckptStats();
     ++st.loads;
-    const auto pos = in.tellg();
-    st.bytesRead.set(pos > 0 ? static_cast<double>(pos) : 0.0);
+    st.bytesRead.set(static_cast<double>(sizeof(kMagic) + 8 +
+                                         bytes.size()));
     st.loadSeconds.set(std::chrono::duration<double>(
                            std::chrono::steady_clock::now() - t0)
                            .count());

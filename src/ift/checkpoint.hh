@@ -10,11 +10,13 @@
  * and netlist reproduces the uninterrupted run bit-for-bit on the
  * EngineResult counters and violations.
  *
- * Format: magic "GLFSCKPT", a little-endian version word, a
- * (image, layout) fingerprint, then the length-prefixed sections.
- * Loading rejects bad magic, unknown versions, truncated files and
- * fingerprint mismatches with RecoverableError — callers are expected
- * to fall back to a fresh run.
+ * Format: magic "GLFSCKPT", a little-endian version word, a CRC-32 of
+ * the body, then the body: a (image, layout) fingerprint and the
+ * length-prefixed sections. Loading verifies the CRC before parsing
+ * anything, so bad magic, unknown versions, truncation and arbitrary
+ * bit flips all surface as one RecoverableError — callers are expected
+ * to fall back to a fresh run, never to crash or trust a corrupt
+ * snapshot.
  */
 
 #ifndef GLIFS_IFT_CHECKPOINT_HH
@@ -38,7 +40,8 @@ namespace glifs
 /** A serializable snapshot of a paused analysis. */
 struct EngineCheckpoint
 {
-    static constexpr uint32_t kVersion = 1;
+    /** v2 added the whole-body CRC-32 after the version word. */
+    static constexpr uint32_t kVersion = 2;
 
     /** Identity of the (program image, symbolic layout) pair. */
     uint64_t fingerprint = 0;

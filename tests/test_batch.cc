@@ -10,21 +10,27 @@
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/wait.h>
+#include <unistd.h>
+#include <utime.h>
 
 #include <chrono>
 #include <cstdlib>
+#include <ctime>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <sstream>
 
+#include "base/faultfs.hh"
 #include "base/hash.hh"
 #include "base/logging.hh"
 #include "base/stats.hh"
 #include "base/version.hh"
 #include "batch/cache.hh"
+#include "batch/journal.hh"
 #include "batch/manifest.hh"
 #include "batch/retry.hh"
 #include "batch/runner.hh"
@@ -72,6 +78,16 @@ readFile(const std::string &path)
     std::ostringstream oss;
     oss << in.rdbuf();
     return oss.str();
+}
+
+/** Backdate @p path's mtime past the stale-temp-sweep threshold. */
+void
+ageFile(const std::string &path)
+{
+    const std::time_t old =
+        std::time(nullptr) - 2 * kStaleTmpSeconds;
+    struct utimbuf times = {old, old};
+    ASSERT_EQ(::utime(path.c_str(), &times), 0) << path;
 }
 
 /** Run a shell command; returns its exit code (-1 on abnormal end). */
@@ -287,17 +303,33 @@ TEST(ResultCacheTest, FailedStoreWarnsAndCountsInsteadOfDying)
     EXPECT_GE(after, before + 1.0);
 }
 
-TEST(ResultCacheTest, OpenSweepsStaleTempFiles)
+TEST(ResultCacheTest, OpenSweepsOnlyAgedTempFiles)
 {
     std::string dir = tempDir("cache_sweep");
     const std::string cdir = dir + "/c";
     ::mkdir(cdir.c_str(), 0755);
+    {
+        ResultCache seed(cdir);
+        seed.store("bbbb", "{\"verdict\": \"secure\"}");
+    }
+    // An *aged* temp file is dead-writer debris; a *fresh* one may
+    // belong to a live concurrent writer mid-publish and must
+    // survive the sweep. (Created after the seed cache above so its
+    // open() sweep doesn't collect them first.)
     writeFile(cdir + "/aaaa.json.tmp.12345", "torn half-write");
-    writeFile(cdir + "/bbbb.json", "{\"verdict\": \"secure\"}");
+    ageFile(cdir + "/aaaa.json.tmp.12345");
+    writeFile(cdir + "/ffff.json.tmp.999", "live concurrent write");
 
+    const double before = stats::Registry::instance().snapshot().value(
+        "batch.cache_tmp_swept");
     ResultCache cache(cdir);
     EXPECT_FALSE(
         std::filesystem::exists(cdir + "/aaaa.json.tmp.12345"));
+    EXPECT_TRUE(
+        std::filesystem::exists(cdir + "/ffff.json.tmp.999"));
+    EXPECT_GE(stats::Registry::instance().snapshot().value(
+                  "batch.cache_tmp_swept"),
+              before + 1.0);
     // Published entries are untouched.
     auto hit = cache.lookup("bbbb");
     ASSERT_TRUE(hit.has_value());
@@ -305,8 +337,296 @@ TEST(ResultCacheTest, OpenSweepsStaleTempFiles)
 
     // A disabled cache must not touch the directory at all.
     writeFile(cdir + "/cccc.json.tmp.777", "torn");
+    ageFile(cdir + "/cccc.json.tmp.777");
     ResultCache off(cdir, false);
     EXPECT_TRUE(std::filesystem::exists(cdir + "/cccc.json.tmp.777"));
+}
+
+TEST(ResultCacheTest, CorruptEntriesAreCleanMisses)
+{
+    std::string dir = tempDir("cache_corrupt");
+    ResultCache cache(dir + "/c");
+    const std::string report = "{\"verdict\": \"violations\"}";
+    ASSERT_TRUE(cache.store("feed", report));
+    ASSERT_TRUE(cache.lookup("feed").has_value());
+
+    const std::string path = cache.entryPath("feed");
+    const double before = stats::Registry::instance().snapshot().value(
+        "batch.cache_integrity_misses");
+
+    // Bit-flip one payload byte: checksum mismatch, evicted, miss.
+    std::string blob = readFile(path);
+    blob[blob.size() - 3] ^= 0x40;
+    writeFile(path, blob);
+    EXPECT_FALSE(cache.lookup("feed").has_value());
+    EXPECT_FALSE(std::filesystem::exists(path));
+
+    // Truncated mid-payload: size mismatch, miss.
+    ASSERT_TRUE(cache.store("feed", report));
+    blob = readFile(path);
+    writeFile(path, blob.substr(0, blob.size() - 5));
+    EXPECT_FALSE(cache.lookup("feed").has_value());
+
+    // A pre-integrity (headerless) legacy entry reads as a miss too:
+    // re-running the job is safe, trusting unverifiable bytes is not.
+    writeFile(path, report);
+    EXPECT_FALSE(cache.lookup("feed").has_value());
+
+    // Every byte of payload fuzzing above was a *miss*, never a
+    // crash, and each eviction was counted.
+    EXPECT_GE(stats::Registry::instance().snapshot().value(
+                  "batch.cache_integrity_misses"),
+              before + 3.0);
+
+    // A fresh store repairs the slot.
+    ASSERT_TRUE(cache.store("feed", report));
+    auto hit = cache.lookup("feed");
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, report);
+}
+
+// ---------------------------------------------------------------------
+// Syscall fault injection (src/base/faultfs.hh).
+// ---------------------------------------------------------------------
+
+/** Fault plans are process-global; never leak one into other tests. */
+class FaultFsTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { faultfs::clearPlan(); }
+};
+
+TEST_F(FaultFsTest, InjectsChosenErrnoOnNthCallOnly)
+{
+    std::string dir = tempDir("faultfs_errno");
+    std::string path = dir + "/f";
+    const double before = stats::Registry::instance().snapshot().value(
+        "batch.fault_injected");
+
+    faultfs::setPlan("write:2:ENOSPC");
+    int fd = faultfs::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+    ASSERT_GE(fd, 0);
+    EXPECT_EQ(faultfs::write(fd, "aa", 2), 2);    // call 1: clean
+    errno = 0;
+    EXPECT_EQ(faultfs::write(fd, "bb", 2), -1);   // call 2: injected
+    EXPECT_EQ(errno, ENOSPC);
+    EXPECT_EQ(faultfs::write(fd, "cc", 2), 2);    // call 3: clean
+    ::close(fd);
+
+    EXPECT_EQ(readFile(path), "aacc");
+    EXPECT_GE(stats::Registry::instance().snapshot().value(
+                  "batch.fault_injected"),
+              before + 1.0);
+}
+
+TEST_F(FaultFsTest, InjectedShortWriteTearsAndSurfaces)
+{
+    std::string dir = tempDir("faultfs_short");
+    std::string path = dir + "/f";
+    faultfs::setPlan("write:1:short");
+    int fd = faultfs::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+    ASSERT_GE(fd, 0);
+    std::string buf(100, 'x');
+    // writeFull must not retry past the injected tear: the caller has
+    // to see the failure, with the partial bytes durably on disk.
+    EXPECT_EQ(faultfs::writeFull(fd, buf.data(), buf.size()), -1);
+    ::close(fd);
+    const std::string written = readFile(path);
+    EXPECT_GT(written.size(), 0u);
+    EXPECT_LT(written.size(), buf.size());
+}
+
+TEST_F(FaultFsTest, CrashActionDiesAtTheSyscallBoundary)
+{
+    std::string dir = tempDir("faultfs_crash");
+    std::string path = dir + "/f";
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: the second write must never execute.
+        faultfs::setPlan("write:2:crash");
+        int fd = faultfs::open(path.c_str(), O_WRONLY | O_CREAT,
+                               0644);
+        faultfs::write(fd, "one", 3);
+        faultfs::write(fd, "two", 3);
+        _exit(0); // unreachable when injection works
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 137);
+    EXPECT_EQ(readFile(path), "one");
+}
+
+TEST_F(FaultFsTest, MalformedPlansAreFatal)
+{
+    EXPECT_THROW(faultfs::setPlan("bogus:1:ENOSPC"), FatalError);
+    EXPECT_THROW(faultfs::setPlan("write:0:ENOSPC"), FatalError);
+    EXPECT_THROW(faultfs::setPlan("write:1:EWHATEVER"), FatalError);
+    EXPECT_THROW(faultfs::setPlan("write:1"), FatalError);
+    EXPECT_THROW(faultfs::setPlan("fork:1:short"), FatalError);
+}
+
+TEST_F(FaultFsTest, ClearedPlanIsPassthrough)
+{
+    std::string dir = tempDir("faultfs_clear");
+    std::string path = dir + "/f";
+    faultfs::setPlan("write:1:EIO");
+    faultfs::clearPlan();
+    int fd = faultfs::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+    ASSERT_GE(fd, 0);
+    EXPECT_EQ(faultfs::writeFull(fd, "ok", 2), 2);
+    ::close(fd);
+    EXPECT_EQ(readFile(path), "ok");
+}
+
+// ---------------------------------------------------------------------
+// The write-ahead batch journal (src/batch/journal.hh).
+// ---------------------------------------------------------------------
+
+JobOutcome
+sampleOutcome(const std::string &name, int code)
+{
+    JobOutcome o;
+    o.name = name;
+    o.verdict = code == 1 ? "violations" : "secure";
+    o.exitCode = code;
+    o.cache = CacheStatus::Miss;
+    o.attempts = 2;
+    o.resumed = true;
+    o.wallSeconds = 1.25;
+    o.violationCount = code == 1 ? 3 : 0;
+    o.violationsJson = code == 1 ? "[{\"kind\": \"direct\"}]" : "[]";
+    o.detail = "sample detail";
+    return o;
+}
+
+TEST(BatchJournalTest, RoundTripsOutcomes)
+{
+    std::string dir = tempDir("journal_rt");
+    std::string path = dir + "/batch.journal";
+    {
+        BatchJournal j = BatchJournal::create(path, "fp-abc");
+        ASSERT_TRUE(j.enabled());
+        j.jobStarted(0, "job-a", "key-a");
+        j.jobStarted(1, "job-b", "key-b");
+        j.cachePublished(0, "key-a");
+        j.jobFinished(0, sampleOutcome("job-a", 0));
+        j.jobFinished(1, sampleOutcome("job-b", 1));
+    }
+    BatchJournal::Replay r = BatchJournal::replay(path);
+    EXPECT_FALSE(r.torn);
+    EXPECT_EQ(r.fingerprint, "fp-abc");
+    EXPECT_EQ(r.records, 6u); // manifest + 2 started + publish + 2 done
+    ASSERT_EQ(r.finished.size(), 2u);
+    const JobOutcome &a = r.finished.at(0);
+    EXPECT_EQ(a.name, "job-a");
+    EXPECT_EQ(a.verdict, "secure");
+    EXPECT_EQ(a.exitCode, 0);
+    EXPECT_EQ(a.attempts, 2u);
+    EXPECT_TRUE(a.resumed);
+    EXPECT_DOUBLE_EQ(a.wallSeconds, 1.25);
+    EXPECT_EQ(a.detail, "sample detail");
+    const JobOutcome &b = r.finished.at(1);
+    EXPECT_EQ(b.verdict, "violations");
+    EXPECT_EQ(b.violationCount, 3u);
+    EXPECT_EQ(b.violationsJson, "[{\"kind\": \"direct\"}]");
+}
+
+TEST(BatchJournalTest, TornTailTruncatesToLastValidRecord)
+{
+    std::string dir = tempDir("journal_torn");
+    std::string path = dir + "/batch.journal";
+    {
+        BatchJournal j = BatchJournal::create(path, "fp");
+        j.jobFinished(0, sampleOutcome("done", 0));
+        j.jobFinished(1, sampleOutcome("torn", 0));
+    }
+    // Chop bytes off the final record: exactly what a crash mid-write
+    // leaves behind. The valid prefix must replay.
+    std::string blob = readFile(path);
+    writeFile(path, blob.substr(0, blob.size() - 7));
+    BatchJournal::Replay r = BatchJournal::replay(path);
+    EXPECT_TRUE(r.torn);
+    ASSERT_EQ(r.finished.size(), 1u);
+    EXPECT_EQ(r.finished.at(0).name, "done");
+
+    // Trailing garbage after valid records is equally survivable.
+    writeFile(path, blob + "\x03garbage");
+    r = BatchJournal::replay(path);
+    EXPECT_TRUE(r.torn);
+    EXPECT_EQ(r.finished.size(), 2u);
+}
+
+TEST(BatchJournalTest, BitFlipIsCaughtByTheRecordCrc)
+{
+    std::string dir = tempDir("journal_flip");
+    std::string path = dir + "/batch.journal";
+    {
+        BatchJournal j = BatchJournal::create(path, "fp");
+        j.jobFinished(0, sampleOutcome("ok", 0));
+        j.jobFinished(1, sampleOutcome("flipped", 1));
+    }
+    std::string blob = readFile(path);
+    blob[blob.size() - 10] ^= 0x01;
+    writeFile(path, blob);
+    BatchJournal::Replay r = BatchJournal::replay(path);
+    EXPECT_TRUE(r.torn);
+    // The flipped record (and anything after) is gone; the prefix
+    // survives. Crucially: job 1's corrupt outcome is NOT replayed.
+    ASSERT_EQ(r.finished.size(), 1u);
+    EXPECT_EQ(r.finished.at(0).name, "ok");
+}
+
+TEST(BatchJournalTest, MissingOrForeignFilesReplayNothing)
+{
+    std::string dir = tempDir("journal_missing");
+    BatchJournal::Replay r =
+        BatchJournal::replay(dir + "/nonexistent");
+    EXPECT_TRUE(r.torn);
+    EXPECT_EQ(r.records, 0u);
+    EXPECT_TRUE(r.finished.empty());
+
+    std::string alien = dir + "/alien";
+    writeFile(alien, "this is not a journal at all");
+    r = BatchJournal::replay(alien);
+    EXPECT_TRUE(r.torn);
+    EXPECT_TRUE(r.finished.empty());
+}
+
+TEST(BatchJournalTest, SelfDisablesOnInjectedWriteFailure)
+{
+    std::string dir = tempDir("journal_fault");
+    std::string path = dir + "/batch.journal";
+    const double before = stats::Registry::instance().snapshot().value(
+        "batch.journal_write_failures");
+    // Header + manifest record are writes 1-2; the first jobFinished
+    // hits the injected ENOSPC and must disable the journal, not
+    // abort the batch.
+    faultfs::setPlan("write:3:ENOSPC");
+    BatchJournal j = BatchJournal::create(path, "fp");
+    ASSERT_TRUE(j.enabled());
+    j.jobFinished(0, sampleOutcome("doomed", 0));
+    EXPECT_FALSE(j.enabled());
+    j.jobFinished(1, sampleOutcome("ignored", 0)); // no-op, no crash
+    faultfs::clearPlan();
+    EXPECT_GE(stats::Registry::instance().snapshot().value(
+                  "batch.journal_write_failures"),
+              before + 1.0);
+    // The journal written so far still replays its valid prefix.
+    BatchJournal::Replay r = BatchJournal::replay(path);
+    EXPECT_EQ(r.fingerprint, "fp");
+    EXPECT_TRUE(r.finished.empty());
+}
+
+TEST(BatchJournalTest, FingerprintTracksManifestContent)
+{
+    Manifest m1 = parseManifest("job a\n  workload mult\n", "");
+    Manifest m2 = parseManifest("job a\n  workload mult\n", "");
+    EXPECT_EQ(manifestFingerprint(m1), manifestFingerprint(m2));
+    Manifest m3 =
+        parseManifest("job a\n  workload mult\n  deadline 5\n", "");
+    EXPECT_NE(manifestFingerprint(m1), manifestFingerprint(m3));
 }
 
 // ---------------------------------------------------------------------
@@ -346,6 +666,36 @@ TEST(RetryLadderTest, EscalatesConfiguredBudgetsOnly)
     // Unset dimensions stay unset at every rung.
     EXPECT_EQ(third.maxStates, 0u);
     EXPECT_EQ(third.maxRssMb, 0u);
+}
+
+TEST(RetryLadderTest, BackoffJitterIsDeterministicAndBounded)
+{
+    RetryConfig cfg;
+    cfg.backoffSeconds = 2.0;
+    cfg.backoffCapSeconds = 20.0;
+    RetryLadder ladder(cfg);
+
+    // Never delay the first attempt; never delay when backoff is off.
+    EXPECT_EQ(ladder.backoffFor(1, 42), 0.0);
+    RetryLadder off{RetryConfig{}};
+    EXPECT_EQ(off.backoffFor(3, 42), 0.0);
+
+    // Deterministic per seed (stable tests, stable resumed batches),
+    // decorrelated across seeds (no thundering herd), and always
+    // within [base, cap].
+    for (unsigned attempt = 2; attempt <= 6; ++attempt) {
+        double d1 = ladder.backoffFor(attempt, 42);
+        EXPECT_EQ(d1, ladder.backoffFor(attempt, 42));
+        EXPECT_GE(d1, cfg.backoffSeconds);
+        EXPECT_LE(d1, cfg.backoffCapSeconds);
+    }
+    int distinct = 0;
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+        if (ladder.backoffFor(2, seed) !=
+            ladder.backoffFor(2, seed + 100))
+            ++distinct;
+    }
+    EXPECT_GE(distinct, 6); // jitter actually spreads the fleet
 }
 
 TEST(RetryLadderTest, SaturatesInsteadOfOverflowing)
@@ -431,6 +781,63 @@ TEST(SchedulerTest, CallbackMaySubmitFollowUpWork)
     ASSERT_EQ(order.size(), 2u);
     EXPECT_EQ(order[0], 0u);
     EXPECT_EQ(order[1], 1u);
+}
+
+TEST(SchedulerTest, StallWatchdogEscalatesOnSilentWorker)
+{
+    std::string dir = tempDir("sched_stall");
+    ProcessScheduler sched(1);
+    // One line of output, then total silence: a wedged worker. The
+    // watchdog must SIGTERM it long before the 30s backstop.
+    ProcTask t = shellTask(1, "echo started; sleep 30");
+    t.outputPath = dir + "/stall.log";
+    t.stallTimeoutSeconds = 0.4;
+    t.killAfterSeconds = 30;
+    sched.submit(t);
+    ProcResult got;
+    sched.run([&](const ProcResult &r) { got = r; });
+    EXPECT_TRUE(got.stalled);
+    EXPECT_FALSE(got.killedOnTimeout);
+    EXPECT_FALSE(got.crashed);
+    EXPECT_LT(got.wallSeconds, 10.0);
+}
+
+TEST(SchedulerTest, StallWatchdogSparesHeartbeatingWorkers)
+{
+    std::string dir = tempDir("sched_heartbeat");
+    ProcessScheduler sched(1);
+    // Slower than the stall timeout overall, but the log keeps
+    // growing — a live worker must never be escalated on.
+    ProcTask t = shellTask(
+        1, "for i in 1 2 3 4 5 6; do echo beat; sleep 0.2; done");
+    t.outputPath = dir + "/beat.log";
+    t.stallTimeoutSeconds = 0.6;
+    sched.submit(t);
+    ProcResult got;
+    sched.run([&](const ProcResult &r) { got = r; });
+    EXPECT_FALSE(got.stalled);
+    EXPECT_EQ(got.exitCode, 0);
+}
+
+TEST(SchedulerTest, StartDelayHoldsTaskWithoutBlockingOthers)
+{
+    using Clock = std::chrono::steady_clock;
+    ProcessScheduler sched(2);
+    ProcTask delayed = shellTask(1, "exit 0");
+    delayed.startDelaySeconds = 0.5;
+    sched.submit(delayed);
+    sched.submit(shellTask(2, "exit 0"));
+    std::vector<uint64_t> order;
+    Clock::time_point start = Clock::now();
+    sched.run([&](const ProcResult &r) { order.push_back(r.id); });
+    double wall =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    // The ready task finished first even though the delayed one sat
+    // at the head of the queue; the delayed one still ran.
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 2u);
+    EXPECT_EQ(order[1], 1u);
+    EXPECT_GE(wall, 0.5);
 }
 
 // ---------------------------------------------------------------------
@@ -634,6 +1041,62 @@ TEST(BatchEndToEndTest, ReportJsonCarriesTheContract)
         EXPECT_NE(json.find(needle), std::string::npos)
             << "missing " << needle << " in:\n" << json;
     }
+}
+
+TEST(BatchEndToEndTest, ResumeBatchReportsJournaledJobsWithoutRerun)
+{
+    std::string dir = tempDir("e2e_resume");
+    Manifest m =
+        parseManifest("batch resume check\n"
+                      "job mult\n    workload mult\n"
+                      "job thold\n    workload tHold\n");
+    BatchOptions opts = fleetOptions(dir);
+    opts.noCache = true; // isolate journal resume from cache hits
+    opts.workDir = dir + "/work";
+
+    BatchReport first = runBatch(m, opts);
+    ASSERT_EQ(first.exitCode(), 1);
+    std::string journal = dir + "/work/batch.journal";
+    ASSERT_TRUE(std::filesystem::exists(journal));
+
+    // "Crash recovery": resuming a fully-journaled run re-runs
+    // nothing (attempts stay as recorded) and reproduces the report.
+    opts.resumeJournalPath = journal;
+    BatchReport second = runBatch(m, opts);
+    ASSERT_EQ(second.jobs.size(), 2u);
+    EXPECT_EQ(second.exitCode(), 1);
+    for (size_t i = 0; i < second.jobs.size(); ++i) {
+        EXPECT_EQ(second.jobs[i].name, first.jobs[i].name);
+        EXPECT_EQ(second.jobs[i].verdict, first.jobs[i].verdict);
+        EXPECT_EQ(second.jobs[i].exitCode, first.jobs[i].exitCode);
+        EXPECT_EQ(second.jobs[i].attempts, first.jobs[i].attempts);
+        EXPECT_EQ(second.jobs[i].violationCount,
+                  first.jobs[i].violationCount);
+    }
+    // The resumed run ran no workers, so it is near-instant.
+    EXPECT_LT(second.wallSeconds, first.wallSeconds * 0.5);
+
+    // A second resume works too: the resumed run re-journaled the
+    // replayed outcomes into its own journal.
+    BatchReport third = runBatch(m, opts);
+    EXPECT_EQ(third.exitCode(), 1);
+    EXPECT_EQ(third.jobs[1].verdict, "violations");
+}
+
+TEST(BatchEndToEndTest, ResumeRefusesAForeignManifestsJournal)
+{
+    std::string dir = tempDir("e2e_resume_foreign");
+    BatchOptions opts = fleetOptions(dir);
+    opts.noCache = true;
+    opts.workDir = dir + "/work";
+    Manifest m1 = parseManifest("job mult\n    workload mult\n");
+    runBatch(m1, opts);
+
+    // Same journal, different fleet: silently mixing results from
+    // two manifests must be impossible.
+    Manifest m2 = parseManifest("job tea8\n    workload tea8\n");
+    opts.resumeJournalPath = dir + "/work/batch.journal";
+    EXPECT_THROW(runBatch(m2, opts), FatalError);
 }
 
 TEST(BatchCliTest, BadManifestExitsUsage)

@@ -31,7 +31,8 @@
  *   --max-states N     conservative-state-table entry budget
  *   --checkpoint FILE  write a resumable snapshot when a hard budget,
  *                      the deadline, or SIGINT/SIGTERM stops the run
- *   --resume FILE      continue a snapshotted run (same firmware)
+ *   --resume FILE      continue a snapshotted run (same firmware); an
+ *                      unusable snapshot warns and runs fresh
  *   --no-retry         disable the *-logic retry after degradation
  *
  * Observability (see docs/OBSERVABILITY.md):
@@ -54,7 +55,7 @@
  *   1  violations found
  *   2  degraded / unknown: not verified secure within the budgets
  *   3  usage error or unusable input (bad flags, bad policy file,
- *      unassemblable firmware, unusable checkpoint)
+ *      unassemblable firmware)
  */
 
 #include <csignal>
@@ -345,14 +346,23 @@ runAudit(const Options &opts)
     EngineCheckpoint resumed;
     const EngineCheckpoint *resume = nullptr;
     if (!opts.resumePath.empty()) {
-        resumed = EngineCheckpoint::load(opts.resumePath);
-        resume = &resumed;
-        std::printf("resuming from %s (%llu cycles, %zu frontier "
-                    "states)\n\n",
-                    opts.resumePath.c_str(),
-                    static_cast<unsigned long long>(
-                        resumed.totalCycles),
-                    resumed.frontier.size());
+        // An unusable checkpoint (corrupt, truncated, version skew)
+        // degrades to a fresh run rather than failing: the snapshot
+        // only ever saved work, so losing it must only cost work.
+        try {
+            resumed = EngineCheckpoint::load(opts.resumePath);
+            resume = &resumed;
+            std::printf("resuming from %s (%llu cycles, %zu frontier "
+                        "states)\n\n",
+                        opts.resumePath.c_str(),
+                        static_cast<unsigned long long>(
+                            resumed.totalCycles),
+                        resumed.frontier.size());
+        } catch (const RecoverableError &e) {
+            std::fprintf(stderr,
+                         "glifs_audit: %s; starting a fresh run\n",
+                         e.what());
+        }
     }
 
     EngineResult result =
@@ -537,12 +547,13 @@ main(int argc, char **argv)
         usage();
 
     opts.engineCfg.checkpointOnStop = !opts.checkpointPath.empty();
-    if (opts.engineCfg.checkpointOnStop) {
-        // A killed run should still write its snapshot: SIGINT and
-        // SIGTERM request a governed stop instead of dying outright.
-        std::signal(SIGINT, onStopSignal);
-        std::signal(SIGTERM, onStopSignal);
-    }
+    // SIGINT and SIGTERM always request a governed stop instead of
+    // dying outright: with --checkpoint the run snapshots its state
+    // (which is why the batch stall watchdog sends SIGTERM first),
+    // and even without one the run exits through the normal reporting
+    // path with a clean degraded verdict.
+    std::signal(SIGINT, onStopSignal);
+    std::signal(SIGTERM, onStopSignal);
 
     if (opts.progressSeconds > 0) {
         // The heartbeat fires from the governor's per-cycle poll

@@ -17,9 +17,17 @@
  *   --audit-bin PATH the glifs_audit worker binary (default: next to
  *                    this executable)
  *   --quiet          suppress per-job progress lines
+ *   --journal FILE   write-ahead batch journal location
+ *                    (default <work-dir>/batch.journal)
+ *   --resume-batch FILE  replay FILE from a crashed run: finished
+ *                    jobs are reported from the journal, only the
+ *                    rest run (docs/ROBUSTNESS.md, "Crash recovery")
+ *   --stall-timeout SECS  SIGTERM (then SIGKILL) workers whose log
+ *                    stops growing for SECS (0 = off, the default)
  *
  * The manifest format, cache key definition, retry ladder and report
- * schema are specified in docs/BATCH.md.
+ * schema are specified in docs/BATCH.md; crash recovery and the fault
+ * matrix in docs/ROBUSTNESS.md.
  *
  * Exit code: the worst worker exit code across the fleet (the same
  * 0/1/2/3 contract as glifs_audit), or 3 for a bad manifest/flags.
@@ -50,7 +58,10 @@ usage()
         "usage: glifs_batch <manifest> [--jobs N] [--report FILE]\n"
         "                   [--cache-dir DIR] [--no-cache] "
         "[--work-dir DIR]\n"
-        "                   [--audit-bin PATH] [--quiet]\n");
+        "                   [--audit-bin PATH] [--quiet] "
+        "[--journal FILE]\n"
+        "                   [--resume-batch FILE] "
+        "[--stall-timeout SECS]\n");
     std::exit(kExitUsage);
 }
 
@@ -103,7 +114,16 @@ main(int argc, char **argv)
             opts.auditBinary = next();
         else if (arg == "--quiet")
             opts.verbose = false;
-        else if (!arg.empty() && arg[0] == '-')
+        else if (arg == "--journal")
+            opts.journalPath = next();
+        else if (arg == "--resume-batch")
+            opts.resumeJournalPath = next();
+        else if (arg == "--stall-timeout") {
+            std::optional<int64_t> v = parseInt(next());
+            if (!v || *v < 0)
+                usage();
+            opts.stallTimeoutSeconds = static_cast<double>(*v);
+        } else if (!arg.empty() && arg[0] == '-')
             usage();
         else if (manifestPath.empty())
             manifestPath = arg;
