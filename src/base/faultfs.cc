@@ -27,6 +27,9 @@ enum class Op : uint8_t
     Unlink,
     Fork,
     Waitpid,
+    Pipe,
+    Read,
+    Poll,
     Count_,
 };
 
@@ -34,6 +37,7 @@ constexpr size_t kOpCount = static_cast<size_t>(Op::Count_);
 
 const char *const kOpNames[kOpCount] = {
     "open", "write", "rename", "fsync", "unlink", "fork", "waitpid",
+    "pipe", "read", "poll",
 };
 
 /** What an armed clause does when its call count comes up. */
@@ -88,6 +92,7 @@ errnoByName(const std::string &name)
     if (name == "EMFILE") return EMFILE;
     if (name == "ENOMEM") return ENOMEM;
     if (name == "EACCES") return EACCES;
+    if (name == "EPIPE") return EPIPE;
     return -1;
 }
 
@@ -121,9 +126,9 @@ parsePlan(const std::string &plan)
         if (f[2] == "crash") {
             c.action = Action::Crash;
         } else if (f[2] == "short") {
-            if (c.op != Op::Write)
+            if (c.op != Op::Write && c.op != Op::Read)
                 GLIFS_FATAL("fault plan: 'short' only applies to "
-                            "write");
+                            "write and read");
             c.action = Action::Short;
         } else {
             int e = errnoByName(f[2]);
@@ -281,6 +286,38 @@ waitpid(pid_t pid, int *status, int options)
         return -1;
     }
     return ::waitpid(pid, status, options);
+}
+
+int
+pipe2(int fds[2], int flags)
+{
+    if (const Clause *c = arm(Op::Pipe)) {
+        errno = c->errnoValue;
+        return -1;
+    }
+    return ::pipe2(fds, flags);
+}
+
+ssize_t
+read(int fd, void *buf, size_t count)
+{
+    if (const Clause *c = arm(Op::Read)) {
+        if (c->action == Action::Short)
+            return ::read(fd, buf, count > 1 ? count / 2 : count);
+        errno = c->errnoValue;
+        return -1;
+    }
+    return ::read(fd, buf, count);
+}
+
+int
+poll(struct pollfd *fds, nfds_t nfds, int timeoutMs)
+{
+    if (const Clause *c = arm(Op::Poll)) {
+        errno = c->errnoValue;
+        return -1;
+    }
+    return ::poll(fds, nfds, timeoutMs);
 }
 
 ssize_t

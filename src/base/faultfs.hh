@@ -17,10 +17,10 @@
  *     kill -9 at exactly that syscall boundary).
  *
  * Plan grammar: comma-separated `op:N:action` clauses, where
- * `op` ∈ {open, write, rename, fsync, fork, waitpid, unlink},
- * `N` >= 1 counts calls of that op process-wide, and `action` is
- * `crash`, `short` (write only), or an errno name from
- * {ENOSPC, EAGAIN, EINTR, EIO, EMFILE, ENOMEM, EACCES}.
+ * `op` ∈ {open, write, rename, fsync, fork, waitpid, unlink, pipe,
+ * read, poll}, `N` >= 1 counts calls of that op process-wide, and
+ * `action` is `crash`, `short` (write/read only), or an errno name
+ * from {ENOSPC, EAGAIN, EINTR, EIO, EMFILE, ENOMEM, EACCES, EPIPE}.
  *
  * Every injected fault increments `batch.fault_injected`; the same
  * guard-the-guards idea as tests/test_fault_injection.cc, extended
@@ -30,6 +30,7 @@
 #ifndef GLIFS_BASE_FAULTFS_HH
 #define GLIFS_BASE_FAULTFS_HH
 
+#include <poll.h>
 #include <sys/types.h>
 
 #include <string>
@@ -66,6 +67,9 @@ int fsync(int fd);
 int unlink(const char *path);
 pid_t fork();
 pid_t waitpid(pid_t pid, int *status, int options);
+int pipe2(int fds[2], int flags);
+ssize_t read(int fd, void *buf, size_t count);
+int poll(struct pollfd *fds, nfds_t nfds, int timeoutMs);
 
 /**
  * Write all of @p count bytes, retrying genuine short writes from the

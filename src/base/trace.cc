@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "base/logging.hh"
+#include "base/stats.hh"
 #include "base/strutil.hh"
 
 namespace glifs
@@ -112,10 +113,18 @@ Tracer::nowUs() const
 void
 Tracer::push(Event &&e)
 {
-    if (count == ring.size())
+    if (count == ring.size()) {
         ++droppedCount;
-    else
+        // Surfaced in the run report's stats snapshot, so a trace
+        // whose ring wrapped is self-describing (docs/OBSERVABILITY.md).
+        static stats::Scalar dropped{
+            "trace.dropped_events",
+            "trace events overwritten because the ring buffer "
+            "wrapped (oldest first)"};
+        ++dropped;
+    } else {
         ++count;
+    }
     ring[next] = std::move(e);
     next = (next + 1) % ring.size();
 }

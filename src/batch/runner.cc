@@ -12,7 +12,12 @@
 #include <map>
 #include <sstream>
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "base/faultfs.hh"
 #include "base/logging.hh"
+#include "base/stats.hh"
 #include "base/strutil.hh"
 #include "base/version.hh"
 #include "batch/cache.hh"
@@ -228,11 +233,216 @@ struct JobRun
     std::string firmwareFile;   ///< what the worker is handed
     std::string checkpointFile;
     std::string reportFile;     ///< per-attempt run report (rewritten)
+    std::string traceFile;      ///< per-attempt worker trace (merge input)
     JobOutcome outcome;
     unsigned attempt = 0;       ///< attempts launched so far
     bool fromJournal = false;   ///< outcome replayed; never ran here
     bool resumeCheckpoint = false; ///< crashed run left a checkpoint
+
+    // Live view fed by worker telemetry (the status file's payload).
+    std::string state = "pending"; ///< pending|running|finished|cached|journal
+    uint64_t heartbeats = 0;
+    uint64_t cycles = 0;
+    double cyclesPerSec = 0;
+    uint64_t frontierStates = 0;
+    uint64_t trackedStates = 0;
+    uint64_t rssBytes = 0;
+    double budgetUsed = 0;
+    /** The worker's most recent stats snapshot (name -> value). */
+    std::map<std::string, double> lastStats;
 };
+
+/** Runner-side observability counters (docs/OBSERVABILITY.md). */
+struct RunnerStats
+{
+    stats::Scalar statusWrites{"batch.status_writes",
+                               "status-file snapshots published "
+                               "(atomic temp + rename)"};
+    stats::Scalar statusWriteFailures{"batch.status_write_failures",
+                                      "status-file publishes that "
+                                      "failed (stale file left in "
+                                      "place)"};
+    stats::Scalar traceMergeInputs{"batch.trace_merge_inputs",
+                                   "per-worker trace files folded "
+                                   "into the merged batch trace"};
+};
+
+RunnerStats &
+runnerStats()
+{
+    static RunnerStats s;
+    return s;
+}
+
+/**
+ * The live `glifs.batch_status.v1` surface: one small JSON document,
+ * atomically republished (write temp, rename over) so a reader never
+ * sees a torn file. Republishing is throttled — heartbeats arrive per
+ * worker per 50-250ms, and rewriting the file for each would be pure
+ * churn — but lifecycle transitions always force a publish so "a job
+ * just finished" is immediately visible.
+ */
+class StatusPublisher
+{
+  public:
+    StatusPublisher(std::string path, const BatchReport &report,
+                    const std::vector<JobRun> &runs)
+        : path(std::move(path)), report(report), runs(runs)
+    {}
+
+    bool enabled() const { return !path.empty(); }
+
+    void
+    publish(bool force)
+    {
+        if (!enabled())
+            return;
+        const auto now = Clock::now();
+        if (!force && lastPublish.time_since_epoch().count() != 0 &&
+            std::chrono::duration<double>(now - lastPublish).count() <
+                kMinPeriodSeconds)
+            return;
+        lastPublish = now;
+        if (!writeAtomically(render()))
+            ++runnerStats().statusWriteFailures;
+        else
+            ++runnerStats().statusWrites;
+    }
+
+    static constexpr double kMinPeriodSeconds = 0.1;
+
+  private:
+    std::string
+    render() const
+    {
+        size_t running = 0;
+        size_t finished = 0;
+        uint64_t totalCycles = 0;
+        for (const JobRun &r : runs) {
+            if (r.state == "running")
+                ++running;
+            else if (r.state != "pending")
+                ++finished;
+            totalCycles += r.cycles;
+        }
+        std::ostringstream oss;
+        oss << "{\n"
+            << "  \"schema\": \"glifs.batch_status.v1\",\n"
+            << "  \"manifest\": " << jsonQuote(report.manifestName)
+            << ",\n"
+            << "  \"concurrency\": " << report.concurrency << ",\n"
+            << "  \"jobs_total\": " << runs.size() << ",\n"
+            << "  \"jobs_running\": " << running << ",\n"
+            << "  \"jobs_finished\": " << finished << ",\n"
+            << "  \"cycles_total\": " << totalCycles << ",\n"
+            << "  \"jobs\": [\n";
+        for (size_t i = 0; i < runs.size(); ++i) {
+            const JobRun &r = runs[i];
+            oss << "    {\"name\": " << jsonQuote(r.outcome.name)
+                << ", \"state\": " << jsonQuote(r.state)
+                << ", \"attempt\": " << r.attempt
+                << ", \"heartbeats\": " << r.heartbeats
+                << ", \"cycles\": " << r.cycles
+                << ", \"cycles_per_sec\": " << r.cyclesPerSec
+                << ", \"frontier\": " << r.frontierStates
+                << ", \"states\": " << r.trackedStates
+                << ", \"rss_bytes\": " << r.rssBytes
+                << ", \"budget_used\": " << r.budgetUsed;
+            if (r.state == "finished" || r.state == "cached" ||
+                r.state == "journal") {
+                oss << ", \"verdict\": " << jsonQuote(r.outcome.verdict)
+                    << ", \"exit_code\": " << r.outcome.exitCode;
+            }
+            oss << "}" << (i + 1 < runs.size() ? "," : "") << "\n";
+        }
+        oss << "  ]\n}\n";
+        return oss.str();
+    }
+
+    /** Temp + rename through faultfs (the journal/cache publish
+     *  idiom), so status publishing is crash-atomic and the fault
+     *  sweeps can exercise its failure paths. */
+    bool
+    writeAtomically(const std::string &doc) const
+    {
+        const std::string tmp = path + ".tmp";
+        int fd = faultfs::open(tmp.c_str(),
+                               O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd < 0)
+            return false;
+        bool ok = faultfs::writeFull(fd, doc.data(), doc.size()) ==
+                  static_cast<ssize_t>(doc.size());
+        ::close(fd);
+        if (ok)
+            ok = faultfs::rename(tmp.c_str(), path.c_str()) == 0;
+        if (!ok)
+            faultfs::unlink(tmp.c_str());
+        return ok;
+    }
+
+    std::string path;
+    const BatchReport &report;
+    const std::vector<JobRun> &runs;
+    Clock::time_point lastPublish{};
+};
+
+/**
+ * Merge the per-worker Chrome traces into one multi-process trace:
+ * each job becomes its own pid lane (pid = job index + 1) with a
+ * process_name metadata record, so Perfetto shows one named lane per
+ * job. Worker trace events are emitted one per line with a literal
+ * `"pid": 1`, which the merge rewrites — the same trusted-producer
+ * assumption the run-report field scanners make.
+ */
+void
+mergeTraces(const std::vector<JobRun> &runs, const std::string &outPath)
+{
+    std::ostringstream oss;
+    oss << "{\n  \"displayTimeUnit\": \"ms\",\n"
+        << "  \"traceEvents\": [\n";
+    bool first = true;
+    auto emit = [&](const std::string &line) {
+        if (!first)
+            oss << ",\n";
+        first = false;
+        oss << "    " << line;
+    };
+    for (size_t i = 0; i < runs.size(); ++i) {
+        const JobRun &run = runs[i];
+        if (run.traceFile.empty())
+            continue;
+        std::string doc = readFileIfAny(run.traceFile);
+        if (doc.empty())
+            continue;
+        ++runnerStats().traceMergeInputs;
+        const std::string pid = std::to_string(i + 1);
+        emit("{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " +
+             pid + ", \"tid\": 1, \"args\": {\"name\": " +
+             jsonQuote("job " + run.outcome.name) + "}}");
+        std::istringstream in(doc);
+        std::string line;
+        while (std::getline(in, line)) {
+            std::string t = trim(line);
+            if (t.empty() || t[0] != '{')
+                continue; // header/footer of the per-worker document
+            if (t.back() == ',')
+                t.pop_back();
+            size_t pos = t.find("\"pid\": 1");
+            if (pos == std::string::npos)
+                continue;
+            t.replace(pos, 8, "\"pid\": " + pid);
+            emit(t);
+        }
+    }
+    oss << "\n  ]\n}\n";
+
+    std::ofstream out(outPath);
+    if (!out) {
+        GLIFS_WARN("cannot write merged trace ", outPath);
+        return;
+    }
+    out << oss.str();
+}
 
 /** Per-job jitter seed: the first 16 hex digits of the cache key, so
  *  the backoff ladder is deterministic per job but fleet-decorrelated. */
@@ -312,8 +522,15 @@ BatchReport::json() const
             oss << ", \"detail\": " << jsonQuote(j.detail);
         oss << "}" << (i + 1 < jobs.size() ? "," : "") << "\n";
     }
-    oss << "  ]\n"
-        << "}\n";
+    oss << "  ],\n"
+        << "  \"worker_stats\": {";
+    bool firstStat = true;
+    for (const auto &[name, value] : workerStats) {
+        oss << (firstStat ? "\n" : ",\n") << "    "
+            << jsonQuote(name) << ": " << value;
+        firstStat = false;
+    }
+    oss << (firstStat ? "}\n" : "\n  }\n") << "}\n";
     return oss.str();
 }
 
@@ -395,6 +612,46 @@ runBatch(const Manifest &manifest, const BatchOptions &options)
     std::vector<JobRun> runs(manifest.jobs.size());
     ProcessScheduler sched(options.jobs);
 
+    StatusPublisher status(options.statusFilePath, report, runs);
+
+    // Live worker telemetry: heartbeats update the per-job progress
+    // view (and the status file), stats snapshots feed the batch-wide
+    // aggregation, lifecycle transitions force a status republish.
+    sched.setTelemetrySink([&](uint64_t id, const telemetry::Event &e) {
+        JobRun &run = runs[static_cast<size_t>(id)];
+        switch (e.type) {
+          case telemetry::EventType::Heartbeat:
+            ++run.heartbeats;
+            run.cycles = e.cycles;
+            run.cyclesPerSec = e.cyclesPerSec;
+            run.frontierStates = e.frontier;
+            run.trackedStates = e.states;
+            run.rssBytes = e.rssBytes;
+            run.budgetUsed = e.budgetUsed;
+            status.publish(false);
+            break;
+          case telemetry::EventType::StatsSnapshot:
+            run.lastStats.clear();
+            for (const auto &[name, value] : e.stats)
+                run.lastStats[name] = value;
+            break;
+          case telemetry::EventType::Lifecycle:
+            if (e.phase == "started") {
+                run.state = "running";
+                status.publish(true);
+            }
+            break;
+          case telemetry::EventType::BudgetUsage:
+            if (options.verbose) {
+                std::printf("[%s] budget: %s %s threshold (%s)\n",
+                            run.outcome.name.c_str(),
+                            e.resource.c_str(), e.severity.c_str(),
+                            e.detail.c_str());
+            }
+            break;
+        }
+    });
+
     // Fill one outcome from a worker/cached run report.
     auto applyReport = [](JobOutcome &out, const std::string &rep) {
         std::string verdict = jsonStringField(rep, "verdict");
@@ -460,11 +717,26 @@ runBatch(const Manifest &manifest, const BatchOptions &options)
             t.argv.push_back(flag.str());
             t.stallTimeoutSeconds = options.stallTimeoutSeconds;
         }
+        // Every worker streams telemetry back over the inherited pipe
+        // (the scheduler puts its write end on the contract fd).
+        t.telemetryPipe = true;
+        t.argv.push_back("--telemetry-fd");
+        t.argv.push_back(
+            std::to_string(ProcessScheduler::kTelemetryChildFd));
+        const std::string stem = workDir + "/" +
+                                 fileStem(idx, job.name) + ".attempt" +
+                                 std::to_string(run.attempt);
+        if (!options.traceMergePath.empty()) {
+            // The per-attempt trace becomes this job's lane in the
+            // merged batch trace; a retry replaces the earlier one.
+            run.traceFile = stem + ".trace.json";
+            t.argv.push_back("--trace-out");
+            t.argv.push_back(run.traceFile);
+        }
         t.startDelaySeconds =
             ladder.backoffFor(run.attempt, jitterSeed(run.key));
-        t.outputPath = workDir + "/" + fileStem(idx, job.name) +
-                       ".attempt" + std::to_string(run.attempt) +
-                       ".log";
+        t.outputPath = stem + ".log";
+        run.state = "running";
         sched.submit(std::move(t));
     };
 
@@ -485,6 +757,7 @@ runBatch(const Manifest &manifest, const BatchOptions &options)
             run.outcome = prior->second;
             run.outcome.name = job.name;
             run.fromJournal = true;
+            run.state = "journal";
             journal.jobFinished(static_cast<uint32_t>(i),
                                 run.outcome);
             if (options.verbose) {
@@ -497,6 +770,7 @@ runBatch(const Manifest &manifest, const BatchOptions &options)
 
         if (auto cached = cache.lookup(run.key)) {
             run.outcome.cache = CacheStatus::Hit;
+            run.state = "cached";
             run.outcome.verdict = "unknown-degraded";
             run.outcome.exitCode = 2;
             applyReport(run.outcome, *cached);
@@ -541,6 +815,10 @@ runBatch(const Manifest &manifest, const BatchOptions &options)
                            run.key);
         submitAttempt(i);
     }
+
+    // First snapshot before any worker reports: cache/journal
+    // verdicts and queued jobs are visible immediately.
+    status.publish(true);
 
     sched.run([&](const ProcResult &res) {
         size_t idx = static_cast<size_t>(res.id);
@@ -603,12 +881,28 @@ runBatch(const Manifest &manifest, const BatchOptions &options)
                                        run.key);
         }
         journal.jobFinished(static_cast<uint32_t>(idx), out);
+        run.state = "finished";
+        // Fold this worker's last stats sample into the fleet rollup.
+        for (const auto &[name, value] : run.lastStats)
+            report.workerStats[name] += value;
+        status.publish(true);
         if (options.verbose) {
             std::printf("[%s] %s (exit %d, %u attempt(s), %.2fs)\n",
                         out.name.c_str(), out.verdict.c_str(), code,
                         out.attempts, out.wallSeconds);
         }
     });
+
+    status.publish(true);
+
+    if (!options.traceMergePath.empty()) {
+        mergeTraces(runs, options.traceMergePath);
+        if (options.verbose) {
+            std::printf("merged batch trace written to %s (one pid "
+                        "lane per job; open in Perfetto)\n",
+                        options.traceMergePath.c_str());
+        }
+    }
 
     for (JobRun &run : runs)
         report.jobs.push_back(std::move(run.outcome));

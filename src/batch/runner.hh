@@ -9,6 +9,7 @@
 #ifndef GLIFS_BATCH_RUNNER_HH
 #define GLIFS_BATCH_RUNNER_HH
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,14 @@ struct BatchReport
     unsigned concurrency = 1;
     double wallSeconds = 0;
     std::vector<JobOutcome> jobs;
+    /**
+     * Worker stats aggregated over the fleet: each worker's last
+     * telemetry stats snapshot, summed across jobs by stat name.
+     * Empty when no telemetry arrived (workers too short-lived to
+     * heartbeat, or telemetry unavailable). Rendered as the report's
+     * "worker_stats" object.
+     */
+    std::map<std::string, double> workerStats;
 
     size_t cacheHits() const;
     /** Max worker exit code: the batch process exit code. */
@@ -87,9 +96,26 @@ struct BatchOptions
     /**
      * Stall watchdog (0 = off): workers whose log stops growing for
      * this many seconds get SIGTERM (checkpoint-then-exit), then
-     * SIGKILL. Enables the worker's `--progress` heartbeat.
+     * SIGKILL. Enables the worker's `--progress` heartbeat. Worker
+     * telemetry also feeds the watchdog: a job whose pipe still
+     * carries heartbeats is never presumed stalled.
      */
     double stallTimeoutSeconds = 0;
+    /**
+     * Live status surface ("" = off): a `glifs.batch_status.v1` JSON
+     * document atomically republished (temp + rename) on every worker
+     * telemetry batch and lifecycle transition, with per-job
+     * state/progress/cycle counts and batch rollups
+     * (docs/OBSERVABILITY.md, "Streaming batch status").
+     */
+    std::string statusFilePath;
+    /**
+     * Merged multi-process Chrome trace ("" = off): each worker runs
+     * with --trace-out, and after the batch the per-worker traces are
+     * merged into one trace_event JSON with one pid lane per job
+     * (open in Perfetto).
+     */
+    std::string traceMergePath;
 };
 
 /**

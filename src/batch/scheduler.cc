@@ -38,6 +38,23 @@ struct SchedulerStats
     stats::Scalar stallSigkill{"batch.stall_sigkill",
                                "stalled workers that ignored SIGTERM "
                                "and were SIGKILLed"};
+    stats::Scalar telemetryFrames{"batch.telemetry_frames",
+                                  "telemetry events decoded from "
+                                  "worker pipes"};
+    stats::Scalar telemetryBytes{"batch.telemetry_bytes",
+                                 "raw bytes read off worker telemetry "
+                                 "pipes"};
+    stats::Scalar telemetryCrcErrors{"batch.telemetry_crc_errors",
+                                     "telemetry frames rejected for a "
+                                     "CRC or payload mismatch"};
+    stats::Scalar telemetryTorn{"batch.telemetry_torn_streams",
+                                "worker telemetry streams that ended "
+                                "in a half-written frame (killed "
+                                "worker)"};
+    stats::Scalar telemetryPipeFailures{"batch.telemetry_pipe_failures",
+                                        "telemetry pipes that could "
+                                        "not be created (worker ran "
+                                        "without one)"};
 };
 
 SchedulerStats &
@@ -76,6 +93,9 @@ struct ProcessScheduler::Running
     int64_t lastLogSize = -1;
     bool termSent = false;
     Clock::time_point termTime;
+    // Telemetry-pipe state (-1 = no pipe / already closed).
+    int telFd = -1;
+    telemetry::Reader reader;
 };
 
 ProcessScheduler::ProcessScheduler(unsigned jobs)
@@ -99,6 +119,20 @@ ProcessScheduler::spawn(ProcTask task, std::vector<Running> &running)
         argv.push_back(arg.data());
     argv.push_back(nullptr);
 
+    // The telemetry pipe, when asked for. Failure to create one is a
+    // degraded-observability event, never a failed task: the worker
+    // still runs, its --telemetry-fd points at nothing, and its writer
+    // self-disables on the first emit.
+    int telPipe[2] = {-1, -1};
+    if (task.telemetryPipe &&
+        faultfs::pipe2(telPipe, O_CLOEXEC | O_NONBLOCK) != 0) {
+        GLIFS_WARN("telemetry pipe for task ", task.id,
+                   " failed: ", std::strerror(errno),
+                   "; worker runs unobserved");
+        ++schedStats().telemetryPipeFailures;
+        telPipe[0] = telPipe[1] = -1;
+    }
+
     // A loaded box can transiently refuse to fork (EAGAIN: pid/rlimit
     // pressure; ENOMEM). Backing off and retrying turns a fatal batch
     // abort into a hiccup; anything still failing after the capped
@@ -119,11 +153,28 @@ ProcessScheduler::spawn(ProcTask task, std::vector<Running> &running)
         GLIFS_WARN("fork failed persistently for task ", task.id,
                    ": ", std::strerror(errno));
         ++schedStats().spawnFailures;
+        if (telPipe[0] >= 0) {
+            ::close(telPipe[0]);
+            ::close(telPipe[1]);
+        }
         return false;
     }
     if (pid == 0) {
-        // Child: redirect stdout+stderr to the worker log, then exec.
-        // Only async-signal-safe calls from here on.
+        // Child: plant the telemetry write end on its contract fd
+        // *before* the log redirect (open() hands out the lowest free
+        // fd and must not claim it), then redirect stdout+stderr and
+        // exec. Only async-signal-safe calls from here on.
+        if (telPipe[1] >= 0) {
+            if (telPipe[1] != kTelemetryChildFd) {
+                // dup2 clears O_CLOEXEC on the duplicate; the
+                // original CLOEXEC ends vanish at exec.
+                ::dup2(telPipe[1], kTelemetryChildFd);
+            } else {
+                // Already on the contract fd: dup2(fd, fd) would keep
+                // O_CLOEXEC set, so clear it explicitly.
+                ::fcntl(telPipe[1], F_SETFD, 0);
+            }
+        }
         if (!task.outputPath.empty()) {
             int fd = ::open(task.outputPath.c_str(),
                             O_WRONLY | O_CREAT | O_TRUNC, 0644);
@@ -138,13 +189,97 @@ ProcessScheduler::spawn(ProcTask task, std::vector<Running> &running)
         _exit(127); // exec failed; reported as a crash-free exit 127
     }
 
+    if (telPipe[1] >= 0)
+        ::close(telPipe[1]); // parent keeps only the read end
+
     Running r;
     r.task = std::move(task);
     r.pid = pid;
     r.started = Clock::now();
     r.lastProgress = r.started;
+    r.telFd = telPipe[0];
     running.push_back(std::move(r));
     return true;
+}
+
+/**
+ * Drain one worker's telemetry pipe without blocking: decode whatever
+ * arrived, hand events to the sink, and treat any arriving bytes as
+ * liveness for the stall watchdog (a worker that still heartbeats
+ * over the pipe is reaching its governor poll point even if its log
+ * is quiet). EOF or a hard read error retires the fd.
+ */
+bool
+ProcessScheduler::drainTelemetry(Running &r)
+{
+    if (r.telFd < 0)
+        return false;
+
+    bool gotBytes = false;
+    std::vector<telemetry::Event> events;
+    char buf[4096];
+    while (true) {
+        ssize_t n = faultfs::read(r.telFd, buf, sizeof(buf));
+        if (n > 0) {
+            gotBytes = true;
+            schedStats().telemetryBytes.inc(
+                static_cast<uint64_t>(n));
+            uint64_t before = r.reader.crcErrors();
+            events.clear();
+            r.reader.feed(buf, static_cast<size_t>(n), events);
+            schedStats().telemetryCrcErrors.inc(
+                r.reader.crcErrors() - before);
+            schedStats().telemetryFrames.inc(events.size());
+            if (telemetryFn) {
+                for (const telemetry::Event &e : events)
+                    telemetryFn(r.task.id, e);
+            }
+            continue;
+        }
+        if (n == 0) {
+            // EOF: the worker (and every dup of the write end) is
+            // gone. A residual partial frame means it died mid-write.
+            if (r.reader.finish() || r.reader.poisoned())
+                ++schedStats().telemetryTorn;
+            ::close(r.telFd);
+            r.telFd = -1;
+            break;
+        }
+        if (errno == EINTR)
+            continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break; // drained for now; worker still alive
+        GLIFS_WARN("telemetry read from worker ", r.pid,
+                   " failed: ", std::strerror(errno));
+        ::close(r.telFd);
+        r.telFd = -1;
+        break;
+    }
+    if (gotBytes)
+        r.lastProgress = Clock::now();
+    return gotBytes;
+}
+
+/**
+ * Idle wait between scheduler iterations: park in poll(2) on the live
+ * telemetry fds so fresh events wake the loop immediately, falling
+ * back to a fixed sleep when nothing is observable. EINTR (or an
+ * injected poll fault) just ends the wait early — the main loop
+ * re-derives everything from state.
+ */
+void
+ProcessScheduler::idleWait(const std::vector<Running> &running)
+{
+    std::vector<struct pollfd> fds;
+    for (const Running &r : running) {
+        if (r.telFd >= 0)
+            fds.push_back({r.telFd, POLLIN, 0});
+    }
+    if (fds.empty()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        return;
+    }
+    faultfs::poll(fds.data(), fds.size(), 10);
 }
 
 /**
@@ -228,6 +363,11 @@ ProcessScheduler::run(const DoneFn &onDone)
             }
         }
 
+        // Pull telemetry before the reap so the watchdog sees fresh
+        // heartbeats, and events for a job precede its done callback.
+        for (Running &r : running)
+            drainTelemetry(r);
+
         bool reaped = false;
         for (size_t i = 0; i < running.size();) {
             Running &r = running[i];
@@ -252,6 +392,13 @@ ProcessScheduler::run(const DoneFn &onDone)
                 res.crashed = true;
                 res.stalled = r.termSent;
                 res.wallSeconds = secondsSince(r.started);
+                if (r.telFd >= 0) {
+                    drainTelemetry(r);
+                    if (r.telFd >= 0) {
+                        ::close(r.telFd);
+                        r.telFd = -1;
+                    }
+                }
                 running.erase(running.begin() + i);
                 reaped = true;
                 onDone(res);
@@ -274,16 +421,24 @@ ProcessScheduler::run(const DoneFn &onDone)
             } else {
                 res.crashed = true;
             }
+            // The write end is closed, so everything the worker ever
+            // managed to send is sitting in the pipe: drain to EOF so
+            // its final lifecycle/stats frames land before onDone.
+            if (r.telFd >= 0) {
+                drainTelemetry(r);
+                if (r.telFd >= 0) {
+                    ::close(r.telFd);
+                    r.telFd = -1;
+                }
+            }
             running.erase(running.begin() + i);
             reaped = true;
             // May submit() retries; the outer loop picks them up.
             onDone(res);
         }
 
-        if (!reaped && !running.empty())
-            std::this_thread::sleep_for(std::chrono::milliseconds(10));
-        else if (!reaped && running.empty() && !pending.empty())
-            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        if (!reaped && (!running.empty() || !pending.empty()))
+            idleWait(running);
     }
 }
 

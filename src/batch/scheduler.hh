@@ -44,6 +44,8 @@
 #include <string>
 #include <vector>
 
+#include "base/telemetry.hh"
+
 namespace glifs::batch
 {
 
@@ -54,6 +56,15 @@ struct ProcTask
     std::vector<std::string> argv;   ///< argv[0] = executable path
     std::string outputPath;          ///< stdout+stderr log ("" = inherit)
     double killAfterSeconds = 0;     ///< SIGKILL backstop (0 = never)
+    /**
+     * Give the worker a telemetry pipe: the write end is dup2'd onto
+     * fd kTelemetryChildFd in the child (so the caller can bake
+     * `--telemetry-fd 3` into argv), the read end is multiplexed by
+     * the scheduler and decoded events reach the telemetry sink. If
+     * the pipe cannot be created the worker just runs without one —
+     * its writer self-disables on the dead fd.
+     */
+    bool telemetryPipe = false;
     /**
      * Stall watchdog (0 = off): if `outputPath` stops growing for this
      * many seconds the worker is presumed wedged and SIGTERMed (it can
@@ -83,12 +94,23 @@ class ProcessScheduler
 {
   public:
     using DoneFn = std::function<void(const ProcResult &)>;
+    /** Decoded telemetry event from the worker running task @p id. */
+    using TelemetryFn =
+        std::function<void(uint64_t id, const telemetry::Event &)>;
 
     /** @param jobs max concurrently running workers (>= 1). */
     explicit ProcessScheduler(unsigned jobs);
 
     /** Queue a task (legal both before run() and from onDone). */
     void submit(ProcTask task);
+
+    /**
+     * Receive decoded telemetry events, in arrival order, from this
+     * thread (interleaved with onDone calls). Events also feed the
+     * stall watchdog: a worker whose telemetry still flows is never
+     * presumed wedged, even if its log stops growing.
+     */
+    void setTelemetrySink(TelemetryFn fn) { telemetryFn = std::move(fn); }
 
     /**
      * Run until the queue and all workers drain. @p onDone fires in
@@ -100,6 +122,9 @@ class ProcessScheduler
 
     /** How long a SIGTERMed staller gets before the SIGKILL. */
     static constexpr double kTermGraceSeconds = 5.0;
+
+    /** The fd the telemetry pipe's write end lands on in the child. */
+    static constexpr int kTelemetryChildFd = 3;
 
   private:
     struct Running;
@@ -114,9 +139,15 @@ class ProcessScheduler
     /** Fork/exec @p task; false if fork failed past the retry cap. */
     bool spawn(ProcTask task, std::vector<Running> &running);
     void watchdog(Running &r);
+    /** Non-blocking read+decode of one worker's pipe; true if bytes
+     *  arrived. Closes the fd on EOF or error. */
+    bool drainTelemetry(Running &r);
+    /** poll(2) on the live telemetry fds instead of a blind sleep. */
+    void idleWait(const std::vector<Running> &running);
 
     unsigned jobs;
     std::deque<Queued> pending;
+    TelemetryFn telemetryFn;
 };
 
 } // namespace glifs::batch

@@ -14,6 +14,7 @@
 
 #include <sys/stat.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdlib>
 #include <filesystem>
@@ -153,7 +154,11 @@ class FaultInjectTest : public ::testing::Test
         static std::string cached;
         if (!cached.empty())
             return cached;
-        std::string dir = tempDir("baseline");
+        // Per-process directory: gtest_discover_tests runs each case
+        // as its own process, so concurrent cases under `ctest -j`
+        // must not share (and remove_all) one baseline dir.
+        std::string dir =
+            tempDir("baseline_" + std::to_string(::getpid()));
         std::string mf = dir + "/fleet.manifest";
         std::ofstream(mf) << kManifest;
         RunResult ref = runBatchCmd(dir, mf, "", "");

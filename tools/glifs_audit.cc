@@ -49,6 +49,12 @@
  *   --debug-trace      legacy alias: enable tracing and dump the
  *                      events as text to stderr at exit (in addition
  *                      to --trace-out, if given)
+ *   --telemetry-fd N   stream framed telemetry events (lifecycle,
+ *                      heartbeats, stats snapshots, budget crossings)
+ *                      over inherited fd N to a supervising scheduler
+ *                      (docs/OBSERVABILITY.md, "Cross-process
+ *                      telemetry"); degrades silently to a no-op when
+ *                      the fd is unusable or the reader goes away
  *
  * Exit codes (the contract -- see docs/ROBUSTNESS.md):
  *   0  verified secure (after fixing, when --fix)
@@ -58,6 +64,7 @@
  *      unassemblable firmware)
  */
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -69,6 +76,7 @@
 #include "base/logging.hh"
 #include "base/stats.hh"
 #include "base/strutil.hh"
+#include "base/telemetry.hh"
 #include "base/trace.hh"
 #include "ift/checkpoint.hh"
 #include "ift/policy_file.hh"
@@ -103,7 +111,8 @@ usage()
         "                   [--checkpoint FILE] [--resume FILE] "
         "[--no-retry]\n"
         "                   [--stats-json FILE] [--trace-out FILE] "
-        "[--progress[=SECS]] [--debug-trace]\n");
+        "[--progress[=SECS]] [--debug-trace]\n"
+        "                   [--telemetry-fd N]\n");
     std::exit(kExitUsage);
 }
 
@@ -169,22 +178,34 @@ struct Options
     bool retryDegraded = true;
     bool debugTrace = false;
     double progressSeconds = 0.0;
+    int telemetryFd = -1;
     unsigned interval = 1;
     EngineConfig engineCfg;
 };
 
-/** stderr heartbeat line (fired from the governor poll point). */
+/**
+ * stderr heartbeat line (fired from the governor poll point). Built
+ * in one buffer and pushed with a single fwrite + fflush: when a
+ * batch scheduler captures this stream into a per-job log, the line
+ * must land atomically — a stall watchdog or a human tailing the log
+ * should never see an interleaved or partial heartbeat.
+ */
 void
 printProgress(const GovernorProgress &p)
 {
-    std::fprintf(stderr,
-                 "progress: %.1fs %llu cycles (%.0f cyc/s) "
-                 "frontier=%zu states=%zu rss=%zuMiB budget=%d%%\n",
-                 p.elapsedSeconds,
-                 static_cast<unsigned long long>(p.cycles),
-                 p.cyclesPerSec, p.frontier, p.states,
-                 p.rssBytes >> 20,
-                 static_cast<int>(p.budgetUsed * 100.0));
+    char line[256];
+    int n = std::snprintf(
+        line, sizeof(line),
+        "progress: %.1fs %llu cycles (%.0f cyc/s) "
+        "frontier=%zu states=%zu rss=%zuMiB budget=%d%%\n",
+        p.elapsedSeconds, static_cast<unsigned long long>(p.cycles),
+        p.cyclesPerSec, p.frontier, p.states, p.rssBytes >> 20,
+        static_cast<int>(p.budgetUsed * 100.0));
+    if (n <= 0)
+        return;
+    std::fwrite(line, 1, std::min(static_cast<size_t>(n),
+                                  sizeof(line) - 1), stderr);
+    std::fflush(stderr);
 }
 
 /**
@@ -527,6 +548,8 @@ main(int argc, char **argv)
             opts.traceOutPath = next();
         else if (arg == "--debug-trace")
             opts.debugTrace = true;
+        else if (arg == "--telemetry-fd")
+            opts.telemetryFd = static_cast<int>(nextNum());
         else if (arg == "--progress")
             opts.progressSeconds = 1.0;
         else if (arg.rfind("--progress=", 0) == 0) {
@@ -555,12 +578,29 @@ main(int argc, char **argv)
     std::signal(SIGINT, onStopSignal);
     std::signal(SIGTERM, onStopSignal);
 
+    if (opts.telemetryFd >= 0) {
+        // Arm the cross-process telemetry writer over the inherited
+        // pipe fd; everything downstream is fire-and-forget.
+        telemetry::Writer::instance().open(opts.telemetryFd);
+        telemetry::Event started;
+        started.type = telemetry::EventType::Lifecycle;
+        started.phase = "started";
+        telemetry::Writer::instance().emit(started);
+    }
+
     if (opts.progressSeconds > 0) {
         // The heartbeat fires from the governor's per-cycle poll
         // point, sharing a clock with budget checks and the
         // SIGINT-safe stop above (docs/OBSERVABILITY.md).
         opts.engineCfg.progressSeconds = opts.progressSeconds;
         opts.engineCfg.progressFn = printProgress;
+    } else if (telemetry::Writer::instance().enabled()) {
+        // Telemetry wants the heartbeat clock running even when the
+        // human-readable progress line is off: tick fast (the emit
+        // itself is a single non-blocking write) and keep stderr
+        // quiet.
+        opts.engineCfg.progressSeconds = 0.25;
+        opts.engineCfg.progressFn = [](const GovernorProgress &) {};
     }
 
     if (!opts.traceOutPath.empty() || opts.debugTrace)
@@ -582,26 +622,48 @@ main(int argc, char **argv)
             std::fputs(tr.text().c_str(), stderr);
     };
 
+    // The closing lifecycle frame carries the exit-code contract, so
+    // the scheduler learns the outcome from the stream itself — even
+    // before (or without) reading the run report.
+    auto emitFinished = [](int code) {
+        telemetry::Writer &w = telemetry::Writer::instance();
+        if (!w.enabled())
+            return;
+        telemetry::Event e;
+        e.type = telemetry::EventType::Lifecycle;
+        e.phase = "finished";
+        e.exitCode = code;
+        e.verdict = code == kExitSecure       ? "secure"
+                    : code == kExitViolations ? "violations"
+                    : code == kExitDegraded   ? "unknown-degraded"
+                                              : "error";
+        w.emit(e);
+    };
+
     try {
         int code = runAudit(opts);
         flushTrace();
+        emitFinished(code);
         return code;
     } catch (const FatalError &e) {
         // User-level input errors (policy file, firmware, netlist
         // validation): one-line diagnostic, never a raw abort.
         std::fprintf(stderr, "glifs_audit: %s\n", e.what());
         flushTrace();
+        emitFinished(kExitUsage);
         return kExitUsage;
     } catch (const RecoverableError &e) {
         // Unusable checkpoint or comparable recoverable condition the
         // CLI cannot recover from by itself.
         std::fprintf(stderr, "glifs_audit: %s\n", e.what());
         flushTrace();
+        emitFinished(kExitUsage);
         return kExitUsage;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "glifs_audit: internal error: %s\n",
                      e.what());
         flushTrace();
+        emitFinished(kExitUsage);
         return kExitUsage;
     }
 }

@@ -23,7 +23,15 @@
  *                    jobs are reported from the journal, only the
  *                    rest run (docs/ROBUSTNESS.md, "Crash recovery")
  *   --stall-timeout SECS  SIGTERM (then SIGKILL) workers whose log
- *                    stops growing for SECS (0 = off, the default)
+ *                    stops growing for SECS (0 = off, the default);
+ *                    live worker telemetry also counts as progress
+ *   --status-file FILE  continuously publish a glifs.batch_status.v1
+ *                    JSON snapshot (atomic rename) with per-job
+ *                    state/progress fed by live worker telemetry
+ *                    (docs/OBSERVABILITY.md)
+ *   --trace-merge FILE  run every worker with --trace-out and merge
+ *                    the traces into one multi-process Chrome trace,
+ *                    one pid lane per job (open in Perfetto)
  *
  * The manifest format, cache key definition, retry ladder and report
  * schema are specified in docs/BATCH.md; crash recovery and the fault
@@ -61,7 +69,9 @@ usage()
         "                   [--audit-bin PATH] [--quiet] "
         "[--journal FILE]\n"
         "                   [--resume-batch FILE] "
-        "[--stall-timeout SECS]\n");
+        "[--stall-timeout SECS]\n"
+        "                   [--status-file FILE] "
+        "[--trace-merge FILE]\n");
     std::exit(kExitUsage);
 }
 
@@ -123,7 +133,11 @@ main(int argc, char **argv)
             if (!v || *v < 0)
                 usage();
             opts.stallTimeoutSeconds = static_cast<double>(*v);
-        } else if (!arg.empty() && arg[0] == '-')
+        } else if (arg == "--status-file")
+            opts.statusFilePath = next();
+        else if (arg == "--trace-merge")
+            opts.traceMergePath = next();
+        else if (!arg.empty() && arg[0] == '-')
             usage();
         else if (manifestPath.empty())
             manifestPath = arg;
