@@ -19,9 +19,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "assembler/assembler.hh"
 #include "base/stats.hh"
 #include "bench_common.hh"
+#include "ift/checkpoint.hh"
 #include "ift/symstate.hh"
 #include "netlist/stats.hh"
 #include "soc/runner.hh"
@@ -195,6 +198,43 @@ BM_SymStateMerge(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * layout.slots());
 }
 BENCHMARK(BM_SymStateMerge);
+
+void
+BM_CheckpointSaveRestore(benchmark::State &state)
+{
+    // Round-trip a checkpoint whose frontier holds `frontier` full
+    // symbolic states -- the dominant section by far, and the exact
+    // payload the parallel coordinator ships per work unit. The save
+    // path's thread-local scratch buffer keeps the loop
+    // allocation-free after warm-up.
+    Soc &soc = sharedSoc();
+    Simulator sim(soc.netlist());
+    SymLayout layout(soc.netlist());
+    ProgramImage img = loopImage();
+    EngineCheckpoint ck;
+    ck.fingerprint = checkpointFingerprint(img, layout.slots(),
+                                           soc.netlist().numNets());
+    ck.everTainted = BitPlane(soc.netlist().numNets());
+    SymState s(layout);
+    s.capture(layout, sim.state());
+    for (int64_t i = 0; i < state.range(0); ++i) {
+        ck.frontier.emplace_back(s, static_cast<uint32_t>(i));
+        ck.tree.push_back(ExecNode{});
+    }
+    const std::string path = "/tmp/glifs_bench_ckpt.bin";
+    for (auto _ : state) {
+        ck.save(path);
+        EngineCheckpoint back = EngineCheckpoint::load(path);
+        benchmark::DoNotOptimize(back.frontier.size());
+    }
+    std::remove(path.c_str());
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CheckpointSaveRestore)
+    ->ArgNames({"frontier"})
+    ->Args({1})
+    ->Args({16})
+    ->Args({64});
 
 } // namespace
 

@@ -47,6 +47,7 @@ enum class EventType : uint8_t
     Heartbeat = 2,     ///< periodic progress from the governor poll point
     StatsSnapshot = 3, ///< stats-registry sample (name/value pairs)
     BudgetUsage = 4,   ///< a budget threshold crossing
+    Explore = 5,       ///< parallel-exploration coordinator event
 };
 
 /** Printable name of an event type. */
@@ -82,6 +83,12 @@ struct Event
     std::string resource;
     std::string severity;
     std::string detail;
+
+    // Explore (reuses phase/cycles/detail): phase is the event kind
+    // ("ship", "result", "steal", "respawn", "prune"); worker is the
+    // exploration lane index (0-based); cycles carries the segment
+    // cycle count where one applies.
+    uint64_t worker = 0;
 };
 
 /** Upper bound replay will believe for one frame's payload. */

@@ -1,0 +1,1408 @@
+#include "explore/coordinator.hh"
+
+#include <fcntl.h>
+#include <dirent.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "base/faultfs.hh"
+#include "base/logging.hh"
+#include "base/stats.hh"
+#include "base/strutil.hh"
+#include "base/telemetry.hh"
+#include "base/trace.hh"
+#include "explore/protocol.hh"
+#include "explore/worker.hh"
+#include "ift/checkpoint.hh"
+#include "ift/engine_stats.hh"
+#include "ift/path_sim.hh"
+
+namespace glifs::explore
+{
+
+namespace
+{
+
+/** The explore.* stat catalogue (docs/OBSERVABILITY.md). */
+struct ExploreStats
+{
+    stats::Scalar steals{"explore.steals",
+                         "work-stealing queue rebalances"};
+    stats::Gauge frontierSize{"explore.frontier_size",
+                              "coordinator frontier size"};
+    stats::Scalar summaryPrunes{
+        "explore.summary_prunes",
+        "worker segment results discarded (stale, duplicate or "
+        "overrun)"};
+    stats::Scalar workersRespawned{"explore.workers_respawned",
+                                   "crashed workers respawned"};
+    stats::Scalar cacheHits{"explore.cache_hits",
+                            "pops served from worker segment results"};
+    stats::Scalar cacheMisses{"explore.cache_misses",
+                              "pops simulated inline"};
+    stats::Scalar chunksShipped{"explore.chunks_shipped",
+                                "work units shipped to workers"};
+    stats::Scalar segmentsReceived{
+        "explore.segments_received",
+        "worker segment results received (before pruning)"};
+
+    static ExploreStats &
+    instance()
+    {
+        static ExploreStats s;
+        return s;
+    }
+};
+
+ExploreStats &
+exStats()
+{
+    return ExploreStats::instance();
+}
+
+void
+emitExplore(const char *phase, uint64_t worker, uint64_t cycles,
+            std::string detail = {})
+{
+    telemetry::Writer &w = telemetry::Writer::instance();
+    if (!w.enabled())
+        return;
+    telemetry::Event e;
+    e.type = telemetry::EventType::Explore;
+    e.phase = phase;
+    e.worker = worker;
+    e.cycles = cycles;
+    e.detail = std::move(detail);
+    w.emit(e);
+}
+
+/** Trace lane of an exploration worker (1 is the coordinator). */
+uint32_t
+workerTid(size_t idx)
+{
+    return static_cast<uint32_t>(2 + idx);
+}
+
+/** One execution point copied out to a worker queue. */
+struct ShippedEntry
+{
+    std::string digest;
+    SymState state;
+};
+
+/** One work unit in flight at a worker. */
+struct Chunk
+{
+    std::vector<ShippedEntry> entries;
+    std::string unitPath;
+    uint64_t shipUs = 0; ///< trace clock at ship (lane span start)
+};
+
+/** One worker process slot (respawned in place on death). */
+struct WorkerSlot
+{
+    pid_t pid = -1;
+    int ctlFd = -1; ///< coordinator -> worker command lines
+    int resFd = -1; ///< worker -> coordinator result lines
+    bool alive = false;
+    bool disabled = false; ///< respawn cap exhausted
+    unsigned respawns = 0;
+    std::string lineBuf;
+    std::deque<ShippedEntry> queue;
+    std::map<uint32_t, Chunk> outstanding;
+
+    size_t
+    load() const
+    {
+        size_t n = queue.size();
+        for (const auto &[seq, c] : outstanding)
+            n += c.entries.size();
+        return n;
+    }
+};
+
+/**
+ * The state of one parallel run. Exploration state (ps, gov, table,
+ * tree, log, stack, counters, ladder) mirrors the serial engine's
+ * RunCtx field for field; everything below `workers` is the
+ * speculation machinery, which only ever changes *when* a segment is
+ * simulated, never what it computes.
+ */
+struct Coord
+{
+    const Soc &soc;
+    const ExploreConfig &xcfg;
+    PathSim ps;
+    ViolationLog log;
+    StateTable table;
+    ExecTree tree;
+    ResourceGovernor gov;
+
+    struct Entry
+    {
+        SymState state;
+        uint32_t node = 0;
+        /** Continuation of a path the serial loop would run through
+         *  inline (commit with visit != Subsumed and a concrete PC):
+         *  popped without the per-path accounting. */
+        bool cont = false;
+        std::string dg; ///< lazily memoized stateDigest(state)
+    };
+    std::vector<Entry> stack;
+    BitPlane everTainted;
+
+    uint64_t totalCycles = 0;
+    uint64_t pathsExplored = 0;
+    bool budgetHit = false;
+    size_t branchPoints = 0;
+
+    DegradeLevel level = DegradeLevel::None;
+    std::vector<Degradation> degradations;
+
+    // --- speculation machinery ---------------------------------------
+    std::vector<WorkerSlot> workers;
+    std::vector<pid_t> pendingReap;
+    std::unordered_map<std::string, SegmentResult> cache;
+    std::unordered_set<std::string> queuedDigests;
+    std::unordered_set<std::string> inFlight;
+    std::string workDir;
+    uint64_t fingerprint = 0;
+    uint32_t nextSeq = 1;
+    double meanInlineUs = 2000.0; ///< rolling mean of inline segments
+    bool shippingOk = true;       ///< false after a work-unit I/O error
+
+    Coord(const Soc &s, const Policy &p, const EngineConfig &c,
+          const ExploreConfig &x, const ProgramImage &img)
+        : soc(s), xcfg(x), ps(s, p, c, img), gov(c.budgets),
+          everTainted(s.netlist().numNets())
+    {
+    }
+
+    ~Coord() { shutdownWorkers(); }
+
+    void
+    recordDegradation(DegradeLevel lvl, ResourceKind trigger,
+                      BudgetSeverity severity, uint16_t instr_addr,
+                      std::string detail)
+    {
+        Degradation d;
+        d.level = lvl;
+        d.trigger = trigger;
+        d.severity = severity;
+        d.cycle = totalCycles;
+        d.instrAddr = instr_addr;
+        d.detail = std::move(detail);
+        ++engineStats().escalations;
+        GLIFS_TRACE_INSTANT_ARGS(
+            "engine", "degrade",
+            add("level", degradeLevelName(lvl))
+                .add("trigger", resourceKindName(trigger))
+                .add("severity",
+                     severity == BudgetSeverity::Hard ? "hard"
+                                                      : "soft")
+                .add("cycle", totalCycles)
+                .add("instr", hex16(instr_addr)));
+        degradations.push_back(std::move(d));
+    }
+
+    enum class Escalation
+    {
+        Widened,
+        KillPath,
+    };
+
+    Escalation
+    escalate(const BudgetEvent &ev, uint16_t instr_addr)
+    {
+        if (level == DegradeLevel::None) {
+            level = DegradeLevel::WidenedMerging;
+            ps.cfg.preciseJumpTargets = false;
+            recordDegradation(DegradeLevel::WidenedMerging, ev.kind,
+                              ev.severity, instr_addr, ev.detail);
+            return Escalation::Widened;
+        }
+        level = DegradeLevel::StarLogicPath;
+        recordDegradation(DegradeLevel::StarLogicPath, ev.kind,
+                          ev.severity, instr_addr, ev.detail);
+        return Escalation::KillPath;
+    }
+
+    const std::string &
+    digestOf(Entry &e)
+    {
+        if (e.dg.empty())
+            e.dg = stateDigest(e.state);
+        return e.dg;
+    }
+
+    // --- worker lifecycle --------------------------------------------
+
+    void
+    spawnWorker(size_t idx)
+    {
+        WorkerSlot &w = workers[idx];
+        int ctl[2];
+        int res[2];
+        if (faultfs::pipe2(ctl, O_CLOEXEC) != 0)
+            GLIFS_RECOVERABLE("explore: cannot create control pipe");
+        if (faultfs::pipe2(res, O_CLOEXEC) != 0) {
+            ::close(ctl[0]);
+            ::close(ctl[1]);
+            GLIFS_RECOVERABLE("explore: cannot create result pipe");
+        }
+
+        // argv: <audit> --explore-worker <firmware + config tail>.
+        std::vector<std::string> args;
+        args.push_back(xcfg.auditBinary);
+        args.push_back("--explore-worker");
+        args.insert(args.end(), xcfg.workerArgs.begin(),
+                    xcfg.workerArgs.end());
+        std::vector<char *> argv;
+        argv.reserve(args.size() + 1);
+        for (std::string &a : args)
+            argv.push_back(a.data());
+        argv.push_back(nullptr);
+
+        // Transient fork pressure (EAGAIN/ENOMEM on a loaded box)
+        // deserves a bounded backoff ladder, same as the batch
+        // scheduler; anything else is a real failure.
+        pid_t pid = -1;
+        for (unsigned attempt = 1; attempt <= 6; ++attempt) {
+            pid = faultfs::fork();
+            if (pid >= 0)
+                break;
+            if (errno != EAGAIN && errno != ENOMEM &&
+                errno != EINTR) {
+                break;
+            }
+            unsigned ms = std::min(10u << (attempt - 1), 160u);
+            ::usleep(ms * 1000);
+        }
+        if (pid < 0) {
+            ::close(ctl[0]);
+            ::close(ctl[1]);
+            ::close(res[0]);
+            ::close(res[1]);
+            GLIFS_RECOVERABLE("explore: fork failed: ",
+                              std::strerror(errno));
+        }
+
+        if (pid == 0) {
+            // Child: control lines on stdin, results on kResultFd,
+            // stdout silenced (the worker owns no human output).
+            ::dup2(ctl[0], 0); // dup2 clears O_CLOEXEC on the copy
+            if (res[1] == kResultFd)
+                ::fcntl(res[1], F_SETFD, 0);
+            else
+                ::dup2(res[1], kResultFd);
+            int devnull = ::open("/dev/null", O_WRONLY);
+            if (devnull >= 0)
+                ::dup2(devnull, 1);
+            // Worker-only fault injection: the crash-recovery tests
+            // plant plans in the children without arming the
+            // coordinator's own file I/O.
+            const char *plan = ::getenv("GLIFS_EXPLORE_FAULT_PLAN");
+            if (plan && *plan)
+                ::setenv("GLIFS_FAULT_PLAN", plan, 1);
+            ::execv(argv[0], argv.data());
+            _exit(127);
+        }
+
+        ::close(ctl[0]);
+        ::close(res[1]);
+        w.pid = pid;
+        w.ctlFd = ctl[1];
+        w.resFd = res[0];
+        w.alive = true;
+        w.lineBuf.clear();
+        trace::Tracer &tr = trace::Tracer::instance();
+        if (tr.enabled()) {
+            tr.threadName(workerTid(idx),
+                          detail::concat("explore worker ", idx));
+        }
+    }
+
+    void
+    markDead(size_t idx)
+    {
+        WorkerSlot &w = workers[idx];
+        if (!w.alive)
+            return;
+        w.alive = false;
+        if (w.ctlFd >= 0)
+            ::close(w.ctlFd);
+        if (w.resFd >= 0)
+            ::close(w.resFd);
+        w.ctlFd = -1;
+        w.resFd = -1;
+        if (w.pid > 0)
+            pendingReap.push_back(w.pid);
+        w.pid = -1;
+        // Whatever it was chewing on goes back to the front of its
+        // queue; the coordinator can always run it inline instead.
+        for (auto &[seq, chunk] : w.outstanding) {
+            faultfs::unlink(chunk.unitPath.c_str());
+            faultfs::unlink((chunk.unitPath + ".res").c_str());
+            for (auto it = chunk.entries.rbegin();
+                 it != chunk.entries.rend(); ++it) {
+                inFlight.erase(it->digest);
+                queuedDigests.insert(it->digest);
+                w.queue.push_front(std::move(*it));
+            }
+        }
+        w.outstanding.clear();
+    }
+
+    void
+    reapZombies(bool block)
+    {
+        for (size_t i = 0; i < pendingReap.size();) {
+            int st = 0;
+            pid_t r = faultfs::waitpid(pendingReap[i], &st,
+                                       block ? 0 : WNOHANG);
+            if (r == pendingReap[i] ||
+                (r < 0 && errno == ECHILD)) {
+                pendingReap.erase(pendingReap.begin() + i);
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    void
+    respawnDead()
+    {
+        reapZombies(false);
+        for (size_t i = 0; i < workers.size(); ++i) {
+            WorkerSlot &w = workers[i];
+            if (w.alive || w.disabled)
+                continue;
+            if (w.respawns >= xcfg.respawnCap) {
+                // Slot given up: spill its queue to the survivors (or
+                // to nobody -- the coordinator runs everything inline
+                // then).
+                w.disabled = true;
+                WorkerSlot *tgt = nullptr;
+                for (WorkerSlot &o : workers) {
+                    if (o.alive &&
+                        (!tgt || o.load() < tgt->load())) {
+                        tgt = &o;
+                    }
+                }
+                while (!w.queue.empty()) {
+                    if (tgt) {
+                        tgt->queue.push_back(
+                            std::move(w.queue.front()));
+                    } else {
+                        queuedDigests.erase(w.queue.front().digest);
+                    }
+                    w.queue.pop_front();
+                }
+                continue;
+            }
+            ++w.respawns;
+            try {
+                spawnWorker(i);
+            } catch (const RecoverableError &e) {
+                GLIFS_WARN("explore: respawn of worker ", i,
+                          " failed: ", e.what());
+                continue;
+            }
+            ++exStats().workersRespawned;
+            emitExplore("respawn", i, 0);
+            trace::Tracer &tr = trace::Tracer::instance();
+            if (tr.enabled()) {
+                tr.instant("explore", "respawn",
+                           trace::Args()
+                               .add("worker",
+                                    static_cast<uint64_t>(i))
+                               .str(),
+                           workerTid(i));
+            }
+        }
+    }
+
+    void
+    shutdownWorkers()
+    {
+        for (size_t i = 0; i < workers.size(); ++i) {
+            WorkerSlot &w = workers[i];
+            if (!w.alive)
+                continue;
+            // Polite quit first; SIGTERM cuts a worker that is deep
+            // in a speculative chain we no longer want.
+            const char q[] = "q\n";
+            ssize_t rc [[maybe_unused]] = ::write(w.ctlFd, q, 2);
+            ::kill(w.pid, SIGTERM);
+            markDead(i);
+        }
+        for (pid_t pid : pendingReap)
+            ::kill(pid, SIGTERM);
+        reapZombies(true);
+        if (!workDir.empty()) {
+            // Sweep whatever units/results the shutdown stranded.
+            if (DIR *d = ::opendir(workDir.c_str())) {
+                while (struct dirent *de = ::readdir(d)) {
+                    if (de->d_name[0] == '.')
+                        continue;
+                    ::unlink(
+                        (workDir + "/" + de->d_name).c_str());
+                }
+                ::closedir(d);
+            }
+            ::rmdir(workDir.c_str());
+            workDir.clear();
+        }
+    }
+
+    // --- result ingestion --------------------------------------------
+
+    void
+    handleResultLine(size_t idx, const std::string &line)
+    {
+        WorkerSlot &w = workers[idx];
+        if (line.empty())
+            return;
+        std::istringstream iss(line);
+        std::string verb;
+        uint32_t seq = 0;
+        iss >> verb >> seq;
+        auto it = w.outstanding.find(seq);
+        if (it == w.outstanding.end())
+            return; // stale seq (left over from a pre-death chunk)
+        Chunk chunk = std::move(it->second);
+        w.outstanding.erase(it);
+        for (const ShippedEntry &se : chunk.entries)
+            inFlight.erase(se.digest);
+
+        if (verb == "e") {
+            // Unit lost worker-side; the entries simply fall back to
+            // inline execution.
+            exStats().summaryPrunes +=
+                static_cast<uint64_t>(chunk.entries.size());
+            faultfs::unlink(chunk.unitPath.c_str());
+            return;
+        }
+        if (verb != "r")
+            return;
+        uint64_t usec = 0;
+        std::string resPath;
+        iss >> usec >> resPath;
+
+        std::vector<SegmentRecord> records;
+        try {
+            records = loadSegmentResults(resPath, fingerprint);
+        } catch (const RecoverableError &e) {
+            GLIFS_WARN("explore: dropping results from worker ", idx,
+                      ": ", e.what());
+            faultfs::unlink(resPath.c_str());
+            return;
+        }
+        faultfs::unlink(resPath.c_str());
+
+        uint64_t segCycles = 0;
+        uint64_t pruned = 0;
+        for (SegmentRecord &rec : records) {
+            ++exStats().segmentsReceived;
+            segCycles += rec.seg.cycles;
+            if (rec.overrun || cache.count(rec.digest)) {
+                ++exStats().summaryPrunes;
+                ++pruned;
+                continue;
+            }
+            cache.emplace(std::move(rec.digest),
+                          std::move(rec.seg));
+        }
+        emitExplore("result", idx, segCycles,
+                    detail::concat(records.size(), " segments, ",
+                                   pruned, " pruned"));
+        if (pruned > 0)
+            emitExplore("prune", idx, 0,
+                        detail::concat(pruned, " records"));
+        trace::Tracer &tr = trace::Tracer::instance();
+        if (tr.enabled()) {
+            // The worker's wall time, on its own lane.
+            uint64_t nowUs = tr.nowUs();
+            uint64_t start =
+                nowUs >= usec ? nowUs - usec : chunk.shipUs;
+            tr.complete("explore", "segments", start, usec,
+                        trace::Args()
+                            .add("records",
+                                 static_cast<uint64_t>(
+                                     records.size()))
+                            .add("pruned", pruned)
+                            .add("cycles", segCycles)
+                            .str(),
+                        workerTid(idx));
+        }
+    }
+
+    /** Pump worker result pipes; waits at most @p timeoutMs. */
+    void
+    drainResults(int timeoutMs)
+    {
+        std::vector<struct pollfd> fds;
+        std::vector<size_t> idxOf;
+        for (size_t i = 0; i < workers.size(); ++i) {
+            if (!workers[i].alive)
+                continue;
+            fds.push_back({workers[i].resFd, POLLIN, 0});
+            idxOf.push_back(i);
+        }
+        if (fds.empty())
+            return;
+        int n = faultfs::poll(fds.data(), fds.size(), timeoutMs);
+        if (n <= 0)
+            return;
+        char buf[4096];
+        for (size_t k = 0; k < fds.size(); ++k) {
+            if (fds[k].revents == 0)
+                continue;
+            size_t idx = idxOf[k];
+            WorkerSlot &w = workers[idx];
+            bool dead = false;
+            if (fds[k].revents & POLLIN) {
+                ssize_t r = faultfs::read(w.resFd, buf, sizeof(buf));
+                if (r > 0) {
+                    w.lineBuf.append(buf,
+                                     static_cast<size_t>(r));
+                } else if (r == 0 ||
+                           (r < 0 && errno != EINTR &&
+                            errno != EAGAIN)) {
+                    dead = true;
+                }
+            } else if (fds[k].revents & (POLLHUP | POLLERR)) {
+                dead = true;
+            }
+            size_t nl;
+            while ((nl = w.lineBuf.find('\n')) !=
+                   std::string::npos) {
+                std::string line = w.lineBuf.substr(0, nl);
+                w.lineBuf.erase(0, nl + 1);
+                handleResultLine(idx, line);
+            }
+            if (dead)
+                markDead(idx);
+        }
+    }
+
+    // --- shipping and stealing ---------------------------------------
+
+    bool
+    anyAlive() const
+    {
+        for (const WorkerSlot &w : workers) {
+            if (w.alive)
+                return true;
+        }
+        return false;
+    }
+
+    WorkerSlot *
+    lightestAlive()
+    {
+        WorkerSlot *best = nullptr;
+        for (WorkerSlot &w : workers) {
+            if (w.alive && (!best || w.load() < best->load()))
+                best = &w;
+        }
+        return best;
+    }
+
+    /** Remove a queued (not yet shipped) entry by digest. */
+    void
+    dropQueued(const std::string &dg)
+    {
+        queuedDigests.erase(dg);
+        for (WorkerSlot &w : workers) {
+            for (auto it = w.queue.begin(); it != w.queue.end();
+                 ++it) {
+                if (it->digest == dg) {
+                    w.queue.erase(it);
+                    return;
+                }
+            }
+        }
+    }
+
+    void
+    shipChunks(size_t idx)
+    {
+        WorkerSlot &w = workers[idx];
+        trace::Tracer &tr = trace::Tracer::instance();
+        while (w.alive && shippingOk &&
+               w.outstanding.size() < xcfg.maxOutstanding &&
+               !w.queue.empty()) {
+            Chunk chunk;
+            std::vector<SymState> states;
+            while (chunk.entries.size() < xcfg.chunkEntries &&
+                   !w.queue.empty()) {
+                ShippedEntry se = std::move(w.queue.front());
+                w.queue.pop_front();
+                if (cache.count(se.digest)) {
+                    // Answered meanwhile by a speculative chain.
+                    queuedDigests.erase(se.digest);
+                    continue;
+                }
+                states.push_back(se.state);
+                chunk.entries.push_back(std::move(se));
+            }
+            if (chunk.entries.empty())
+                return;
+            uint32_t seq = nextSeq++;
+            chunk.unitPath =
+                detail::concat(workDir, "/u", seq);
+            try {
+                saveWorkUnit(chunk.unitPath, fingerprint, states);
+            } catch (const RecoverableError &e) {
+                // Scratch space is gone; stop speculating, the
+                // serial inline path needs no files.
+                GLIFS_WARN("explore: shipping disabled: ", e.what());
+                shippingOk = false;
+                for (auto it = chunk.entries.rbegin();
+                     it != chunk.entries.rend(); ++it)
+                    w.queue.push_front(std::move(*it));
+                return;
+            }
+            std::string cmd = detail::concat("w ", seq, " ",
+                                             chunk.unitPath, "\n");
+            if (::write(w.ctlFd, cmd.data(), cmd.size()) !=
+                static_cast<ssize_t>(cmd.size())) {
+                faultfs::unlink(chunk.unitPath.c_str());
+                for (auto it = chunk.entries.rbegin();
+                     it != chunk.entries.rend(); ++it)
+                    w.queue.push_front(std::move(*it));
+                markDead(idx);
+                return;
+            }
+            for (const ShippedEntry &se : chunk.entries) {
+                queuedDigests.erase(se.digest);
+                inFlight.insert(se.digest);
+            }
+            chunk.shipUs = tr.enabled() ? tr.nowUs() : 0;
+            ++exStats().chunksShipped;
+            emitExplore("ship", idx,
+                        static_cast<uint64_t>(
+                            chunk.entries.size()));
+            if (tr.enabled()) {
+                tr.instant("explore", "ship",
+                           trace::Args()
+                               .add("seq", seq)
+                               .add("entries",
+                                    static_cast<uint64_t>(
+                                        chunk.entries.size()))
+                               .str(),
+                           workerTid(idx));
+            }
+            w.outstanding.emplace(seq, std::move(chunk));
+        }
+    }
+
+    void
+    scheduleShipping()
+    {
+        if (!shippingOk || !anyAlive() || stack.size() < 2)
+            return;
+        const size_t perWorker =
+            xcfg.chunkEntries * (xcfg.maxOutstanding + 1);
+
+        // How many fresh entries the fleet could absorb.
+        size_t deficit = 0;
+        for (const WorkerSlot &w : workers) {
+            if (!w.alive)
+                continue;
+            size_t l = w.load();
+            if (l < perWorker)
+                deficit += perWorker - l;
+        }
+
+        // Walk down from just below the top of the stack (the top is
+        // the coordinator's own next pop): LIFO order means these are
+        // the soonest-needed entries. The scan is bounded so a huge
+        // frontier does not turn every iteration into a full sweep.
+        size_t scanned = 0;
+        const size_t scanCap = std::max<size_t>(4 * deficit, 64);
+        for (size_t i = stack.size() - 1;
+             i-- > 0 && deficit > 0 && scanned < scanCap;) {
+            ++scanned;
+            Entry &e = stack[i];
+            if (e.cont)
+                continue;
+            const std::string &dg = digestOf(e);
+            if (cache.count(dg) || inFlight.count(dg) ||
+                queuedDigests.count(dg)) {
+                continue;
+            }
+            WorkerSlot *tgt = lightestAlive();
+            if (!tgt || tgt->load() >= perWorker)
+                break;
+            tgt->queue.push_back(ShippedEntry{dg, e.state});
+            queuedDigests.insert(dg);
+            --deficit;
+        }
+
+        // Work stealing: an idle worker raids the most loaded queue.
+        for (size_t i = 0; i < workers.size(); ++i) {
+            WorkerSlot &w = workers[i];
+            if (!w.alive || w.load() != 0)
+                continue;
+            WorkerSlot *fat = nullptr;
+            for (WorkerSlot &o : workers) {
+                if (&o != &w && o.alive &&
+                    o.queue.size() > 1 &&
+                    (!fat || o.queue.size() > fat->queue.size()))
+                    fat = &o;
+            }
+            if (!fat)
+                continue;
+            size_t take = fat->queue.size() / 2;
+            for (size_t k = 0; k < take; ++k) {
+                w.queue.push_back(std::move(fat->queue.back()));
+                fat->queue.pop_back();
+            }
+            ++exStats().steals;
+            emitExplore("steal", i,
+                        static_cast<uint64_t>(take),
+                        detail::concat("from worker ",
+                                       static_cast<size_t>(
+                                           fat - workers.data())));
+            trace::Tracer &tr = trace::Tracer::instance();
+            if (tr.enabled()) {
+                tr.instant("explore", "steal",
+                           trace::Args()
+                               .add("entries",
+                                    static_cast<uint64_t>(take))
+                               .add("from",
+                                    static_cast<uint64_t>(
+                                        fat - workers.data()))
+                               .str(),
+                           workerTid(i));
+            }
+        }
+
+        for (size_t i = 0; i < workers.size(); ++i)
+            shipChunks(i);
+    }
+
+    /**
+     * The next pop is being computed by a live worker right now: give
+     * it a moment to land before re-simulating inline. Purely a
+     * performance heuristic -- either way the same segment result is
+     * applied.
+     */
+    bool
+    waitForTop(const std::string &dg)
+    {
+        const double budgetUs =
+            std::clamp(4.0 * meanInlineUs, 10'000.0, 500'000.0);
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::microseconds(
+                static_cast<int64_t>(budgetUs));
+        while (inFlight.count(dg) && !cache.count(dg)) {
+            auto now = std::chrono::steady_clock::now();
+            if (now >= deadline)
+                break;
+            auto leftMs =
+                std::chrono::duration_cast<
+                    std::chrono::milliseconds>(deadline - now)
+                    .count();
+            drainResults(static_cast<int>(
+                std::clamp<long long>(leftMs, 1, 5)));
+            respawnDead(); // a dead owner un-inflights the digest
+        }
+        return cache.count(dg) > 0;
+    }
+
+    // --- the authoritative serial apply ------------------------------
+
+    /**
+     * Whether a cached segment of @p segCycles cycles can be applied
+     * without changing what the serial engine would have done: the
+     * serial loop polls the cycle budgets at the top of *every* cycle,
+     * so a segment that crosses a threshold mid-flight must be re-run
+     * inline under the real governor (which stops or degrades at the
+     * exact cycle). Wall-clock/RSS dimensions fire at segment
+     * boundaries instead of mid-segment -- those are timing-dependent
+     * in the serial engine already (DESIGN.md §11).
+     */
+    bool
+    cacheUsable(const SegmentResult &seg) const
+    {
+        for (uint64_t t : {ps.cfg.budgets.softCycles,
+                           ps.cfg.budgets.hardCycles}) {
+            if (t && totalCycles < t &&
+                totalCycles + seg.cycles >= t) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    /**
+     * Fold one finished segment into the authoritative run state, in
+     * exactly the order the serial loop would have: taint, violations
+     * (rebased onto the global clock), POR forks, then the
+     * end-of-segment commit handling (HALT / state-table visit /
+     * branch enumeration / inline continuation).
+     *
+     * @p liveSim is true when the segment was just simulated inline,
+     * so the simulator already holds the segment's end state; cached
+     * applies restore it on the rare paths that read the simulator
+     * (memory-invariant scan at subsumption).
+     */
+    void
+    apply(const Entry &e, const SegmentResult &seg, uint64_t c0,
+          bool liveSim)
+    {
+        EngineStats &es = engineStats();
+        trace::Tracer &tr = trace::Tracer::instance();
+
+        if (ps.cfg.trackTaintedNets && seg.taintDelta.size() > 0)
+            everTainted.orWith(seg.taintDelta);
+        for (const Violation &v : seg.violations) {
+            Violation gv = v;
+            gv.firstCycle += c0;
+            log.merge(gv);
+        }
+        for (const SegmentPorFork &f : seg.porForks) {
+            ++branchPoints;
+            ++es.branchPoints;
+            ++es.porForks;
+            uint32_t cn = tree.addNode(e.node, f.startPc);
+            stack.push_back(Entry{f.fired, cn, false, {}});
+        }
+
+        if (seg.halted) {
+            // The worker (or inline segment) already ran the halt
+            // memory-invariant scan into seg.violations.
+            tree.node(e.node).end = PathEnd::Halted;
+            tree.node(e.node).endInstr = seg.endInstr;
+            return;
+        }
+
+        const uint16_t instr_addr = seg.endInstr;
+        const uint16_t fsm = seg.endFsm;
+        // visit() mutates the probe state in place on a merge; cached
+        // results must stay pristine for later identical pops.
+        SymState cur = seg.end;
+        const uint32_t table_key =
+            (static_cast<uint32_t>(instr_addr) << 4) | fsm;
+        StateTable::Visit visit =
+            ps.cfg.disableMerging ? StateTable::Visit::New
+                                  : table.visit(table_key, cur);
+        gov.noteStates(table.size());
+        if (tr.enabled()) {
+            static const char *const visitNames[] = {
+                "new", "subsumed", "merged"};
+            tr.instant("engine", "visit",
+                       trace::Args()
+                           .add("instr", hex16(instr_addr))
+                           .add("fsm",
+                                static_cast<uint64_t>(fsm))
+                           .add("result",
+                                visitNames[static_cast<int>(
+                                    visit)])
+                           .add("cycle", totalCycles)
+                           .str());
+        }
+        if (visit == StateTable::Visit::Subsumed) {
+            tree.node(e.node).end = PathEnd::Subsumed;
+            tree.node(e.node).endInstr = instr_addr;
+            if (!liveSim) {
+                // The scan below reads the data-memory cells out of
+                // the simulator; put the segment's end state there.
+                seg.end.restore(ps.layout, ps.sim.state());
+                ps.sim.markAllDirty();
+            }
+            ps.checker.checkMemoryInvariant(ps.sim, instr_addr,
+                                            totalCycles, log);
+            return;
+        }
+
+        const size_t pc_xbits = ps.statePcXBits(cur).size();
+        if (pc_xbits > 0) {
+            if (ps.cfg.budgets.softBranchBits &&
+                pc_xbits > ps.cfg.budgets.softBranchBits &&
+                level == DegradeLevel::None) {
+                BudgetEvent ev{ResourceKind::BranchFanout,
+                               BudgetSeverity::Soft,
+                               detail::concat(
+                                   pc_xbits,
+                                   " unknown PC bits at ",
+                                   hex16(instr_addr))};
+                escalate(ev, instr_addr);
+            }
+
+            bool overflow = false;
+            std::vector<uint16_t> pcs =
+                ps.candidatePcs(instr_addr, cur, overflow);
+            if (overflow) {
+                recordDegradation(
+                    DegradeLevel::StarLogicPath,
+                    ResourceKind::BranchFanout,
+                    BudgetSeverity::Hard, instr_addr,
+                    detail::concat(
+                        pc_xbits, " unknown PC bits exceed ",
+                        ps.cfg.maxBranchBits,
+                        " (consider masking the target)"));
+                // starSaturate overwrites every flop, memory cell and
+                // input before settling, so it needs no particular
+                // simulator state to start from.
+                ps.starSaturate(&everTainted);
+                tree.node(e.node).end = PathEnd::Degraded;
+                tree.node(e.node).endInstr = instr_addr;
+                return;
+            }
+            ++branchPoints;
+            ++es.branchPoints;
+            ++es.pcFanouts;
+            es.fanoutWidth.sample(
+                static_cast<double>(pcs.size()));
+            GLIFS_TRACE_INSTANT_ARGS(
+                "engine", "branch",
+                add("instr", hex16(instr_addr))
+                    .add("successors",
+                         static_cast<uint64_t>(pcs.size()))
+                    .add("cycle", totalCycles));
+            for (uint16_t pc : pcs) {
+                uint32_t cn = tree.addNode(e.node, pc);
+                stack.push_back(Entry{
+                    ps.concretizePc(cur, pc), cn, false, {}});
+            }
+            es.frontierPeak.set(
+                static_cast<double>(stack.size()));
+            gov.noteFrontier(stack.size());
+            tree.node(e.node).end = PathEnd::Branched;
+            tree.node(e.node).endInstr = instr_addr;
+            return;
+        }
+
+        // Commit with a concrete PC and visit != Subsumed: the serial
+        // loop keeps simulating this path inline. Model that as a
+        // continuation entry -- popped right back off the stack
+        // without the per-path accounting.
+        stack.push_back(Entry{std::move(cur), e.node, true, {}});
+    }
+
+    // --- the main loop -----------------------------------------------
+
+    void
+    exploreLoop()
+    {
+        EngineStats &es = engineStats();
+        trace::Tracer &tr = trace::Tracer::instance();
+        const SocProbes &prb = soc.probes();
+
+        while (!stack.empty() && !budgetHit) {
+            exStats().frontierSize.set(
+                static_cast<double>(stack.size()));
+            drainResults(0);
+            respawnDead();
+            scheduleShipping();
+
+            Entry e = std::move(stack.back());
+            stack.pop_back();
+            if (!e.cont) {
+                ++pathsExplored;
+                ++es.paths;
+                es.frontierDepth.sample(
+                    static_cast<double>(stack.size()));
+                es.frontierPeak.set(
+                    static_cast<double>(stack.size() + 1));
+                gov.noteFrontier(stack.size() + 1);
+                if (tr.enabled()) {
+                    tr.instant(
+                        "engine", "pop",
+                        trace::Args()
+                            .add("node",
+                                 static_cast<uint64_t>(e.node))
+                            .add("pc",
+                                 hex16(ps.statePcBase(e.state)))
+                            .add("stack",
+                                 static_cast<uint64_t>(
+                                     stack.size()))
+                            .str());
+                }
+            }
+            GLIFS_ASSERT(ps.statePcXBits(e.state).empty(),
+                         "execution point with unknown PC");
+
+            // Put the simulator exactly where the serial loop's would
+            // be at its top-of-path governor poll.
+            e.state.restore(ps.layout, ps.sim.state());
+            ps.sim.markAllDirty();
+
+            const std::string &dg = digestOf(e);
+            auto hit = cache.find(dg);
+            if (hit == cache.end() && inFlight.count(dg) &&
+                waitForTop(dg)) {
+                hit = cache.find(dg);
+            }
+            if (hit == cache.end() && queuedDigests.count(dg)) {
+                // About to run it ourselves; no point having a worker
+                // duplicate the effort.
+                dropQueued(dg);
+            }
+
+            const uint64_t c0 = totalCycles;
+            if (hit != cache.end() && cacheUsable(hit->second)) {
+                ++exStats().cacheHits;
+                const SegmentResult &seg = hit->second;
+                // The serial loop's first governor poll of the path.
+                if (auto ev = gov.poll()) {
+                    const uint16_t at =
+                        ps.tryBusValue(prb.instrAddrQ);
+                    if (ev->severity == BudgetSeverity::Hard) {
+                        recordDegradation(
+                            DegradeLevel::PartialStop, ev->kind,
+                            ev->severity, at, ev->detail);
+                        budgetHit = true;
+                        tree.node(e.node).end = PathEnd::Budget;
+                        tree.node(e.node).endInstr = at;
+                        if (ps.cfg.checkpointOnStop) {
+                            stack.push_back(Entry{
+                                std::move(e.state), e.node,
+                                false, std::move(e.dg)});
+                            --pathsExplored;
+                        }
+                        continue;
+                    }
+                    if (escalate(*ev, at) ==
+                        Escalation::KillPath) {
+                        ps.starSaturate(&everTainted);
+                        tree.node(e.node).end =
+                            PathEnd::Degraded;
+                        tree.node(e.node).endInstr = at;
+                        continue;
+                    }
+                }
+                totalCycles += seg.cycles;
+                es.cycles += seg.cycles;
+                gov.chargeCycles(seg.cycles);
+                tree.node(e.node).cycles += seg.cycles;
+                apply(e, seg, c0, /*liveSim=*/false);
+                continue;
+            }
+
+            // Inline execution under the real governor -- this is the
+            // serial engine's own path loop, cycle for cycle.
+            ++exStats().cacheMisses;
+            SegmentHooks hooks;
+            hooks.cycleCharged = [&] {
+                ++totalCycles;
+                ++es.cycles;
+                gov.chargeCycles(1);
+                ++tree.node(e.node).cycles;
+            };
+            hooks.poll = [&]() -> CycleAction {
+                auto ev = gov.poll();
+                if (!ev)
+                    return CycleAction::Continue;
+                const uint16_t at =
+                    ps.tryBusValue(prb.instrAddrQ);
+                if (ev->severity == BudgetSeverity::Hard) {
+                    recordDegradation(DegradeLevel::PartialStop,
+                                      ev->kind, ev->severity, at,
+                                      ev->detail);
+                    budgetHit = true;
+                    tree.node(e.node).end = PathEnd::Budget;
+                    tree.node(e.node).endInstr = at;
+                    return CycleAction::Stop;
+                }
+                if (escalate(*ev, at) == Escalation::KillPath) {
+                    tree.node(e.node).end = PathEnd::Degraded;
+                    tree.node(e.node).endInstr = at;
+                    return CycleAction::Kill;
+                }
+                return CycleAction::Continue;
+            };
+
+            const auto tSeg = std::chrono::steady_clock::now();
+            SegmentResult seg = ps.runSegment(e.state, hooks);
+            const double segUs =
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - tSeg)
+                    .count();
+            meanInlineUs = 0.9 * meanInlineUs + 0.1 * segUs;
+
+            if (seg.killed) {
+                // Taint/violations/forks observed before the kill
+                // still count, exactly as in the serial loop.
+                if (ps.cfg.trackTaintedNets &&
+                    seg.taintDelta.size() > 0)
+                    everTainted.orWith(seg.taintDelta);
+                for (const Violation &v : seg.violations) {
+                    Violation gv = v;
+                    gv.firstCycle += c0;
+                    log.merge(gv);
+                }
+                for (const SegmentPorFork &f : seg.porForks) {
+                    ++branchPoints;
+                    ++es.branchPoints;
+                    ++es.porForks;
+                    uint32_t cn = tree.addNode(e.node, f.startPc);
+                    stack.push_back(Entry{f.fired, cn, false, {}});
+                }
+                ps.starSaturate(&everTainted);
+                continue;
+            }
+            if (seg.stopped) {
+                if (ps.cfg.trackTaintedNets &&
+                    seg.taintDelta.size() > 0)
+                    everTainted.orWith(seg.taintDelta);
+                for (const Violation &v : seg.violations) {
+                    Violation gv = v;
+                    gv.firstCycle += c0;
+                    log.merge(gv);
+                }
+                for (const SegmentPorFork &f : seg.porForks) {
+                    ++branchPoints;
+                    ++es.branchPoints;
+                    ++es.porForks;
+                    uint32_t cn = tree.addNode(e.node, f.startPc);
+                    stack.push_back(Entry{f.fired, cn, false, {}});
+                }
+                if (ps.cfg.checkpointOnStop) {
+                    // Park the in-flight state for the snapshot; the
+                    // resumed run pops (and counts) it again.
+                    stack.push_back(Entry{std::move(seg.end),
+                                          e.node, false, {}});
+                    --pathsExplored;
+                }
+                continue;
+            }
+            apply(e, seg, c0, /*liveSim=*/true);
+        }
+    }
+};
+
+} // namespace
+
+ParallelEngine::ParallelEngine(const Soc &s, const Policy &p,
+                               const EngineConfig &c, ExploreConfig x)
+    : soc(s), policy(p), cfg(c), xcfg(std::move(x))
+{
+    GLIFS_ASSERT(xcfg.jobs >= 2,
+                 "ParallelEngine needs at least 2 jobs (use "
+                 "IftEngine for serial runs)");
+}
+
+EngineResult
+ParallelEngine::run(const ProgramImage &image)
+{
+    return run(image, nullptr);
+}
+
+EngineResult
+ParallelEngine::run(const ProgramImage &image,
+                    const EngineCheckpoint *resume)
+{
+    GLIFS_TRACE_SCOPE("engine", "run");
+    EngineStats &es = engineStats();
+    ++es.runs;
+    trace::Tracer &tr = trace::Tracer::instance();
+    const auto t0 = std::chrono::steady_clock::now();
+    const uint64_t traceT0 = tr.enabled() ? tr.nowUs() : 0;
+    auto secondsSince = [](std::chrono::steady_clock::time_point t) {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t)
+            .count();
+    };
+
+    // Same legacy-budget folding as the serial engine.
+    EngineConfig effective = cfg;
+    if (effective.maxCycles > 0 &&
+        (effective.budgets.hardCycles == 0 ||
+         effective.maxCycles < effective.budgets.hardCycles)) {
+        effective.budgets.hardCycles = effective.maxCycles;
+    }
+
+    Coord ctx(soc, policy, effective, xcfg, image);
+    EngineResult res;
+
+    if (effective.progressSeconds > 0 && effective.progressFn) {
+        ctx.gov.setHeartbeat(effective.progressSeconds,
+                             effective.progressFn);
+    }
+
+    ctx.ps.loadProgram();
+    ctx.fingerprint = checkpointFingerprint(
+        image, ctx.ps.layout.slots(), soc.netlist().numNets());
+
+    if (resume) {
+        if (resume->fingerprint != ctx.fingerprint) {
+            GLIFS_RECOVERABLE(
+                "checkpoint does not match this program image and "
+                "netlist (was the firmware or SoC changed?)");
+        }
+        if (resume->everTainted.size() != soc.netlist().numNets())
+            GLIFS_RECOVERABLE("checkpoint: tainted-net plane mismatch");
+
+        ctx.totalCycles = resume->totalCycles;
+        ctx.gov.chargeCycles(resume->totalCycles);
+        ctx.pathsExplored = resume->pathsExplored;
+        ctx.branchPoints = resume->branchPoints;
+        ctx.level = resume->level;
+        if (ctx.level >= DegradeLevel::WidenedMerging)
+            ctx.ps.cfg.preciseJumpTargets = false;
+        ctx.degradations = resume->degradations;
+        for (const Violation &v : resume->violations)
+            ctx.log.restore(v);
+        ctx.everTainted = resume->everTainted;
+        for (const auto &[key, state] : resume->table)
+            ctx.table.insertRestored(key, state);
+        ctx.table.setCounters(resume->merges, resume->subsumptions);
+        ctx.gov.noteStates(ctx.table.size());
+        ctx.tree.setNodes(resume->tree);
+        for (const auto &[state, node] : resume->frontier) {
+            ctx.stack.push_back(
+                Coord::Entry{state, node, false, {}});
+        }
+    } else {
+        // Algorithm 1 line 5: propagate the (untainted) reset.
+        ctx.ps.setInputs(true);
+        ctx.ps.sim.step();
+        ++ctx.totalCycles;
+        ++es.cycles;
+        ctx.gov.chargeCycles(1);
+
+        SymState s0(ctx.ps.layout);
+        s0.capture(ctx.ps.layout, ctx.ps.sim.state());
+        uint32_t root = ctx.tree.addNode(-1, 0);
+        ctx.stack.push_back(
+            Coord::Entry{std::move(s0), root, false, {}});
+    }
+
+    // Spin up the worker fleet. Losing the scratch dir or every
+    // worker is not fatal: the coordinator's inline path is always
+    // sufficient. A worker dying with work queued must surface as
+    // EPIPE on the next ctl write (-> markDead + reshard), never as
+    // a coordinator-killing SIGPIPE.
+    std::signal(SIGPIPE, SIG_IGN);
+    char dirTemplate[] = "/tmp/glifs-explore-XXXXXX";
+    if (::mkdtemp(dirTemplate)) {
+        ctx.workDir = dirTemplate;
+    } else {
+        GLIFS_WARN("explore: cannot create scratch dir; running "
+                  "without speculation");
+        ctx.shippingOk = false;
+    }
+    if (tr.enabled())
+        tr.threadName(1, "coordinator");
+    ctx.workers.resize(xcfg.jobs - 1);
+    if (ctx.shippingOk) {
+        for (size_t i = 0; i < ctx.workers.size(); ++i) {
+            try {
+                ctx.spawnWorker(i);
+            } catch (const RecoverableError &e) {
+                GLIFS_WARN("explore: worker ", i,
+                          " failed to start: ", e.what());
+            }
+        }
+    }
+
+    es.setupSeconds.add(secondsSince(t0));
+    if (tr.enabled())
+        tr.complete("engine", "setup", traceT0, tr.nowUs() - traceT0);
+    const auto tExplore = std::chrono::steady_clock::now();
+    const uint64_t traceTExplore = tr.enabled() ? tr.nowUs() : 0;
+
+    ctx.exploreLoop();
+    ctx.shutdownWorkers();
+
+    es.exploreSeconds.add(secondsSince(tExplore));
+    if (tr.enabled()) {
+        tr.complete("engine", "explore", traceTExplore,
+                    tr.nowUs() - traceTExplore);
+    }
+    const auto tFinalize = std::chrono::steady_clock::now();
+    const uint64_t traceTFinalize = tr.enabled() ? tr.nowUs() : 0;
+
+    res.completed = ctx.stack.empty() && !ctx.budgetHit;
+    res.starAborted = false;
+    res.cyclesSimulated = ctx.totalCycles;
+    res.pathsExplored = ctx.pathsExplored;
+    res.branchPoints = ctx.branchPoints;
+    res.merges = ctx.table.merges();
+    res.subsumptions = ctx.table.subsumptions();
+    res.statesTracked = ctx.table.size();
+    res.violations = ctx.log.list();
+    res.degradations = ctx.degradations;
+
+    if (ctx.budgetHit && ctx.ps.cfg.checkpointOnStop) {
+        auto ckpt = std::make_shared<EngineCheckpoint>();
+        ckpt->fingerprint = ctx.fingerprint;
+        ckpt->totalCycles = ctx.totalCycles;
+        ckpt->pathsExplored = ctx.pathsExplored;
+        ckpt->branchPoints = ctx.branchPoints;
+        ckpt->merges = ctx.table.merges();
+        ckpt->subsumptions = ctx.table.subsumptions();
+        ckpt->level = ctx.level;
+        for (const Degradation &d : ctx.degradations) {
+            if (d.level != DegradeLevel::PartialStop)
+                ckpt->degradations.push_back(d);
+        }
+        ckpt->violations = res.violations;
+        ckpt->everTainted = ctx.everTainted;
+        ckpt->table.reserve(ctx.table.entries().size());
+        for (const auto &[key, state] : ctx.table.entries())
+            ckpt->table.emplace_back(key, state);
+        ckpt->frontier.reserve(ctx.stack.size());
+        for (const Coord::Entry &e : ctx.stack)
+            ckpt->frontier.emplace_back(e.state, e.node);
+        ckpt->tree = ctx.tree.all();
+        res.checkpoint = std::move(ckpt);
+    }
+
+    res.tree = std::move(ctx.tree);
+
+    if (!cfg.starLogicMode) {
+        const Netlist &nl = soc.netlist();
+        size_t tainted = 0;
+        size_t total = 0;
+        for (const Gate &g : nl.gates()) {
+            if (g.type != GateType::Comb && g.type != GateType::Dff)
+                continue;
+            ++total;
+            if (ctx.everTainted.get(g.out))
+                ++tainted;
+        }
+        res.taintedGates = tainted;
+        res.totalGates = total;
+    }
+    res.taintedGateFraction =
+        res.totalGates == 0
+            ? 0.0
+            : static_cast<double>(res.taintedGates) / res.totalGates;
+
+    es.finalizeSeconds.add(secondsSince(tFinalize));
+    if (tr.enabled()) {
+        tr.complete("engine", "finalize", traceTFinalize,
+                    tr.nowUs() - traceTFinalize);
+    }
+
+    const auto t1 = std::chrono::steady_clock::now();
+    res.analysisSeconds =
+        std::chrono::duration<double>(t1 - t0).count();
+    return res;
+}
+
+} // namespace glifs::explore

@@ -119,6 +119,19 @@ ViolationLog::restore(const Violation &v)
         std::make_pair(static_cast<uint8_t>(v.kind), v.instrAddr), v);
 }
 
+void
+ViolationLog::merge(const Violation &v)
+{
+    auto key = std::make_pair(static_cast<uint8_t>(v.kind), v.instrAddr);
+    auto it = entries.find(key);
+    if (it == entries.end()) {
+        entries.emplace(key, v);
+        return;
+    }
+    it->second.count += v.count;
+    it->second.maskable |= v.maskable;
+}
+
 std::vector<Violation>
 ViolationLog::list() const
 {

@@ -74,6 +74,15 @@ class ViolationLog
     /** Checkpoint restore: re-insert an aggregated entry verbatim. */
     void restore(const Violation &v);
 
+    /**
+     * Fold an already-aggregated entry (e.g. from a worker segment)
+     * into the log: absent keys insert it verbatim, present keys add
+     * the observation counts and OR maskability, keeping the earlier
+     * firstCycle/detail -- the same aggregation record() performs
+     * cycle by cycle.
+     */
+    void merge(const Violation &v);
+
     std::vector<Violation> list() const;
     bool empty() const { return entries.empty(); }
     size_t distinct() const { return entries.size(); }

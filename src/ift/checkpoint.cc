@@ -2,12 +2,12 @@
 
 #include <chrono>
 #include <fstream>
-#include <sstream>
 
 #include "base/hash.hh"
 #include "base/logging.hh"
 #include "base/stats.hh"
 #include "base/trace.hh"
+#include "ift/ckpt_io.hh"
 
 namespace glifs
 {
@@ -39,131 +39,20 @@ ckptStats()
     return s;
 }
 
-/** Little-endian primitive writer over an output stream. */
-class Writer
+/**
+ * Per-thread scratch buffer for save/load bodies. Snapshot bodies of
+ * one run are all about the same size, so after the first call the
+ * serialize path performs no heap allocation beyond string payloads --
+ * this is the steal-latency floor of parallel exploration, where every
+ * shipped work unit rides through encodeBody/decodeBody.
+ */
+std::string &
+scratchBuffer()
 {
-  public:
-    explicit Writer(std::ostream &o) : out(o) {}
-
-    void
-    u8(uint8_t v)
-    {
-        out.put(static_cast<char>(v));
-    }
-
-    void
-    u16(uint16_t v)
-    {
-        u8(v & 0xFF);
-        u8(v >> 8);
-    }
-
-    void
-    u32(uint32_t v)
-    {
-        u16(v & 0xFFFF);
-        u16(v >> 16);
-    }
-
-    void
-    u64(uint64_t v)
-    {
-        u32(static_cast<uint32_t>(v));
-        u32(static_cast<uint32_t>(v >> 32));
-    }
-
-    void
-    str(const std::string &s)
-    {
-        u32(static_cast<uint32_t>(s.size()));
-        out.write(s.data(), static_cast<std::streamsize>(s.size()));
-    }
-
-    void
-    plane(const BitPlane &p)
-    {
-        u64(p.size());
-        for (uint64_t w : p.words())
-            u64(w);
-    }
-
-    void
-    symstate(const SymState &s)
-    {
-        plane(s.knownPlane());
-        plane(s.valuePlane());
-        plane(s.taintPlane());
-    }
-
-  private:
-    std::ostream &out;
-};
-
-/** Little-endian primitive reader; RecoverableError on short reads. */
-class Reader
-{
-  public:
-    explicit Reader(std::istream &i) : in(i) {}
-
-    uint8_t
-    u8()
-    {
-        int c = in.get();
-        if (c == std::char_traits<char>::eof())
-            GLIFS_RECOVERABLE("checkpoint: truncated file");
-        return static_cast<uint8_t>(c);
-    }
-
-    uint16_t u16() { return u8() | (uint16_t{u8()} << 8); }
-    uint32_t u32() { return u16() | (uint32_t{u16()} << 16); }
-    uint64_t u64() { return u32() | (uint64_t{u32()} << 32); }
-
-    std::string
-    str()
-    {
-        uint32_t n = u32();
-        if (n > kMaxSection)
-            GLIFS_RECOVERABLE("checkpoint: implausible string length ",
-                              n);
-        std::string s(n, '\0');
-        in.read(s.data(), n);
-        if (static_cast<uint32_t>(in.gcount()) != n)
-            GLIFS_RECOVERABLE("checkpoint: truncated file");
-        return s;
-    }
-
-    BitPlane
-    plane()
-    {
-        uint64_t nbits = u64();
-        if (nbits > kMaxBits)
-            GLIFS_RECOVERABLE("checkpoint: implausible plane size ",
-                              nbits);
-        BitPlane p(static_cast<size_t>(nbits));
-        for (uint64_t &w : p.words())
-            w = u64();
-        return p;
-    }
-
-    SymState
-    symstate()
-    {
-        BitPlane k = plane();
-        BitPlane v = plane();
-        BitPlane t = plane();
-        if (k.size() != v.size() || v.size() != t.size())
-            GLIFS_RECOVERABLE("checkpoint: state plane size mismatch");
-        SymState s;
-        s.setPlanes(std::move(k), std::move(v), std::move(t));
-        return s;
-    }
-
-    static constexpr uint32_t kMaxSection = 1u << 26;
-    static constexpr uint64_t kMaxBits = 1ull << 36;
-
-  private:
-    std::istream &in;
-};
+    static thread_local std::string buf;
+    buf.clear();
+    return buf;
+}
 
 } // namespace
 
@@ -188,17 +77,9 @@ checkpointFingerprint(const ProgramImage &image, size_t slots,
 }
 
 void
-EngineCheckpoint::save(const std::string &path) const
+EngineCheckpoint::encodeBody(std::string &out) const
 {
-    GLIFS_TRACE_SCOPE("checkpoint", "save");
-    const auto t0 = std::chrono::steady_clock::now();
-
-    // Serialize the body to a buffer first so its CRC-32 can sit in
-    // the header: load() then verifies the whole body before parsing
-    // a byte of it, turning any on-disk corruption into one clean
-    // RecoverableError instead of a garbage parse.
-    std::ostringstream body;
-    Writer w(body);
+    ckptio::Writer w(out);
     w.u64(fingerprint);
     w.u64(totalCycles);
     w.u64(pathsExplored);
@@ -250,16 +131,123 @@ EngineCheckpoint::save(const std::string &path) const
         w.u16(n.endInstr);
         w.u8(static_cast<uint8_t>(n.end));
     }
+}
 
-    const std::string bytes = body.str();
+EngineCheckpoint
+EngineCheckpoint::decodeBody(std::string_view body)
+{
+    ckptio::Reader r(body);
+
+    EngineCheckpoint c;
+    c.fingerprint = r.u64();
+    c.totalCycles = r.u64();
+    c.pathsExplored = r.u64();
+    c.branchPoints = r.u64();
+    c.merges = r.u64();
+    c.subsumptions = r.u64();
+    uint8_t level = r.u8();
+    if (level > static_cast<uint8_t>(DegradeLevel::PartialStop))
+        GLIFS_RECOVERABLE("checkpoint: bad degrade level ", level);
+    c.level = static_cast<DegradeLevel>(level);
+
+    uint32_t ndeg = r.u32();
+    if (ndeg > ckptio::kMaxSection)
+        GLIFS_RECOVERABLE("checkpoint: implausible section size");
+    c.degradations.reserve(ndeg);
+    for (uint32_t i = 0; i < ndeg; ++i) {
+        Degradation d;
+        d.level = static_cast<DegradeLevel>(r.u8());
+        d.trigger = static_cast<ResourceKind>(r.u8());
+        d.severity = static_cast<BudgetSeverity>(r.u8());
+        d.cycle = r.u64();
+        d.instrAddr = r.u16();
+        d.detail = r.str();
+        c.degradations.push_back(std::move(d));
+    }
+
+    uint32_t nviol = r.u32();
+    if (nviol > ckptio::kMaxSection)
+        GLIFS_RECOVERABLE("checkpoint: implausible section size");
+    c.violations.reserve(nviol);
+    for (uint32_t i = 0; i < nviol; ++i) {
+        Violation v;
+        v.kind = static_cast<ViolationKind>(r.u8());
+        v.instrAddr = r.u16();
+        v.firstCycle = r.u64();
+        v.count = r.u32();
+        v.maskable = r.u8() != 0;
+        v.detail = r.str();
+        c.violations.push_back(std::move(v));
+    }
+
+    c.everTainted = r.plane();
+
+    uint32_t ntable = r.u32();
+    if (ntable > ckptio::kMaxSection)
+        GLIFS_RECOVERABLE("checkpoint: implausible section size");
+    c.table.reserve(ntable);
+    for (uint32_t i = 0; i < ntable; ++i) {
+        uint32_t key = r.u32();
+        c.table.emplace_back(key, r.symstate());
+    }
+
+    uint32_t nfront = r.u32();
+    if (nfront > ckptio::kMaxSection)
+        GLIFS_RECOVERABLE("checkpoint: implausible section size");
+    c.frontier.reserve(nfront);
+    for (uint32_t i = 0; i < nfront; ++i) {
+        SymState s = r.symstate();
+        uint32_t node = r.u32();
+        c.frontier.emplace_back(std::move(s), node);
+    }
+
+    uint32_t ntree = r.u32();
+    if (ntree > ckptio::kMaxSection)
+        GLIFS_RECOVERABLE("checkpoint: implausible section size");
+    c.tree.reserve(ntree);
+    for (uint32_t i = 0; i < ntree; ++i) {
+        ExecNode n;
+        n.id = r.u32();
+        n.parent = static_cast<int32_t>(r.u32());
+        n.startPc = r.u16();
+        n.cycles = r.u64();
+        n.endInstr = r.u16();
+        uint8_t end = r.u8();
+        if (end > static_cast<uint8_t>(PathEnd::Degraded))
+            GLIFS_RECOVERABLE("checkpoint: bad path end ", end);
+        n.end = static_cast<PathEnd>(end);
+        c.tree.push_back(n);
+    }
+
+    return c;
+}
+
+void
+EngineCheckpoint::save(const std::string &path) const
+{
+    GLIFS_TRACE_SCOPE("checkpoint", "save");
+    const auto t0 = std::chrono::steady_clock::now();
+
+    // Serialize the body to a buffer first so its CRC-32 can sit in
+    // the header: load() then verifies the whole body before parsing
+    // a byte of it, turning any on-disk corruption into one clean
+    // RecoverableError instead of a garbage parse. The scratch is
+    // per-thread and reused across saves, so the serialize path does
+    // not re-allocate its working set on every snapshot.
+    std::string &bytes = scratchBuffer();
+    encodeBody(bytes);
 
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out)
         GLIFS_RECOVERABLE("checkpoint: cannot write ", path);
     out.write(kMagic, sizeof(kMagic));
-    Writer hdr(out);
-    hdr.u32(kVersion);
-    hdr.u32(crc32(bytes));
+    char hdr[8];
+    const uint32_t crc = crc32(bytes);
+    for (int i = 0; i < 4; ++i) {
+        hdr[i] = static_cast<char>((kVersion >> (8 * i)) & 0xFF);
+        hdr[4 + i] = static_cast<char>((crc >> (8 * i)) & 0xFF);
+    }
+    out.write(hdr, sizeof(hdr));
     out.write(bytes.data(),
               static_cast<std::streamsize>(bytes.size()));
     out.flush();
@@ -289,106 +277,45 @@ EngineCheckpoint::load(const std::string &path)
         GLIFS_RECOVERABLE("checkpoint: ", path,
                           " is not a glifs checkpoint");
     }
-    Reader hdr(in);
-    uint32_t version = hdr.u32();
+    char hdr[8] = {};
+    in.read(hdr, sizeof(hdr));
+    if (in.gcount() != sizeof(hdr))
+        GLIFS_RECOVERABLE("checkpoint: truncated file");
+    uint32_t version = 0;
+    uint32_t wantCrc = 0;
+    for (int i = 0; i < 4; ++i) {
+        version |= uint32_t{static_cast<uint8_t>(hdr[i])} << (8 * i);
+        wantCrc |= uint32_t{static_cast<uint8_t>(hdr[4 + i])}
+                   << (8 * i);
+    }
     if (version != kVersion) {
         GLIFS_RECOVERABLE("checkpoint: version ", version,
                           " unsupported (expected ", kVersion, ")");
     }
-    uint32_t wantCrc = hdr.u32();
 
     // Slurp and verify the body before parsing: a bit flip anywhere
-    // must become this one error, not a semi-plausible parse.
-    std::ostringstream slurp;
-    slurp << in.rdbuf();
-    const std::string bytes = slurp.str();
+    // must become this one error, not a semi-plausible parse. The
+    // slurp reuses the per-thread scratch, so repeated loads (the
+    // parallel coordinator re-reading shipped work units) settle into
+    // a steady-state allocation footprint.
+    std::string &bytes = scratchBuffer();
+    in.seekg(0, std::ios::end);
+    const std::streamoff fileEnd = in.tellg();
+    constexpr std::streamoff kBodyOff =
+        static_cast<std::streamoff>(sizeof(kMagic) + sizeof(hdr));
+    if (fileEnd < kBodyOff)
+        GLIFS_RECOVERABLE("checkpoint: truncated file");
+    bytes.resize(static_cast<size_t>(fileEnd - kBodyOff));
+    in.seekg(kBodyOff, std::ios::beg);
+    in.read(bytes.data(),
+            static_cast<std::streamsize>(bytes.size()));
+    if (static_cast<size_t>(in.gcount()) != bytes.size())
+        GLIFS_RECOVERABLE("checkpoint: truncated file");
     if (crc32(bytes) != wantCrc)
         GLIFS_RECOVERABLE("checkpoint: ", path,
                           " failed its integrity check (corrupt or "
                           "truncated body)");
-    std::istringstream bodyIn(bytes);
-    Reader r(bodyIn);
-
-    EngineCheckpoint c;
-    c.fingerprint = r.u64();
-    c.totalCycles = r.u64();
-    c.pathsExplored = r.u64();
-    c.branchPoints = r.u64();
-    c.merges = r.u64();
-    c.subsumptions = r.u64();
-    uint8_t level = r.u8();
-    if (level > static_cast<uint8_t>(DegradeLevel::PartialStop))
-        GLIFS_RECOVERABLE("checkpoint: bad degrade level ", level);
-    c.level = static_cast<DegradeLevel>(level);
-
-    uint32_t ndeg = r.u32();
-    if (ndeg > Reader::kMaxSection)
-        GLIFS_RECOVERABLE("checkpoint: implausible section size");
-    c.degradations.reserve(ndeg);
-    for (uint32_t i = 0; i < ndeg; ++i) {
-        Degradation d;
-        d.level = static_cast<DegradeLevel>(r.u8());
-        d.trigger = static_cast<ResourceKind>(r.u8());
-        d.severity = static_cast<BudgetSeverity>(r.u8());
-        d.cycle = r.u64();
-        d.instrAddr = r.u16();
-        d.detail = r.str();
-        c.degradations.push_back(std::move(d));
-    }
-
-    uint32_t nviol = r.u32();
-    if (nviol > Reader::kMaxSection)
-        GLIFS_RECOVERABLE("checkpoint: implausible section size");
-    c.violations.reserve(nviol);
-    for (uint32_t i = 0; i < nviol; ++i) {
-        Violation v;
-        v.kind = static_cast<ViolationKind>(r.u8());
-        v.instrAddr = r.u16();
-        v.firstCycle = r.u64();
-        v.count = r.u32();
-        v.maskable = r.u8() != 0;
-        v.detail = r.str();
-        c.violations.push_back(std::move(v));
-    }
-
-    c.everTainted = r.plane();
-
-    uint32_t ntable = r.u32();
-    if (ntable > Reader::kMaxSection)
-        GLIFS_RECOVERABLE("checkpoint: implausible section size");
-    c.table.reserve(ntable);
-    for (uint32_t i = 0; i < ntable; ++i) {
-        uint32_t key = r.u32();
-        c.table.emplace_back(key, r.symstate());
-    }
-
-    uint32_t nfront = r.u32();
-    if (nfront > Reader::kMaxSection)
-        GLIFS_RECOVERABLE("checkpoint: implausible section size");
-    c.frontier.reserve(nfront);
-    for (uint32_t i = 0; i < nfront; ++i) {
-        SymState s = r.symstate();
-        uint32_t node = r.u32();
-        c.frontier.emplace_back(std::move(s), node);
-    }
-
-    uint32_t ntree = r.u32();
-    if (ntree > Reader::kMaxSection)
-        GLIFS_RECOVERABLE("checkpoint: implausible section size");
-    c.tree.reserve(ntree);
-    for (uint32_t i = 0; i < ntree; ++i) {
-        ExecNode n;
-        n.id = r.u32();
-        n.parent = static_cast<int32_t>(r.u32());
-        n.startPc = r.u16();
-        n.cycles = r.u64();
-        n.endInstr = r.u16();
-        uint8_t end = r.u8();
-        if (end > static_cast<uint8_t>(PathEnd::Degraded))
-            GLIFS_RECOVERABLE("checkpoint: bad path end ", end);
-        n.end = static_cast<PathEnd>(end);
-        c.tree.push_back(n);
-    }
+    EngineCheckpoint c = decodeBody(bytes);
 
     CheckpointStats &st = ckptStats();
     ++st.loads;

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -82,6 +83,18 @@ struct EngineCheckpoint
 
     /** Load and validate a snapshot; RecoverableError on any defect. */
     static EngineCheckpoint load(const std::string &path);
+
+    /**
+     * Append the body (everything after the magic/version/CRC header)
+     * to @p out. Shared by save() and the parallel-exploration work
+     * shipping (explore/protocol.cc); callers reuse the buffer across
+     * encodes to keep the hot path allocation-free.
+     */
+    void encodeBody(std::string &out) const;
+
+    /** Parse a body produced by encodeBody; RecoverableError on any
+     *  defect. The caller has already verified integrity (CRC). */
+    static EngineCheckpoint decodeBody(std::string_view body);
 };
 
 /**

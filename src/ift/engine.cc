@@ -9,74 +9,13 @@
 #include "base/strutil.hh"
 #include "base/trace.hh"
 #include "ift/checkpoint.hh"
+#include "ift/engine_stats.hh"
+#include "ift/path_sim.hh"
 #include "ift/symstate.hh"
 #include "sim/simulator.hh"
 
 namespace glifs
 {
-
-namespace
-{
-
-/** Exploration counters of the symbolic engine (docs/OBSERVABILITY.md). */
-struct EngineStats
-{
-    stats::Scalar runs{"engine.runs", "analysis runs started"};
-    stats::Scalar cycles{"engine.cycles",
-                         "simulated cycles across all paths"};
-    stats::Scalar paths{"engine.paths", "execution points explored"};
-    stats::Scalar branchPoints{"engine.branch_points",
-                               "forks on unknown PC or reset"};
-    stats::Scalar porForks{"engine.por_forks",
-                           "unknown watchdog-expiry forks"};
-    stats::Scalar pcFanouts{"engine.pc_fanouts",
-                            "unknown-PC successor enumerations"};
-    stats::Distribution fanoutWidth{
-        "engine.fanout_width",
-        "concrete successors per unknown-PC branch", 0, 64, 16};
-    stats::Distribution frontierDepth{
-        "engine.frontier_depth", "frontier size at each pop", 0, 256,
-        32};
-    stats::Gauge frontierPeak{"engine.frontier_peak",
-                              "pending execution points"};
-    stats::Scalar escalations{"engine.escalations",
-                              "degradation-ladder escalations"};
-    stats::Scalar starSaturations{"engine.star_saturations",
-                                  "paths saturated to *-logic"};
-    stats::Gauge setupSeconds{"engine.setup_seconds",
-                              "wall time loading/restoring state"};
-    stats::Gauge exploreSeconds{"engine.explore_seconds",
-                                "wall time in the exploration loop"};
-    stats::Gauge finalizeSeconds{
-        "engine.finalize_seconds",
-        "wall time assembling results/checkpoints"};
-    stats::Formula cyclesPerPath{
-        "engine.cycles_per_path", "mean simulated cycles per path",
-        [] {
-            EngineStats &s = engineStats();
-            return s.paths.value() == 0
-                       ? 0.0
-                       : static_cast<double>(s.cycles.value()) /
-                             s.paths.value();
-        }};
-
-    static EngineStats &engineStats();
-};
-
-EngineStats &
-EngineStats::engineStats()
-{
-    static EngineStats s;
-    return s;
-}
-
-EngineStats &
-engineStats()
-{
-    return EngineStats::engineStats();
-}
-
-} // namespace
 
 bool
 EngineResult::degradedUnsound() const
@@ -150,21 +89,14 @@ namespace
 /** Everything one run() invocation needs. */
 struct RunCtx
 {
-    const Soc &soc;
-    const Policy &policy;
-    EngineConfig cfg;  ///< by value: the ladder mutates it in place
-    const ProgramImage &image;
+    PathSim ps; ///< sim, layout, checker and the Algorithm-1 helpers
 
-    Simulator sim;
-    SymLayout layout;
-    FlowChecker checker;
     ViolationLog log;
     StateTable table;
     ExecTree tree;
     ResourceGovernor gov;
     std::vector<std::pair<SymState, uint32_t>> stack;  // state, node
     BitPlane everTainted;
-    std::vector<size_t> pcSlots;  ///< SymState slots of the PC flops
 
     uint64_t totalCycles = 0;
     uint64_t pathsExplored = 0;
@@ -177,65 +109,9 @@ struct RunCtx
 
     RunCtx(const Soc &s, const Policy &p, const EngineConfig &c,
            const ProgramImage &img)
-        : soc(s), policy(p), cfg(c), image(img), sim(s.netlist()),
-          layout(s.netlist()), checker(s, p), gov(c.budgets),
+        : ps(s, p, c, img), gov(c.budgets),
           everTainted(s.netlist().numNets())
     {
-        // Slot indices of the PC flip-flops within the layout.
-        const Netlist &nl = s.netlist();
-        std::unordered_map<GateId, size_t> slot_of;
-        for (size_t i = 0; i < nl.dffs().size(); ++i)
-            slot_of[nl.dffs()[i]] = i;
-        for (GateId g : s.probes().pcFlops)
-            pcSlots.push_back(slot_of.at(g));
-    }
-
-    /** Drive reset and port inputs for one cycle. */
-    void
-    setInputs(bool reset)
-    {
-        const SocProbes &prb = soc.probes();
-        sim.setInput(prb.extReset, sigBool(reset));
-        for (unsigned p = 0; p < 4; ++p) {
-            Signal s{Tern::X, policy.taintedInPort[p]};
-            for (unsigned b = 0; b < 16; ++b)
-                sim.setInput(prb.portIn[p][b], s);
-        }
-        // Nondeterminism injection (Section 8): force the named nets
-        // unknown so every downstream outcome is explored.
-        for (const auto &[net, taint] : cfg.injectUnknown)
-            sim.setInput(net, Signal{Tern::X, taint});
-    }
-
-    /** Concrete value of a probed register bus; panics on X. */
-    uint16_t
-    busValue(const Bus &bus, const char *what) const
-    {
-        uint16_t v = 0;
-        for (size_t i = 0; i < bus.size(); ++i) {
-            Signal s = sim.netValue(bus[i]);
-            GLIFS_ASSERT(s.known(), "engine: ", what,
-                         " has unknown bit ", i);
-            if (s.asBool())
-                v |= static_cast<uint16_t>(1u << i);
-        }
-        return v;
-    }
-
-    /** Concrete value of a probed bus, or 0xFFFF if any bit is X
-     *  (degradation records must never panic on unknowns). */
-    uint16_t
-    tryBusValue(const Bus &bus) const
-    {
-        uint16_t v = 0;
-        for (size_t i = 0; i < bus.size(); ++i) {
-            Signal s = sim.netValue(bus[i]);
-            if (!s.known())
-                return 0xFFFF;
-            if (s.asBool())
-                v |= static_cast<uint16_t>(1u << i);
-        }
-        return v;
     }
 
     void
@@ -280,7 +156,7 @@ struct RunCtx
     {
         if (level == DegradeLevel::None) {
             level = DegradeLevel::WidenedMerging;
-            cfg.preciseJumpTargets = false;
+            ps.cfg.preciseJumpTargets = false;
             recordDegradation(DegradeLevel::WidenedMerging, ev.kind,
                               ev.severity, instr_addr, ev.detail);
             return Escalation::Widened;
@@ -289,193 +165,6 @@ struct RunCtx
         recordDegradation(DegradeLevel::StarLogicPath, ev.kind,
                           ev.severity, instr_addr, ev.detail);
         return Escalation::KillPath;
-    }
-
-    bool
-    busHasX(const Bus &bus) const
-    {
-        for (NetId n : bus) {
-            if (!sim.netValue(n).known())
-                return true;
-        }
-        return false;
-    }
-
-    /** OR this cycle's net taints into the ever-tainted plane. */
-    void
-    accumulateTaint()
-    {
-        const auto &nets = sim.state().rawNets();
-        auto &words = everTainted.words();
-        for (size_t i = 0; i < nets.size(); ++i) {
-            if (nets[i].taint)
-                words[i / 64] |= 1ULL << (i % 64);
-        }
-    }
-
-    /** Unknown PC bits of a captured state. */
-    std::vector<unsigned>
-    statePcXBits(const SymState &s) const
-    {
-        std::vector<unsigned> xs;
-        for (size_t i = 0; i < pcSlots.size(); ++i) {
-            if (!s.slot(pcSlots[i]).known())
-                xs.push_back(static_cast<unsigned>(i));
-        }
-        return xs;
-    }
-
-    /** Any taint on the PC bits or FSM state of a captured state. */
-    bool
-    statePcTainted(const SymState &s) const
-    {
-        for (size_t slot : pcSlots) {
-            if (s.slot(slot).taint)
-                return true;
-        }
-        return false;
-    }
-
-    uint16_t
-    statePcBase(const SymState &s) const
-    {
-        uint16_t v = 0;
-        for (size_t i = 0; i < pcSlots.size(); ++i) {
-            Signal sig = s.slot(pcSlots[i]);
-            if (sig.known() && sig.asBool())
-                v |= static_cast<uint16_t>(1u << i);
-        }
-        return v;
-    }
-
-    /** Decode the instruction at a program address (nullopt: data). */
-    std::optional<Instr>
-    instrAt(uint16_t addr) const
-    {
-        if (addr >= image.words.size())
-            return std::nullopt;
-        return decode(&image.words[addr], image.words.size() - addr);
-    }
-
-    /**
-     * Possible concrete next-PC values for a state whose PC has X
-     * bits (Algorithm 1, possible_PC_next_vals). Sets @p overflow
-     * (and returns nothing) when the enumeration would exceed the
-     * hard branch-fanout budget; the caller degrades the path to the
-     * *-logic abstraction instead of aborting the analysis.
-     */
-    std::vector<uint16_t>
-    candidatePcs(uint16_t instr_addr, const SymState &s, bool &overflow)
-    {
-        std::vector<unsigned> xbits = statePcXBits(s);
-        uint16_t base = statePcBase(s);
-        std::optional<Instr> instr = instrAt(instr_addr);
-
-        std::vector<uint16_t> out;
-        if (cfg.preciseJumpTargets && instr && instr->op == Op::J) {
-            // Precise CFG successors of a conditional jump.
-            uint16_t fall = static_cast<uint16_t>(instr_addr + 1);
-            uint16_t target =
-                static_cast<uint16_t>(instr_addr + 1 + instr->jumpOff);
-            out = {target, fall};
-        } else {
-            if (xbits.size() > cfg.maxBranchBits) {
-                overflow = true;
-                return {};
-            }
-            for (size_t c = 0; c < (1ULL << xbits.size()); ++c) {
-                uint16_t a = base;
-                for (size_t k = 0; k < xbits.size(); ++k) {
-                    if ((c >> k) & 1ULL)
-                        a |= static_cast<uint16_t>(1u << xbits[k]);
-                }
-                out.push_back(a);
-            }
-        }
-        // Keep unique, in-range candidates consistent with the known
-        // PC bits.
-        std::vector<uint16_t> filtered;
-        uint16_t xmask = 0;
-        for (unsigned b : xbits)
-            xmask |= static_cast<uint16_t>(1u << b);
-        for (uint16_t a : out) {
-            if (a >= image.words.size() && a >= iot430::kProgWords)
-                continue;
-            if ((a & ~xmask & lowMask(pcSlots.size())) !=
-                (base & static_cast<uint16_t>(~xmask)))
-                continue;
-            bool dup = false;
-            for (uint16_t f : filtered)
-                dup |= f == a;
-            if (!dup)
-                filtered.push_back(a);
-        }
-        return filtered;
-    }
-
-    /** Child of @p s with the PC forced to @p pc (taints retained). */
-    SymState
-    concretizePc(const SymState &s, uint16_t pc) const
-    {
-        SymState child = s;
-        for (size_t i = 0; i < pcSlots.size(); ++i) {
-            Signal cur = s.slot(pcSlots[i]);
-            child.setSlot(pcSlots[i],
-                          Signal{ternBool((pc >> i) & 1u), cur.taint});
-        }
-        return child;
-    }
-
-    /**
-     * *-logic abstraction: saturate all state to tainted-X, settle the
-     * combinational logic once, and report how many gate outputs end up
-     * tainted (footnote 8 reproduction).
-     */
-    std::pair<size_t, size_t>
-    starSaturate()
-    {
-        ++engineStats().starSaturations;
-        GLIFS_TRACE_INSTANT("engine", "star_saturate");
-        // Bulk mutation of flop outputs and memory cells below
-        // bypasses the simulator's tracked setters; invalidate its
-        // dirty set so the settle is a full sweep.
-        sim.markAllDirty();
-        const Netlist &nl = soc.netlist();
-        for (GateId g : nl.dffs())
-            sim.state().setNet(nl.gate(g).out, Signal{Tern::X, true});
-        for (MemId m = 0; m < nl.numMemories(); ++m) {
-            if (!nl.memory(m).writable)
-                continue;
-            for (Signal &cell : sim.state().memCells(m))
-                cell = Signal{Tern::X, true};
-        }
-        const SocProbes &prb = soc.probes();
-        sim.setInput(prb.extReset, sigBool(false));
-        for (unsigned p = 0; p < 4; ++p) {
-            for (unsigned b = 0; b < 16; ++b)
-                sim.setInput(prb.portIn[p][b], Signal{Tern::X, true});
-        }
-        sim.evalComb();
-        if (cfg.trackTaintedNets)
-            accumulateTaint();
-
-        size_t tainted = 0;
-        size_t total = 0;
-        for (const Gate &g : nl.gates()) {
-            if (g.type != GateType::Comb && g.type != GateType::Dff)
-                continue;
-            ++total;
-            Signal out = sim.netValue(g.out);
-            bool next_taint = out.taint;
-            if (g.type == GateType::Dff) {
-                next_taint =
-                    dffNext(sim.netValue(g.in[0]), sim.netValue(g.in[1]),
-                            sim.netValue(g.in[2]), out, g.rstVal).taint;
-            }
-            if (next_taint)
-                ++tainted;
-        }
-        return {tainted, total};
     }
 };
 
@@ -531,22 +220,11 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
     // program memory (footnote 3). Program ROM is not part of the
     // captured symbolic state, so this also re-establishes it when
     // resuming a checkpoint.
-    soc.loadProgram(ctx.sim.state(), image);
-    if (policy.taintCodeInProgMem) {
-        for (const CodePartition &p : policy.code) {
-            if (!p.tainted)
-                continue;
-            for (uint32_t a = p.lo;
-                 a <= p.hi && a < image.words.size(); ++a) {
-                ctx.sim.setMemWord(soc.probes().progMem, a,
-                                   image.words[a], true);
-            }
-        }
-    }
+    ctx.ps.loadProgram();
 
     if (resume) {
         const uint64_t fp = checkpointFingerprint(
-            image, ctx.layout.slots(), soc.netlist().numNets());
+            image, ctx.ps.layout.slots(), soc.netlist().numNets());
         if (resume->fingerprint != fp) {
             GLIFS_RECOVERABLE(
                 "checkpoint does not match this program image and "
@@ -561,7 +239,7 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
         ctx.branchPoints = resume->branchPoints;
         ctx.level = resume->level;
         if (ctx.level >= DegradeLevel::WidenedMerging)
-            ctx.cfg.preciseJumpTargets = false;
+            ctx.ps.cfg.preciseJumpTargets = false;
         ctx.degradations = resume->degradations;
         for (const Violation &v : resume->violations)
             ctx.log.restore(v);
@@ -575,14 +253,14 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
             ctx.stack.emplace_back(state, node);
     } else {
         // Algorithm 1 line 5: propagate the (untainted) reset.
-        ctx.setInputs(true);
-        ctx.sim.step();
+        ctx.ps.setInputs(true);
+        ctx.ps.sim.step();
         ++ctx.totalCycles;
         ++es.cycles;
         ctx.gov.chargeCycles(1);
 
-        SymState s0(ctx.layout);
-        s0.capture(ctx.layout, ctx.sim.state());
+        SymState s0(ctx.ps.layout);
+        s0.capture(ctx.ps.layout, ctx.ps.sim.state());
         uint32_t root = ctx.tree.addNode(-1, 0);
         ctx.stack.emplace_back(std::move(s0), root);
     }
@@ -605,15 +283,15 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
         es.frontierPeak.set(
             static_cast<double>(ctx.stack.size() + 1));
         ctx.gov.noteFrontier(ctx.stack.size() + 1);
-        state.restore(ctx.layout, ctx.sim.state());
+        state.restore(ctx.ps.layout, ctx.ps.sim.state());
         // The restore rewrote every flop and memory cell behind the
         // scheduler's back; the first settle of the path must sweep.
-        ctx.sim.markAllDirty();
+        ctx.ps.sim.markAllDirty();
         if (tr.enabled()) {
             tr.instant("engine", "pop",
                        trace::Args()
                            .add("node", static_cast<uint64_t>(node))
-                           .add("pc", hex16(ctx.statePcBase(state)))
+                           .add("pc", hex16(ctx.ps.statePcBase(state)))
                            .add("stack",
                                 static_cast<uint64_t>(
                                     ctx.stack.size()))
@@ -622,7 +300,7 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
 
         // A popped state must have a concrete PC (children are pushed
         // concretized); defensive check.
-        GLIFS_ASSERT(ctx.statePcXBits(state).empty(),
+        GLIFS_ASSERT(ctx.ps.statePcXBits(state).empty(),
                      "execution point with unknown PC");
 
         bool path_done = false;
@@ -632,7 +310,7 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
             // place; hard exhaustion stops with a partial result (and
             // a resumable snapshot of the frontier) -- never a fatal.
             if (auto ev = ctx.gov.poll()) {
-                const uint16_t at = ctx.tryBusValue(prb.instrAddrQ);
+                const uint16_t at = ctx.ps.tryBusValue(prb.instrAddrQ);
                 if (ev->severity == BudgetSeverity::Hard) {
                     ctx.recordDegradation(DegradeLevel::PartialStop,
                                           ev->kind, ev->severity, at,
@@ -640,12 +318,12 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
                     ctx.budgetHit = true;
                     ctx.tree.node(node).end = PathEnd::Budget;
                     ctx.tree.node(node).endInstr = at;
-                    if (ctx.cfg.checkpointOnStop) {
+                    if (ctx.ps.cfg.checkpointOnStop) {
                         // Park the in-flight path back on the frontier
                         // so the snapshot resumes it; it will be popped
                         // (and counted) again.
-                        SymState cur(ctx.layout);
-                        cur.capture(ctx.layout, ctx.sim.state());
+                        SymState cur(ctx.ps.layout);
+                        cur.capture(ctx.ps.layout, ctx.ps.sim.state());
                         ctx.stack.emplace_back(std::move(cur), node);
                         --ctx.pathsExplored;
                     }
@@ -655,7 +333,7 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
                     RunCtx::Escalation::KillPath) {
                     // *-logic the offending path: saturate to
                     // tainted-X and terminate it conservatively.
-                    ctx.starSaturate();
+                    ctx.ps.starSaturate(&ctx.everTainted);
                     ctx.tree.node(node).end = PathEnd::Degraded;
                     ctx.tree.node(node).endInstr = at;
                     path_done = true;
@@ -663,31 +341,32 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
                 }
             }
 
-            ctx.setInputs(false);
-            ctx.sim.evalComb();
+            ctx.ps.setInputs(false);
+            ctx.ps.sim.evalComb();
             ++ctx.totalCycles;
             ++es.cycles;
             ctx.gov.chargeCycles(1);
             ++ctx.tree.node(node).cycles;
             if (cfg.trackTaintedNets)
-                ctx.accumulateTaint();
+                ctx.ps.accumulateTaint(ctx.everTainted);
 
             const uint16_t instr_addr =
-                ctx.busValue(prb.instrAddrQ, "instruction address");
-            ctx.checker.checkCycle(ctx.sim, instr_addr, ctx.totalCycles,
-                                   ctx.log);
+                ctx.ps.busValue(prb.instrAddrQ, "instruction address");
+            ctx.ps.checker.checkCycle(ctx.ps.sim, instr_addr,
+                                      ctx.totalCycles, ctx.log);
 
             const uint16_t fsm =
-                ctx.busValue(prb.stateQ, "fsm state");
+                ctx.ps.busValue(prb.stateQ, "fsm state");
 
             // *-logic baseline: give up at the first tainted or
             // unknown control flow.
             if (cfg.starLogicMode) {
                 bool pc_taint = false;
                 for (NetId n : prb.pcQ)
-                    pc_taint |= ctx.sim.netValue(n).taint;
-                if (pc_taint || ctx.busHasX(prb.pcD)) {
-                    auto [tainted, total] = ctx.starSaturate();
+                    pc_taint |= ctx.ps.sim.netValue(n).taint;
+                if (pc_taint || ctx.ps.busHasX(prb.pcD)) {
+                    auto [tainted, total] =
+                        ctx.ps.starSaturate(&ctx.everTainted);
                     res.taintedGates = tainted;
                     res.totalGates = total;
                     ctx.starAborted = true;
@@ -700,15 +379,16 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
             if (fsm == static_cast<uint16_t>(CoreState::Halt)) {
                 ctx.tree.node(node).end = PathEnd::Halted;
                 ctx.tree.node(node).endInstr = instr_addr;
-                ctx.checker.checkMemoryInvariant(ctx.sim, instr_addr,
-                                                 ctx.totalCycles,
-                                                 ctx.log);
+                ctx.ps.checker.checkMemoryInvariant(ctx.ps.sim,
+                                                    instr_addr,
+                                                    ctx.totalCycles,
+                                                    ctx.log);
                 path_done = true;
                 break;
             }
 
             // Is this cycle a PC-changing commit?
-            std::optional<Instr> instr = ctx.instrAt(instr_addr);
+            std::optional<Instr> instr = ctx.ps.instrAt(instr_addr);
             bool is_commit =
                 fsm == static_cast<uint16_t>(CoreState::Call) ||
                 fsm == static_cast<uint16_t>(CoreState::Ret) ||
@@ -721,7 +401,7 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
             // pushed as a fresh execution point; the not-fired branch
             // continues inline but is forced through the state table so
             // the chain of forks converges.
-            Signal por = ctx.sim.netValue(prb.porNet);
+            Signal por = ctx.ps.sim.netValue(prb.porNet);
             if (!por.known()) {
                 ++ctx.branchPoints;
                 ++es.branchPoints;
@@ -730,19 +410,19 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
                     "engine", "por_fork",
                     add("instr", hex16(instr_addr))
                         .add("cycle", ctx.totalCycles));
-                SymState pre(ctx.layout);
-                pre.capture(ctx.layout, ctx.sim.state());
+                SymState pre(ctx.ps.layout);
+                pre.capture(ctx.ps.layout, ctx.ps.sim.state());
 
                 // Fired branch: POR forced high; PC resets to 0.
-                ctx.sim.setNet(prb.porNet,
-                               Signal{Tern::One, por.taint});
-                ctx.sim.clockEdge();
-                SymState fired(ctx.layout);
-                fired.capture(ctx.layout, ctx.sim.state());
-                GLIFS_ASSERT(ctx.statePcXBits(fired).empty(),
+                ctx.ps.sim.setNet(prb.porNet,
+                                  Signal{Tern::One, por.taint});
+                ctx.ps.sim.clockEdge();
+                SymState fired(ctx.ps.layout);
+                fired.capture(ctx.ps.layout, ctx.ps.sim.state());
+                GLIFS_ASSERT(ctx.ps.statePcXBits(fired).empty(),
                              "POR branch left the PC unknown");
-                uint32_t cn =
-                    ctx.tree.addNode(node, ctx.statePcBase(fired));
+                uint32_t cn = ctx.tree.addNode(
+                    node, ctx.ps.statePcBase(fired));
                 ctx.stack.emplace_back(std::move(fired), cn);
 
                 // Not-fired branch: replay the cycle with POR forced
@@ -750,19 +430,19 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
                 // The fork chain is bounded by the next PC-changing
                 // commit, where the normal state-table subsumption
                 // applies.
-                pre.restore(ctx.layout, ctx.sim.state());
-                ctx.sim.markAllDirty();
-                ctx.setInputs(false);
-                ctx.sim.evalComb();
-                ctx.sim.setNet(prb.porNet,
-                               Signal{Tern::Zero, por.taint});
+                pre.restore(ctx.ps.layout, ctx.ps.sim.state());
+                ctx.ps.sim.markAllDirty();
+                ctx.ps.setInputs(false);
+                ctx.ps.sim.evalComb();
+                ctx.ps.sim.setNet(prb.porNet,
+                                  Signal{Tern::Zero, por.taint});
             }
 
-            ctx.sim.clockEdge();
+            ctx.ps.sim.clockEdge();
 
-            SymState cur(ctx.layout);
-            cur.capture(ctx.layout, ctx.sim.state());
-            bool pc_unknown = !ctx.statePcXBits(cur).empty();
+            SymState cur(ctx.ps.layout);
+            cur.capture(ctx.ps.layout, ctx.ps.sim.state());
+            bool pc_unknown = !ctx.ps.statePcXBits(cur).empty();
 
             if (!is_commit && !pc_unknown)
                 continue;
@@ -777,7 +457,7 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
             // port escapes), mirroring the proof structure of
             // Section 5.4, so the merge itself need not re-taint.
             StateTable::Visit visit =
-                ctx.cfg.disableMerging
+                ctx.ps.cfg.disableMerging
                     ? StateTable::Visit::New
                     : ctx.table.visit(table_key, cur);
             ctx.gov.noteStates(ctx.table.size());
@@ -797,21 +477,22 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
             if (visit == StateTable::Visit::Subsumed) {
                 ctx.tree.node(node).end = PathEnd::Subsumed;
                 ctx.tree.node(node).endInstr = instr_addr;
-                ctx.checker.checkMemoryInvariant(ctx.sim, instr_addr,
-                                                 ctx.totalCycles,
-                                                 ctx.log);
+                ctx.ps.checker.checkMemoryInvariant(ctx.ps.sim,
+                                                    instr_addr,
+                                                    ctx.totalCycles,
+                                                    ctx.log);
                 path_done = true;
                 break;
             }
 
             // visit() merged or stored; cur is now the conservative
             // state to continue from.
-            const size_t pc_xbits = ctx.statePcXBits(cur).size();
+            const size_t pc_xbits = ctx.ps.statePcXBits(cur).size();
             if (pc_xbits > 0) {
                 // Soft branch-fanout threshold: a wide unknown-PC
                 // branch escalates the ladder before enumerating.
-                if (ctx.cfg.budgets.softBranchBits &&
-                    pc_xbits > ctx.cfg.budgets.softBranchBits &&
+                if (ctx.ps.cfg.budgets.softBranchBits &&
+                    pc_xbits > ctx.ps.cfg.budgets.softBranchBits &&
                     ctx.level == DegradeLevel::None) {
                     BudgetEvent ev{
                         ResourceKind::BranchFanout,
@@ -824,7 +505,7 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
 
                 bool overflow = false;
                 std::vector<uint16_t> pcs =
-                    ctx.candidatePcs(instr_addr, cur, overflow);
+                    ctx.ps.candidatePcs(instr_addr, cur, overflow);
                 if (overflow) {
                     // Hard fanout exhaustion: unbounded indirect
                     // control flow. Degrade the path to the *-logic
@@ -835,9 +516,9 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
                         BudgetSeverity::Hard, instr_addr,
                         detail::concat(
                             pc_xbits, " unknown PC bits exceed ",
-                            ctx.cfg.maxBranchBits,
+                            ctx.ps.cfg.maxBranchBits,
                             " (consider masking the target)"));
-                    ctx.starSaturate();
+                    ctx.ps.starSaturate(&ctx.everTainted);
                     ctx.tree.node(node).end = PathEnd::Degraded;
                     ctx.tree.node(node).endInstr = instr_addr;
                     path_done = true;
@@ -856,8 +537,8 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
                         .add("cycle", ctx.totalCycles));
                 for (uint16_t pc : pcs) {
                     uint32_t cn = ctx.tree.addNode(node, pc);
-                    ctx.stack.emplace_back(ctx.concretizePc(cur, pc),
-                                           cn);
+                    ctx.stack.emplace_back(
+                        ctx.ps.concretizePc(cur, pc), cn);
                 }
                 es.frontierPeak.set(
                     static_cast<double>(ctx.stack.size()));
@@ -868,8 +549,8 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
                 break;
             }
             if (visit == StateTable::Visit::Merged) {
-                cur.restore(ctx.layout, ctx.sim.state());
-                ctx.sim.markAllDirty();
+                cur.restore(ctx.ps.layout, ctx.ps.sim.state());
+                ctx.ps.sim.markAllDirty();
             }
         }
     }
@@ -894,10 +575,10 @@ IftEngine::run(const ProgramImage &image, const EngineCheckpoint *resume)
     res.violations = ctx.log.list();
     res.degradations = ctx.degradations;
 
-    if (ctx.budgetHit && ctx.cfg.checkpointOnStop) {
+    if (ctx.budgetHit && ctx.ps.cfg.checkpointOnStop) {
         auto ckpt = std::make_shared<EngineCheckpoint>();
         ckpt->fingerprint = checkpointFingerprint(
-            image, ctx.layout.slots(), soc.netlist().numNets());
+            image, ctx.ps.layout.slots(), soc.netlist().numNets());
         ckpt->totalCycles = ctx.totalCycles;
         ckpt->pathsExplored = ctx.pathsExplored;
         ckpt->branchPoints = ctx.branchPoints;

@@ -1,0 +1,19 @@
+#include "ift/engine_stats.hh"
+
+namespace glifs
+{
+
+EngineStats &
+EngineStats::instance()
+{
+    static EngineStats s;
+    return s;
+}
+
+EngineStats &
+engineStats()
+{
+    return EngineStats::instance();
+}
+
+} // namespace glifs

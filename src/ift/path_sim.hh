@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Per-path symbolic simulation shared by the serial engine
+ * (ift/engine.cc) and the parallel exploration workers
+ * (explore/worker.cc).
+ *
+ * A *segment* is the simulation of one execution point from its
+ * concrete-PC start state up to the next PC-changing commit, HALT, or
+ * hook-requested stop -- exactly the stretch the serial loop runs
+ * between a frontier pop and the next state-table visit. Segments are
+ * pure functions of the start state: every simulated value, violation
+ * and POR fork depends only on the netlist, policy, program image and
+ * the start state, never on the engine's global budgets or ladder
+ * position (those only affect what the *caller* does with the segment
+ * end). That purity is what lets worker processes execute segments
+ * speculatively while the coordinator applies them in strict serial
+ * order (DESIGN.md §11).
+ */
+
+#ifndef GLIFS_IFT_PATH_SIM_HH
+#define GLIFS_IFT_PATH_SIM_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "assembler/program_image.hh"
+#include "ift/checker.hh"
+#include "ift/engine.hh"
+#include "ift/symstate.hh"
+#include "sim/simulator.hh"
+#include "soc/soc.hh"
+
+namespace glifs
+{
+
+/** An unknown watchdog-expiry fork taken inside a segment: the fired
+ *  branch (concrete PC) to be pushed on the frontier, in order. */
+struct SegmentPorFork
+{
+    SymState fired;
+    uint16_t startPc = 0;
+};
+
+/** What one segment simulated, in segment-relative terms. */
+struct SegmentResult
+{
+    uint64_t cycles = 0;     ///< simulated cycles in this segment
+    SymState end;            ///< state after the terminal clock edge
+    uint16_t endInstr = 0;   ///< committing instruction address
+    uint16_t endFsm = 0;     ///< FSM state at the commit
+    bool halted = false;     ///< program reached HALT (no end state)
+    bool pcUnknown = false;  ///< end state has unknown PC bits
+    bool stopped = false;    ///< hook Stop: end is the in-flight state
+    bool killed = false;     ///< hook Kill: caller *-logics the path
+
+    /** Violations observed in the segment, aggregated per (kind,
+     *  instruction) with firstCycle *relative* to the segment start
+     *  (1-based); the applier rebases them onto the global clock. */
+    std::vector<Violation> violations;
+
+    /** POR forks taken, in push order. */
+    std::vector<SegmentPorFork> porForks;
+
+    /** Nets that carried taint during the segment (empty when
+     *  EngineConfig::trackTaintedNets is off). */
+    BitPlane taintDelta;
+};
+
+/** Per-cycle hook decisions mirroring the serial governor poll. */
+enum class CycleAction : uint8_t
+{
+    Continue, ///< simulate the next cycle
+    Stop,     ///< hard budget: return with the in-flight state
+    Kill,     ///< ladder exhausted: return; caller star-saturates
+};
+
+/**
+ * Optional per-cycle callbacks. `poll` runs at the serial loop's
+ * governor-poll point (before the cycle's inputs are driven);
+ * `cycleCharged` runs right after the combinational settle, where the
+ * serial loop charges its cycle counters. Workers run hook-free.
+ */
+struct SegmentHooks
+{
+    std::function<CycleAction()> poll;
+    std::function<void()> cycleCharged;
+};
+
+/**
+ * One path's symbolic simulation context: the simulator, the symbolic
+ * layout, the per-cycle policy checker and every PC/branch helper of
+ * Algorithm 1. The engine's degradation ladder mutates `cfg` in place
+ * (preciseJumpTargets), which only changes how branch successors are
+ * enumerated -- segment execution itself never reads the mutated
+ * knobs, preserving segment purity.
+ */
+class PathSim
+{
+  public:
+    PathSim(const Soc &s, const Policy &p, const EngineConfig &c,
+            const ProgramImage &img);
+
+    const Soc &soc;
+    const Policy &policy;
+    EngineConfig cfg; ///< by value: the ladder mutates it in place
+    const ProgramImage &image;
+
+    Simulator sim;
+    SymLayout layout;
+    FlowChecker checker;
+    std::vector<size_t> pcSlots; ///< SymState slots of the PC flops
+
+    /** Load the binary; taint the tainted code partitions (footnote
+     *  3). Program ROM is not part of the captured symbolic state, so
+     *  this also re-establishes it when resuming a checkpoint. */
+    void loadProgram();
+
+    /** Drive reset and port inputs for one cycle. */
+    void setInputs(bool reset);
+
+    /** Concrete value of a probed register bus; panics on X. */
+    uint16_t busValue(const Bus &bus, const char *what) const;
+
+    /** Concrete value of a probed bus, or 0xFFFF if any bit is X
+     *  (degradation records must never panic on unknowns). */
+    uint16_t tryBusValue(const Bus &bus) const;
+
+    bool busHasX(const Bus &bus) const;
+
+    /** OR this cycle's net taints into @p plane. */
+    void accumulateTaint(BitPlane &plane) const;
+
+    /** Unknown PC bits of a captured state. */
+    std::vector<unsigned> statePcXBits(const SymState &s) const;
+
+    /** Any taint on the PC bits of a captured state. */
+    bool statePcTainted(const SymState &s) const;
+
+    uint16_t statePcBase(const SymState &s) const;
+
+    /** Decode the instruction at a program address (nullopt: data). */
+    std::optional<Instr> instrAt(uint16_t addr) const;
+
+    /**
+     * Possible concrete next-PC values for a state whose PC has X
+     * bits (Algorithm 1, possible_PC_next_vals). Sets @p overflow
+     * (and returns nothing) when the enumeration would exceed the
+     * hard branch-fanout budget; the caller degrades the path to the
+     * *-logic abstraction instead of aborting the analysis.
+     */
+    std::vector<uint16_t> candidatePcs(uint16_t instr_addr,
+                                       const SymState &s,
+                                       bool &overflow);
+
+    /** Child of @p s with the PC forced to @p pc (taints retained). */
+    SymState concretizePc(const SymState &s, uint16_t pc) const;
+
+    /**
+     * *-logic abstraction: saturate all state to tainted-X, settle the
+     * combinational logic once, and report how many gate outputs end
+     * up tainted (footnote 8 reproduction).
+     */
+    std::pair<size_t, size_t> starSaturate(BitPlane *everTainted);
+
+    /**
+     * Run one segment from @p start: restore it, then simulate cycle
+     * by cycle exactly like the serial inner loop until the next
+     * PC-changing commit / unknown PC / HALT, or until a hook says
+     * Stop or Kill. The simulator is left in the segment's final
+     * in-flight state (Kill callers star-saturate it; Stop callers
+     * already got it captured in SegmentResult::end).
+     */
+    SegmentResult runSegment(const SymState &start,
+                             const SegmentHooks &hooks = {});
+};
+
+} // namespace glifs
+
+#endif // GLIFS_IFT_PATH_SIM_HH

@@ -47,6 +47,7 @@ KNOWN_GROUPS = frozenset({
     "checker",
     "checkpoint",
     "engine",
+    "explore",
     "governor",
     "sim",
     "state_table",
